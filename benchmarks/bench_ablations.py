@@ -1,0 +1,109 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+1. Progressive (Algorithm 1) vs all-at-once retraining at an equal epoch
+   budget (§5's motivation for progressive retraining).
+2. AOFL fuse-depth sweep: the compute-overhead-vs-communication trade that
+   drives §7.4's exhaustive search.
+3. Deadline-slack sweep: zero-fill rate vs latency (the T_L trade-off).
+4. EWMA gamma sweep: adaptation speed after a node degradation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import aofl_latency
+from repro.experiments.fig10_accuracy import prepare_task
+from repro.models import get_spec
+from repro.nn.losses import cross_entropy
+from repro.partition import TileGrid
+from repro.runtime import ADCNNConfig, StatisticsCollector
+from repro.simulator import CpuSchedule
+from repro.training import TrainConfig, oneshot_retrain, progressive_retrain, train_epochs
+
+
+def test_progressive_vs_oneshot(benchmark):
+    """Algorithm 1 should match or beat all-at-once at equal budgets."""
+    cfg = TrainConfig(lr=0.05, batch_size=16)
+
+    def ablation():
+        results = {}
+        for mode, fn, kwargs in (
+            ("progressive", progressive_retrain, {"max_epochs_per_stage": 2}),
+            ("oneshot", oneshot_retrain, {"max_epochs": 6}),
+        ):
+            model, (xs, ys), loss_fn, metric = prepare_task("vgg_mini", seed=11)
+            train_epochs(model, xs, ys, loss_fn, epochs=4, config=cfg)
+            res = fn(model, "4x4", xs, ys, loss_fn, metric, config=cfg, **kwargs)
+            results[mode] = res.final_metric
+        return results
+
+    results = benchmark.pedantic(ablation, rounds=1, iterations=1)
+    print(f"\nprogressive={results['progressive']:.3f} oneshot={results['oneshot']:.3f}")
+    assert results["progressive"] >= results["oneshot"] - 0.05
+
+
+def test_aofl_fuse_depth_sweep(benchmark):
+    """Deeper fusion: compute overhead rises monotonically (§7.4)."""
+    spec = get_spec("vgg16")
+
+    def sweep():
+        rows = []
+        for d in (1, 2, 4, 7):
+            res = aofl_latency(spec, TileGrid(2, 4), fuse_depth=d)
+            rows.append((d, res.groups[0].compute_overhead, res.total_s))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for d, ovh, total in rows:
+        print(f"fuse_depth={d}: overhead={ovh:.2f}x total={total * 1000:.1f}ms")
+    overheads = [r[1] for r in rows]
+    assert all(a <= b for a, b in zip(overheads, overheads[1:]))
+
+
+def test_deadline_slack_sweep(benchmark):
+    """Tighter deadlines trade zero-filled tiles for bounded latency."""
+    from repro.experiments import build_adcnn_system
+
+    schedules = [CpuSchedule()] * 6 + [CpuSchedule(((0.0, 0.3),))] * 2
+
+    def sweep():
+        rows = []
+        for slack in (1.05, 2.0, 4.0):
+            system = build_adcnn_system(
+                "vgg16", num_nodes=8, schedules=schedules,
+                config=ADCNNConfig(pipeline_depth=1, deadline_slack=slack),
+            )
+            recs = system.run(10)
+            rows.append(
+                (slack, system.mean_latency(skip=1) * 1000, sum(r.zero_filled_tiles for r in recs))
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for slack, lat, lost in rows:
+        print(f"slack={slack}: latency={lat:.0f}ms zero_filled={lost}")
+    # Tightest deadline loses the most tiles; loosest loses none.
+    assert rows[0][2] >= rows[-1][2]
+
+
+def test_gamma_adaptation_speed(benchmark):
+    """Algorithm 2's gamma: larger = faster convergence to new rates."""
+
+    def sweep():
+        rows = []
+        for gamma in (0.3, 0.9):
+            stats = StatisticsCollector(2, gamma=gamma, initial=8.0)
+            steps = 0
+            while abs(stats.rates()[1] - 2.0) > 0.5 and steps < 50:
+                stats.update([8, 2])
+                steps += 1
+            rows.append((gamma, steps))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for gamma, steps in rows:
+        print(f"gamma={gamma}: {steps} images to converge")
+    assert rows[1][1] < rows[0][1]

@@ -1,0 +1,42 @@
+"""Benchmarks for the extension experiments (beyond the paper's figures)."""
+
+from repro.experiments import ext_failure, ext_grid_sweep, ext_robustness, ext_tradeoff, sec23_feature_locality
+
+
+def test_ext_grid_sweep(run_experiment):
+    report = run_experiment(ext_grid_sweep.run, num_images=12)
+    lat = report.column("latency_ms")
+    # The sweet spot is strictly inside the sweep (load quantization on the
+    # coarse end, per-message overhead on the fine end).
+    best = lat.index(min(lat))
+    assert 0 < best < len(lat) - 1
+
+
+def test_ext_failure(run_experiment):
+    report = run_experiment(ext_failure.run, num_images=35, fail_after_images=12)
+    # The dead node ends with zero tiles and some tiles were zero-filled
+    # during the adaptation window.
+    assert report.rows[-1]["dead_node_tiles"] == 0
+    assert any(r["zero_filled"] > 0 for r in report.rows)
+
+
+def test_ext_robustness(run_experiment):
+    report = run_experiment(
+        ext_robustness.run, loss_fractions=(0.0, 0.125, 0.5), base_epochs=4
+    )
+    acc = report.column("accuracy")
+    # Accuracy is monotone non-increasing in tile loss (weak form).
+    assert acc[0] >= acc[-1]
+
+
+def test_ext_tradeoff(run_experiment):
+    report = run_experiment(ext_tradeoff.run, base_epochs=4, num_images=12)
+    lat = report.column("latency_ms")
+    # Finer grids reduce latency (§7.2.2's trade-off, latency axis).
+    assert lat[-1] < lat[0]
+
+
+def test_sec23_feature_locality(run_experiment):
+    report = run_experiment(sec23_feature_locality.run, base_epochs=3)
+    scores = report.column("locality")
+    assert scores[0] > 0.99 and scores[-1] <= scores[0]

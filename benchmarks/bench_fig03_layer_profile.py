@@ -1,0 +1,8 @@
+"""Benchmark regenerating Figure 3 (per-layer-block time and ifmap size)."""
+
+from repro.experiments import fig03_layer_profile
+
+
+def test_fig03_layer_profile(run_experiment):
+    report = run_experiment(fig03_layer_profile.run)
+    assert len(report.rows) > 20  # four models' worth of blocks

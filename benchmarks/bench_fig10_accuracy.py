@@ -1,0 +1,36 @@
+"""Benchmark regenerating Figure 10 (accuracy vs partition grid).
+
+Trains the mini models on the synthetic datasets and progressively retrains
+one copy per partition option — the heaviest benchmark in the suite.
+"""
+
+from repro.experiments import fig10_accuracy
+
+
+def test_fig10_accuracy(run_experiment):
+    report = run_experiment(
+        fig10_accuracy.run,
+        models=("vgg_mini", "charcnn_mini"),
+        partitions=("2x2", "4x4", "8x8"),
+        base_epochs=4,
+        max_epochs_per_stage=2,
+    )
+    # The paper's claim: retrained accuracy within ~1% of the original.
+    for row in report.rows:
+        assert row["degradation"] <= 0.08, row
+
+
+def test_fig10_all_five_model_families(run_experiment):
+    """Every paper task family survives Algorithm 1 at the 8x8 partition:
+    classification (VGG/ResNet), segmentation (FCN), detection (YOLO),
+    text (CharCNN)."""
+    report = run_experiment(
+        fig10_accuracy.run,
+        models=("vgg_mini", "resnet_mini", "fcn_mini", "yolo_mini", "charcnn_mini"),
+        partitions=("8x8",),
+        base_epochs=4,
+        max_epochs_per_stage=2,
+    )
+    assert len(report.rows) == 5
+    for row in report.rows:
+        assert row["degradation"] <= 0.10, row

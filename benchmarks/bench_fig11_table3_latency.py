@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 11 and Table 3 (latency comparison)."""
+
+from repro.experiments import fig11_table3_latency
+
+
+def test_fig11_latency(run_experiment):
+    report = run_experiment(fig11_table3_latency.run, num_images=30)
+    by_model = {r["model"]: r for r in report.rows}
+    # Compute-heavy models see large speedups over a single device.
+    assert by_model["vgg16"]["speedup_vs_single"] > 4.0
+    assert by_model["resnet34"]["speedup_vs_single"] > 3.0
+
+
+def test_table3_breakdown(run_experiment):
+    report = run_experiment(fig11_table3_latency.run_breakdown, num_images=30)
+    rows = {r["scheme"]: r for r in report.rows}
+    assert rows["Remote cloud"]["transmission_ms"] > 400  # paper: 502.21
+    assert rows["Single-device"]["compute_ms"] > 1400     # paper: 1586.53

@@ -1,0 +1,12 @@
+"""Benchmark regenerating Figure 13 (scalability, energy, memory)."""
+
+from repro.experiments import fig13_scalability
+
+
+def test_fig13_scalability(run_experiment):
+    report = run_experiment(fig13_scalability.run, num_images=20)
+    rows = {r["nodes"]: r for r in report.rows if r["nodes"] != "S"}
+    # Paper anchors: ~1.8x at 2 nodes, ~6.2x at 8 nodes.
+    assert 1.2 < rows[2]["speedup"] < 2.4
+    assert 4.0 < rows[8]["speedup"] < 8.0
+    assert rows[8]["energy_j_per_inference"] < rows[2]["energy_j_per_inference"]

@@ -1,0 +1,11 @@
+"""Benchmark regenerating Figure 14 (ADCNN vs Neurosurgeon vs AOFL)."""
+
+from repro.experiments import fig14_comparison
+
+
+def test_fig14_comparison(run_experiment):
+    report = run_experiment(fig14_comparison.run, num_images=30)
+    for row in report.rows:
+        # ADCNN wins on every model (paper: 2.8x / 1.6x on average).
+        assert row["adcnn_ms"] < row["neurosurgeon_ms"]
+        assert row["adcnn_ms"] < row["aofl_ms"]

@@ -1,0 +1,12 @@
+"""Benchmark regenerating Figure 15 (adaptation to node degradation)."""
+
+from repro.experiments import fig15_adaptivity
+
+
+def test_fig15_adaptivity(run_experiment):
+    report = run_experiment(fig15_adaptivity.run, num_images=50, throttle_after_images=25)
+    first = [int(v) for v in report.rows[0]["alloc"].split()]
+    last = [int(v) for v in report.rows[-1]["alloc"].split()]
+    # Paper: 8 each -> 12,12,12,12,5,5,3,3.
+    assert first == [8] * 8
+    assert sum(last) == 64 and min(last[:4]) >= 10 and max(last[4:]) <= 7

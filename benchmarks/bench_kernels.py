@@ -1,0 +1,76 @@
+"""Microbenchmarks of the computational kernels underneath every experiment.
+
+These use pytest-benchmark's statistical timing (multiple rounds) — the
+numbers to watch when optimizing the NumPy engine.
+"""
+
+import numpy as np
+
+import repro.nn.functional as F
+from repro.compression import CompressionPipeline, rle_decode, rle_encode
+from repro.models import vgg_mini
+from repro.nn import Tensor
+from repro.partition import TileGrid, fdsp_forward
+from repro.runtime import allocate_tiles
+
+RNG = np.random.default_rng(0)
+
+
+def test_conv2d_forward(benchmark):
+    x = Tensor(RNG.normal(size=(4, 16, 32, 32)).astype(np.float32))
+    w = Tensor(RNG.normal(size=(32, 16, 3, 3)).astype(np.float32))
+    benchmark(lambda: F.conv2d(x, w, padding=1))
+
+
+def test_conv2d_backward(benchmark):
+    x = RNG.normal(size=(4, 16, 32, 32)).astype(np.float32)
+    w = Tensor(RNG.normal(size=(32, 16, 3, 3)).astype(np.float32), requires_grad=True)
+
+    def fwd_bwd():
+        t = Tensor(x, requires_grad=True)
+        F.conv2d(t, w, padding=1).sum().backward()
+        w.zero_grad()
+
+    benchmark(fwd_bwd)
+
+
+def test_max_pool2d(benchmark):
+    x = Tensor(RNG.normal(size=(8, 32, 32, 32)).astype(np.float32))
+    benchmark(lambda: F.max_pool2d(x, 2))
+
+
+def test_batch_norm_training(benchmark):
+    x = Tensor(RNG.normal(size=(16, 32, 16, 16)).astype(np.float32))
+    gamma, beta = Tensor(np.ones(32)), Tensor(np.zeros(32))
+    rm, rv = np.zeros(32), np.ones(32)
+    benchmark(lambda: F.batch_norm(x, gamma, beta, rm, rv, training=True))
+
+
+def test_rle_encode_sparse(benchmark):
+    levels = np.zeros(200_000, dtype=np.int64)
+    levels[RNG.choice(200_000, 5000, replace=False)] = RNG.integers(1, 16, 5000)
+    benchmark(lambda: rle_encode(levels))
+
+
+def test_rle_roundtrip(benchmark):
+    levels = np.zeros(50_000, dtype=np.int64)
+    levels[RNG.choice(50_000, 2500, replace=False)] = RNG.integers(1, 16, 2500)
+    benchmark(lambda: rle_decode(rle_encode(levels)))
+
+
+def test_compression_pipeline(benchmark):
+    pipe = CompressionPipeline(lower=0.2, upper=2.0, bits=4)
+    x = np.maximum(RNG.normal(loc=-1.0, size=(64, 24, 24)), 0).astype(np.float32)
+    benchmark(lambda: pipe.apply(x))
+
+
+def test_tile_allocation(benchmark):
+    rates = RNG.uniform(0.5, 8.0, size=8)
+    benchmark(lambda: allocate_tiles(64, rates))
+
+
+def test_fdsp_tile_forward(benchmark):
+    model = vgg_mini(input_size=48, base_width=8).eval()
+    stack = model.separable_part()
+    x = RNG.normal(size=(1, 3, 48, 48)).astype(np.float32)
+    benchmark(lambda: fdsp_forward(stack, x, TileGrid(4, 4)))

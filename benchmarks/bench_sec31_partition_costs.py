@@ -1,0 +1,8 @@
+"""Benchmark regenerating the §3.1/§4 communication-cost analyses."""
+
+from repro.experiments import sec31_partition_costs
+
+
+def test_sec31_partition_costs(run_experiment):
+    report = run_experiment(sec31_partition_costs.run)
+    assert report.rows[0]["mbits"] > 50  # the 51.38 Mbits channel estimate

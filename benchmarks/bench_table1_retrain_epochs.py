@@ -1,0 +1,13 @@
+"""Benchmark regenerating Table 1 (epochs per progressive-retraining stage)."""
+
+from repro.experiments import table1_epochs
+
+
+def test_table1_retrain_epochs(run_experiment):
+    report = run_experiment(
+        table1_epochs.run, models=("vgg_mini", "charcnn_mini"), base_epochs=4, max_epochs_per_stage=4
+    )
+    totals = [r for r in report.rows if r["stage"] == "Total"]
+    # Paper claim: a handful of epochs per model, far below full training.
+    for row in totals:
+        assert row["epochs"] <= 12

@@ -1,0 +1,22 @@
+"""Shared benchmark helpers.
+
+Every table/figure benchmark runs its experiment exactly once under
+pytest-benchmark (``pedantic(rounds=1)``) — the experiment itself is the
+timed unit — and prints the regenerated paper-style table to stdout (run
+pytest with ``-s`` to see the tables).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run an experiment module's ``run(**kwargs)`` once and print its table."""
+
+    def _run(fn, **kwargs):
+        report = benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+        print()
+        print(report.format_table())
+        return report
+
+    return _run

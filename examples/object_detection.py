@@ -1,0 +1,52 @@
+"""Distributed object detection with a tiny YOLO (paper task family 2).
+
+    python examples/object_detection.py
+
+Trains `yolo_mini` on the synthetic detection dataset (textured squares +
+YOLO-grid targets), FDSP-partitions it, and runs distributed inference over
+the process cluster — decoding the same boxes the local model finds.
+Takes a few minutes on one core.
+"""
+
+import numpy as np
+
+from repro.data import make_detection
+from repro.models import decode_yolo, yolo_mini
+from repro.nn import Tensor
+from repro.nn.losses import yolo_loss
+from repro.partition import FDSPModel, TileGrid
+from repro.runtime import ProcessCluster, ProcessClusterConfig
+from repro.training import TrainConfig, evaluate_detection_cells, train_epochs
+
+
+def main() -> None:
+    data = make_detection(num_samples=96, num_classes=3, image_size=48, grid_stride=8, seed=1)
+    train, test = data.split()
+    model = yolo_mini(num_classes=3, input_size=48, base_width=8, separable_prefix=3, seed=1)
+
+    print("Training tiny YOLO on synthetic detection data...")
+    loss_fn = lambda pred, target: yolo_loss(pred, target, num_classes=3)
+    train_epochs(model, train.images, train.targets, loss_fn, epochs=6,
+                 config=TrainConfig(lr=0.02, batch_size=8))
+    f1 = evaluate_detection_cells(model, test.images, test.targets)
+    print(f"cell-level detection F1: {f1:.3f}")
+
+    print("\nDistributed inference over 2 Conv-node processes (4x4 FDSP):")
+    fdsp_reference = FDSPModel(model, TileGrid(4, 4))
+    fdsp_reference.eval()
+    with ProcessCluster(model, "4x4", config=ProcessClusterConfig(num_workers=2)) as cluster:
+        for i in range(2):
+            image = test.images[i : i + 1]
+            outcome = cluster.infer(image)
+            boxes = decode_yolo(outcome.output, conf_threshold=0.5)[0]
+            truth = test.boxes[i]
+            print(f"image {i}: {len(boxes)} detections (ground truth {len(truth)} objects)")
+            for b in boxes[:4]:
+                print(f"    class {b['cls']} at cell ({b['cx']:.1f}, {b['cy']:.1f}) conf {b['conf']:.2f}")
+            local = fdsp_reference(Tensor(image)).data
+            print(f"    distributed == local FDSP forward: "
+                  f"{np.allclose(outcome.output, local, atol=1e-4)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Run ADCNN for real: Conv nodes as OS processes doing actual inference.
+
+    python examples/process_cluster_demo.py
+
+Workers hold the separable-block weights, receive real image tiles over IPC
+queues, run the NumPy forward pass, compress the result with the §4
+pipeline, and stream it back.  One worker is artificially slowed, so you
+can watch Algorithm 2's statistics shift the allocation away from it and
+the T_L deadline zero-fill its stragglers.
+"""
+
+import numpy as np
+
+import repro.nn as nn
+from repro.compression import CompressionPipeline
+from repro.models import vgg_mini
+from repro.nn import Tensor
+from repro.partition import FDSPModel, TileGrid
+from repro.runtime import ProcessCluster, ProcessClusterConfig
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    model = vgg_mini(num_classes=4, input_size=48, base_width=8).eval()
+    grid = TileGrid(4, 4)
+    pipeline = CompressionPipeline(lower=0.0, upper=4.0, bits=4)
+
+    # Local reference: the same split model computed in-process.
+    local = FDSPModel(model, grid, clipped_relu=nn.ClippedReLU(0.0, 4.0),
+                      quantizer=nn.QuantizeSTE(bits=4, max_value=4.0))
+    local.eval()
+
+    config = ProcessClusterConfig(
+        num_workers=3,
+        t_limit=0.8,                       # T_L: stragglers get zero-filled
+        delay_per_tile=(0.0, 0.0, 0.35),   # worker 2 emulates a slow device
+    )
+    print(f"Starting {config.num_workers} Conv-node processes (worker 2 throttled)...")
+    with ProcessCluster(model, grid, pipeline=pipeline, config=config) as cluster:
+        for i in range(4):
+            image = rng.normal(size=(1, 3, 48, 48)).astype(np.float32)
+            outcome = cluster.infer(image)
+            expected = local(Tensor(image)).data
+            match = np.allclose(outcome.output, expected, atol=1e-4)
+            print(f"image {i}: alloc={[int(v) for v in outcome.allocation]} "
+                  f"received={[int(v) for v in outcome.received_per_worker]} "
+                  f"zero_filled={len(outcome.zero_filled_tiles)} "
+                  f"matches_local={match} ({outcome.wall_seconds * 1000:.0f} ms)")
+        print(f"final worker rate estimates s_k: {np.round(cluster.worker_rates, 2)}")
+        print("(the slow worker misses T_L, its s_k falls, and Algorithm 3 hands it fewer tiles;"
+              " matches_local is True exactly when no tile was zero-filled)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""ADCNN reproduction — Adaptive Distributed CNN Inference at the Network Edge.
+
+Reproduces Zhang, Lin & Zhang, ICPP '20 (DOI 10.1145/3404397.3404473):
+
+- :mod:`repro.nn` — NumPy deep-learning framework (autograd, conv, BN, ...).
+- :mod:`repro.models` — VGG16 / ResNet / YOLO / FCN / CharCNN model zoo.
+- :mod:`repro.partition` — FDSP and the partitioning strategies of §3.
+- :mod:`repro.compression` — clipped ReLU + 4-bit quantization + RLE (§4).
+- :mod:`repro.training` — progressive retraining, Algorithm 1 (§5).
+- :mod:`repro.simulator` — discrete-event edge-cluster substrate.
+- :mod:`repro.runtime` — ADCNN Central/Conv-node system, Algorithms 2-3 (§6).
+- :mod:`repro.baselines` — single-device, remote-cloud, Neurosurgeon, AOFL.
+- :mod:`repro.profiling` — FLOP/latency/energy/memory models.
+- :mod:`repro.experiments` — one module per paper table/figure (§7).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,24 @@
+"""Comparison schemes of §7: single-device, remote-cloud, Neurosurgeon, AOFL."""
+
+from .aofl import AOFLForward, AOFLGroup, AOFLResult, aofl_latency, block_extensions
+from .naive_spatial import NaiveSpatialResult, naive_spatial_latency
+from .neurosurgeon import NeurosurgeonCandidate, NeurosurgeonResult, neurosurgeon_latency
+from .remote_cloud import RemoteCloudResult, remote_cloud_latency
+from .single_device import SingleDeviceResult, single_device_latency
+
+__all__ = [
+    "single_device_latency",
+    "SingleDeviceResult",
+    "remote_cloud_latency",
+    "RemoteCloudResult",
+    "neurosurgeon_latency",
+    "NeurosurgeonResult",
+    "NeurosurgeonCandidate",
+    "aofl_latency",
+    "AOFLResult",
+    "AOFLGroup",
+    "AOFLForward",
+    "block_extensions",
+    "naive_spatial_latency",
+    "NaiveSpatialResult",
+]

@@ -1,0 +1,348 @@
+"""AOFL baseline (Zhou et al., SEC 2019; §7.4) — Adaptive Optimal Fused Layer.
+
+AOFL also partitions the input spatially, but instead of retraining away the
+cross-tile dependency it *extends* each tile so the data halos of all fused
+layers are covered: every device convolves a larger input and no cross-tile
+communication happens inside the fused stack.  The price is recomputed halo
+work that grows with fuse depth — §7.4's reason ADCNN wins by ~1.6x.
+
+Two artefacts here:
+
+- :func:`aofl_latency` — the cost model (distribution + max fused compute +
+  gather + rest on the aggregator), exhaustively searching the fuse depth
+  exactly as §7.4 describes;
+- :class:`AOFLForward` — an *exact* functional implementation on real
+  layer-block stacks: extended tiles, per-block out-of-image zero-masking
+  (to reproduce image-boundary padding semantics), final crop.  Verified
+  bit-equal to unpartitioned execution in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+import repro.nn as nn
+from repro.models.blocks import LayerBlock
+from repro.models.specs import ModelSpec
+from repro.nn import Tensor
+from repro.partition.geometry import TileGrid, reassemble_array
+from repro.profiling.flops import BITS_PER_ELEMENT
+from repro.profiling.latency_model import RASPBERRY_PI_3B, WIFI_LAN, DeviceProfile, LinkProfile
+
+__all__ = ["AOFLGroup", "AOFLResult", "aofl_latency", "AOFLForward", "block_extensions"]
+
+
+# ---------------------------------------------------------------------------
+# Halo-extension geometry.
+# ---------------------------------------------------------------------------
+def _spec_primitive_ops(spec: ModelSpec, depth: int) -> list[tuple[str, int, int]]:
+    """('conv', k, stride) / ('pool', p, 0) ops of the first ``depth`` blocks."""
+    ops: list[tuple[str, int, int]] = []
+    for blk in spec.blocks[:depth]:
+        if blk.is_fc:
+            raise ValueError("cannot fuse through FC blocks")
+        for _, k, stride in blk.convs:
+            ops.append(("conv", k, stride))
+        if blk.pool > 1:
+            ops.append(("pool", blk.pool, 0))
+    return ops
+
+
+def _extension_before(ops: list[tuple[str, int, int]]) -> int:
+    """Input extension (pixels per side) covering all halos of ``ops``."""
+    e = 0
+    for kind, a, s in reversed(ops):
+        if kind == "conv":
+            e = e * s + a // 2
+        else:
+            e = e * a
+    return e
+
+
+def block_extensions(spec: ModelSpec, depth: int) -> list[int]:
+    """Per-block input extension E_j when fusing the first ``depth`` blocks.
+
+    ``E_0`` is what each tile adds on every side at the input; deeper
+    blocks need progressively less as the halo is consumed.
+    """
+    exts = []
+    for j in range(depth):
+        suffix: list[tuple[str, int, int]] = []
+        for blk in spec.blocks[j:depth]:
+            for _, k, stride in blk.convs:
+                suffix.append(("conv", k, stride))
+            if blk.pool > 1:
+                suffix.append(("pool", blk.pool, 0))
+        exts.append(_extension_before(suffix))
+    return exts
+
+
+# ---------------------------------------------------------------------------
+# Latency model.
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class AOFLGroup:
+    """One fused-layer group: blocks [start, end) run in parallel on
+    halo-extended tiles, preceded by a (re)distribution of the ifmap."""
+
+    start: int
+    end: int
+    distribute_s: float
+    fused_compute_s: float
+    compute_overhead: float  # extended MACs / ideal MACs (>= 1)
+
+    @property
+    def total_s(self) -> float:
+        return self.distribute_s + self.fused_compute_s
+
+
+@dataclass(frozen=True)
+class AOFLResult:
+    """Optimal fusion plan: groups, then FC/head gathered on one device."""
+
+    groups: tuple[AOFLGroup, ...]
+    tail_gather_s: float
+    tail_compute_s: float
+
+    @property
+    def total_s(self) -> float:
+        return sum(g.total_s for g in self.groups) + self.tail_gather_s + self.tail_compute_s
+
+    @property
+    def fuse_boundaries(self) -> list[int]:
+        return [g.end for g in self.groups]
+
+    @property
+    def first_group_depth(self) -> int:
+        return self.groups[0].end if self.groups else 0
+
+
+def _group_cost(
+    spec: ModelSpec,
+    geo: list[dict],
+    grid: TileGrid,
+    start: int,
+    end: int,
+    device: DeviceProfile,
+    link: LinkProfile,
+    comm_overlap: float,
+) -> AOFLGroup | None:
+    """Cost of fusing blocks [start, end) across ``grid.num_tiles`` devices,
+    or None if geometry makes the group infeasible."""
+    k = grid.num_tiles
+    # Per-block extensions for this group: suffix recurrence within it.
+    exts = []
+    for j in range(start, end):
+        suffix: list[tuple[str, int, int]] = []
+        for blk in spec.blocks[j:end]:
+            for _, kk, stride in blk.convs:
+                suffix.append(("conv", kk, stride))
+            if blk.pool > 1:
+                suffix.append(("pool", blk.pool, 0))
+        exts.append(_extension_before(suffix))
+    fused = ideal = 0.0
+    for off, j in enumerate(range(start, end)):
+        h, w = geo[j]["in_hw"]
+        if h % grid.rows or w % grid.cols:
+            return None
+        th, tw = h // grid.rows, w // grid.cols
+        e = exts[off]
+        if 2 * e >= 4 * min(th, tw):  # extension dwarfs the tile — hopeless
+            return None
+        ratio = ((th + 2 * e) * (tw + 2 * e)) / (th * tw)
+        fused += geo[j]["macs"] / k * ratio
+        ideal += geo[j]["macs"] / k
+    # Distribution cost.  For the first group the source device ships the
+    # halo-extended input tiles to the other k-1 devices.  Between groups
+    # each device already holds its own tile's output, so only the halo
+    # *rings* (the e-wide extension around each tile) cross the wire.
+    h, w = geo[start]["in_hw"]
+    ch = geo[start]["ifmap"] // (h * w)
+    th, tw = h // grid.rows, w // grid.cols
+    e0 = exts[0]
+    if start == 0:
+        extended_elements = k * ch * (th + 2 * e0) * (tw + 2 * e0)
+        distribute_s = link.transfer_time(extended_elements * (k - 1) / k * BITS_PER_ELEMENT)
+    else:
+        # Neighbouring devices exchange only the e-wide halo rings, and the
+        # exchange overlaps with computation (the multi-round scheduling of
+        # DeepThings/AOFL) — only (1 - comm_overlap) shows up as latency.
+        ring_elements = k * ch * ((th + 2 * e0) * (tw + 2 * e0) - th * tw)
+        distribute_s = link.transfer_time(ring_elements * BITS_PER_ELEMENT) * (1.0 - comm_overlap)
+    return AOFLGroup(
+        start=start,
+        end=end,
+        distribute_s=distribute_s,
+        fused_compute_s=device.compute_time(fused),
+        compute_overhead=fused / max(ideal, 1e-12),
+    )
+
+
+def aofl_latency(
+    spec: ModelSpec,
+    grid: TileGrid,
+    device: DeviceProfile = RASPBERRY_PI_3B,
+    link: LinkProfile = WIFI_LAN,
+    fuse_depth: int | None = None,
+    comm_overlap: float = 0.7,
+) -> AOFLResult:
+    """AOFL cost model on ``grid.num_tiles`` identical edge devices.
+
+    The conv backbone is covered by one or more fused groups (dynamic
+    programming over group boundaries — §7.4's exhaustive fuse-layer
+    search); each group pays a halo (re)distribution plus the halo-overhead
+    compute; the FC/head tail gathers on one device.  ``fuse_depth`` forces
+    the first group's depth (ablation hook); ``comm_overlap`` is the
+    fraction of inter-group halo exchange hidden behind computation.
+    """
+    if spec.is_1d:
+        raise ValueError("AOFL model is defined for 2-D specs")
+    if not 0.0 <= comm_overlap < 1.0:
+        raise ValueError("comm_overlap must be in [0, 1)")
+    k = grid.num_tiles
+    geo = spec.block_geometry()
+    num_conv = sum(1 for b in spec.blocks if not b.is_fc)
+    if num_conv == 0:
+        raise ValueError("spec has no conv blocks")
+    INF = math.inf
+
+    def tail_cost(boundary: int) -> tuple[float, float]:
+        """Gather at ``boundary`` + run every remaining block centrally."""
+        gather_bits = geo[boundary - 1]["ofmap"] * (k - 1) / k * BITS_PER_ELEMENT if boundary else 0.0
+        macs = sum(geo[i]["macs"] for i in range(boundary, len(geo)))
+        return link.transfer_time(gather_bits) if boundary else 0.0, device.compute_time(macs) if macs else 0.0
+
+    # dp[j] = (cost of blocks j.., plan) with the map tiled-resident at j;
+    # the no-group option centralizes everything from j (what AOFL does
+    # once maps are too small to tile).
+    dp: list[tuple[float, tuple[AOFLGroup, ...]]] = [(INF, ())] * (num_conv + 1)
+    dp[num_conv] = (sum(tail_cost(num_conv)), ())
+    for j in range(num_conv - 1, -1, -1):
+        best_cost, best_plan = sum(tail_cost(j)), ()
+        for end in range(j + 1, num_conv + 1):
+            group = _group_cost(spec, geo, grid, j, end, device, link, comm_overlap)
+            if group is None:
+                continue
+            rest_cost, rest_plan = dp[end]
+            total = group.total_s + rest_cost
+            if total < best_cost:
+                best_cost, best_plan = total, (group,) + rest_plan
+        dp[j] = (best_cost, best_plan)
+    cost, plan = dp[0]
+    if fuse_depth is not None:
+        first = _group_cost(spec, geo, grid, 0, fuse_depth, device, link, comm_overlap)
+        if first is None:
+            raise ValueError(f"fuse depth {fuse_depth} infeasible for this grid")
+        rest_cost, rest_plan = dp[fuse_depth]
+        plan = (first,) + rest_plan
+        cost = first.total_s + rest_cost
+    if not math.isfinite(cost):
+        raise ValueError("no feasible fusion plan for this spec/grid")
+    gather_s, compute_s = tail_cost(plan[-1].end if plan else 0)
+    return AOFLResult(groups=plan, tail_gather_s=gather_s, tail_compute_s=compute_s)
+
+
+# ---------------------------------------------------------------------------
+# Exact functional execution.
+# ---------------------------------------------------------------------------
+class AOFLForward:
+    """Exact fused-layer execution of a LayerBlock stack on extended tiles.
+
+    Every tile is extended by ``E_0`` real pixels per side (zero-filled
+    outside the image).  After each block, positions that lie outside the
+    image at the current resolution are re-zeroed so the computation matches
+    the unpartitioned network's per-layer zero padding at image boundaries;
+    the final crop removes the (now partially invalid) extension.  Output is
+    bit-identical to running the stack on the whole image.
+    """
+
+    def __init__(self, blocks: nn.Sequential, grid: TileGrid) -> None:
+        for blk in blocks:
+            if not isinstance(blk, LayerBlock):
+                raise TypeError("AOFLForward supports LayerBlock stacks")
+        self.blocks = blocks
+        self.grid = grid
+
+    # -- geometry ----------------------------------------------------------
+    def _ops(self, start: int) -> list[tuple[str, int, int]]:
+        ops: list[tuple[str, int, int]] = []
+        for blk in list(self.blocks)[start:]:
+            ops.append(("conv", blk.conv.kernel_size, blk.conv.stride))
+            if blk.pool is not None:
+                ops.append(("pool", blk.pool.kernel_size, 0))
+        return ops
+
+    def total_reduction(self) -> int:
+        r = 1
+        for blk in self.blocks:
+            r *= blk.spatial_reduction
+        return r
+
+    def input_extension(self) -> int:
+        """E_0 rounded up to a multiple of the total reduction (keeps pool
+        windows aligned with the image grid inside the extension)."""
+        need = _extension_before(self._ops(0))
+        r = self.total_reduction()
+        return int(math.ceil(need / r) * r) if need else 0
+
+    # -- execution ----------------------------------------------------------
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        n, c, h, w = x.shape
+        th, tw = self.grid.validate(h, w, self.total_reduction())
+        e0 = self.input_extension()
+        out_tiles = []
+        for r in range(self.grid.rows):
+            for cc in range(self.grid.cols):
+                out_tiles.append(self._run_tile(x, r, cc, th, tw, e0))
+        return reassemble_array(out_tiles, self.grid)
+
+    def _run_tile(self, x: np.ndarray, r: int, c: int, th: int, tw: int, e0: int) -> np.ndarray:
+        n, ch, h, w = x.shape
+        top, left = r * th - e0, c * tw - e0
+        bottom, right = (r + 1) * th + e0, (c + 1) * tw + e0
+        # Extract [top:bottom, left:right] with zero fill outside the image.
+        ext = np.zeros((n, ch, bottom - top, right - left), dtype=np.float32)
+        src_t, src_b = max(top, 0), min(bottom, h)
+        src_l, src_r = max(left, 0), min(right, w)
+        ext[:, :, src_t - top : src_b - top, src_l - left : src_r - left] = x[:, :, src_t:src_b, src_l:src_r]
+        # Logical coordinates of the extended window at the current scale.
+        win_top, win_left = top, left
+        img_h, img_w = h, w
+        feat = ext
+        for blk in self.blocks:
+            feat = blk(Tensor(feat)).data
+            red = blk.spatial_reduction
+            if red > 1:
+                win_top //= red
+                win_left //= red
+                img_h //= red
+                img_w //= red
+            feat = self._mask_outside_image(feat, win_top, win_left, img_h, img_w)
+        # Crop the extension at the output resolution.
+        e_out = e0 // self.total_reduction()
+        if e_out:
+            feat = feat[:, :, e_out:-e_out, e_out:-e_out]
+        return feat
+
+    @staticmethod
+    def _mask_outside_image(feat: np.ndarray, win_top: int, win_left: int, img_h: int, img_w: int) -> np.ndarray:
+        """Zero positions of the window that fall outside the image, so the
+        next conv sees exactly the zero padding the full network would."""
+        _, _, fh, fw = feat.shape
+        over_top = max(0, -win_top)
+        over_left = max(0, -win_left)
+        over_bottom = max(0, (win_top + fh) - img_h)
+        over_right = max(0, (win_left + fw) - img_w)
+        if over_top:
+            feat[:, :, :over_top, :] = 0.0
+        if over_bottom:
+            feat[:, :, fh - over_bottom :, :] = 0.0
+        if over_left:
+            feat[:, :, :, :over_left] = 0.0
+        if over_right:
+            feat[:, :, :, fw - over_right :] = 0.0
+        return feat

@@ -1,0 +1,75 @@
+"""Naive spatial partitioning latency model (§3.1's third strawman).
+
+Tiles are distributed once, but every CONV layer needs a halo exchange
+before it can run (Figure 4c) — a synchronization barrier per layer on the
+shared medium.  Against ADCNN this quantifies exactly what FDSP removes:
+the per-layer exchange serialization (and, on a dynamic cluster, the
+straggler sensitivity that §3.1 calls out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.specs import ModelSpec
+from repro.partition.geometry import TileGrid
+from repro.partition.halo import halo_elements_per_layer
+from repro.profiling.flops import BITS_PER_ELEMENT
+from repro.profiling.latency_model import RASPBERRY_PI_3B, WIFI_LAN, DeviceProfile, LinkProfile
+
+__all__ = ["NaiveSpatialResult", "naive_spatial_latency"]
+
+
+@dataclass(frozen=True)
+class NaiveSpatialResult:
+    """Per-image latency breakdown of halo-exchange spatial partitioning."""
+
+    distribute_s: float
+    compute_s: float
+    exchange_s: float
+    gather_s: float
+    tail_s: float
+    num_exchanges: int
+
+    @property
+    def total_s(self) -> float:
+        return self.distribute_s + self.compute_s + self.exchange_s + self.gather_s + self.tail_s
+
+
+def naive_spatial_latency(
+    spec: ModelSpec,
+    grid: TileGrid,
+    device: DeviceProfile = RASPBERRY_PI_3B,
+    link: LinkProfile = WIFI_LAN,
+) -> NaiveSpatialResult:
+    """Cost model: distribute tiles, then per conv block (compute on K
+    devices in parallel) + (halo exchange barrier on the shared medium);
+    maps too small to tile fall back to a central tail."""
+    if spec.is_1d:
+        raise ValueError("defined for 2-D specs")
+    k = grid.num_tiles
+    halos = halo_elements_per_layer(spec, grid)
+    geo = spec.block_geometry()
+
+    distribute = link.transfer_time(spec.input_elements() * BITS_PER_ELEMENT * (k - 1) / k)
+    compute = exchange = 0.0
+    exchanges = 0
+    boundary = len(geo)
+    for i, (blk, halo) in enumerate(zip(geo, halos)):
+        h, w = blk["in_hw"]
+        tiled = blk["macs"] > 0 and h % grid.rows == 0 and w % grid.cols == 0 and blk["out_hw"] != (1, 1)
+        if not tiled:
+            boundary = i
+            break
+        compute += device.compute_time(blk["macs"] / k)
+        if halo["halo_elements"] > 0:
+            exchange += link.transfer_time(halo["halo_elements"] * BITS_PER_ELEMENT)
+            exchanges += 1
+    tail_macs = sum(geo[i]["macs"] for i in range(boundary, len(geo)))
+    gather = (
+        link.transfer_time(geo[boundary - 1]["ofmap"] * (k - 1) / k * BITS_PER_ELEMENT)
+        if boundary > 0
+        else 0.0
+    )
+    tail = device.compute_time(tail_macs) if tail_macs else 0.0
+    return NaiveSpatialResult(distribute, compute, exchange, gather, tail, exchanges)

@@ -1,0 +1,79 @@
+"""Neurosurgeon baseline (Kang et al. 2017; §7.4).
+
+Layer-wise edge/cloud split: run blocks 1..i on the edge device, ship the
+activation over the uplink, finish on the cloud.  Neurosurgeon searches all
+cut points for the latency-optimal one; §7.4 notes it lands on early cuts
+whose large ofmaps make transmission ~67% of its total latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.specs import ModelSpec
+from repro.partition.layerwise import SplitPoint, enumerate_split_points
+from repro.profiling.flops import BITS_PER_ELEMENT
+from repro.profiling.latency_model import (
+    CLOUD_V100,
+    EDGE_TO_CLOUD,
+    RASPBERRY_PI_3B,
+    DeviceProfile,
+    LinkProfile,
+)
+
+__all__ = ["NeurosurgeonCandidate", "NeurosurgeonResult", "neurosurgeon_latency"]
+
+
+@dataclass(frozen=True)
+class NeurosurgeonCandidate:
+    """One evaluated cut point."""
+
+    split: SplitPoint
+    edge_s: float
+    transfer_s: float
+    cloud_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.edge_s + self.transfer_s + self.cloud_s
+
+
+@dataclass(frozen=True)
+class NeurosurgeonResult:
+    """The optimal cut plus the full candidate sweep."""
+
+    best: NeurosurgeonCandidate
+    candidates: tuple[NeurosurgeonCandidate, ...]
+
+    @property
+    def total_s(self) -> float:
+        return self.best.total_s
+
+    @property
+    def transmission_fraction(self) -> float:
+        return self.best.transfer_s / self.best.total_s if self.best.total_s else 0.0
+
+
+def neurosurgeon_latency(
+    spec: ModelSpec,
+    edge: DeviceProfile = RASPBERRY_PI_3B,
+    cloud: DeviceProfile = CLOUD_V100,
+    link: LinkProfile = EDGE_TO_CLOUD,
+) -> NeurosurgeonResult:
+    """Evaluate every layer-wise cut and return the latency-optimal one."""
+    result_bits = 1000 * BITS_PER_ELEMENT  # final prediction shipped back down
+    candidates = []
+    for split in enumerate_split_points(spec):
+        transfer = link.transfer_time(split.transfer_elements * BITS_PER_ELEMENT)
+        if split.cloud_macs:  # cloud produced the answer -> download it
+            transfer += link.transfer_time(result_bits)
+        candidates.append(
+            NeurosurgeonCandidate(
+                split=split,
+                edge_s=edge.compute_time(split.edge_macs) if split.edge_macs else 0.0,
+                transfer_s=transfer,
+                cloud_s=cloud.compute_time(split.cloud_macs) if split.cloud_macs else 0.0,
+            )
+        )
+    best = min(candidates, key=lambda c: c.total_s)
+    return NeurosurgeonResult(best=best, candidates=tuple(candidates))

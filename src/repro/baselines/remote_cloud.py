@@ -1,0 +1,43 @@
+"""Remote-cloud baseline (§7.2): ship the input to a cloud GPU and back."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.specs import ModelSpec
+from repro.profiling.flops import BITS_PER_ELEMENT
+from repro.profiling.latency_model import CLOUD_V100, EDGE_TO_CLOUD, DeviceProfile, LinkProfile
+
+__all__ = ["RemoteCloudResult", "remote_cloud_latency"]
+
+RESULT_ELEMENTS = 1000  # classification logits / detection grid — tiny either way
+
+
+@dataclass(frozen=True)
+class RemoteCloudResult:
+    """Latency breakdown matching Table 3's transmission/computation split."""
+
+    upload_s: float
+    compute_s: float
+    download_s: float
+
+    @property
+    def transmission_s(self) -> float:
+        return self.upload_s + self.download_s
+
+    @property
+    def total_s(self) -> float:
+        return self.transmission_s + self.compute_s
+
+
+def remote_cloud_latency(
+    spec: ModelSpec,
+    cloud: DeviceProfile = CLOUD_V100,
+    link: LinkProfile = EDGE_TO_CLOUD,
+) -> RemoteCloudResult:
+    """Upload input, run on the cloud device, download the result."""
+    return RemoteCloudResult(
+        upload_s=link.transfer_time(spec.input_elements() * BITS_PER_ELEMENT),
+        compute_s=cloud.compute_time(spec.total_macs()),
+        download_s=link.transfer_time(RESULT_ELEMENTS * BITS_PER_ELEMENT),
+    )

@@ -1,0 +1,27 @@
+"""Single-device baseline (§7.2): the whole CNN on one edge node."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.specs import ModelSpec
+from repro.profiling.latency_model import RASPBERRY_PI_3B, DeviceProfile
+
+__all__ = ["SingleDeviceResult", "single_device_latency"]
+
+
+@dataclass(frozen=True)
+class SingleDeviceResult:
+    """Latency breakdown (transmission is zero by construction — Table 3)."""
+
+    compute_s: float
+    transmission_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.compute_s + self.transmission_s
+
+
+def single_device_latency(spec: ModelSpec, device: DeviceProfile = RASPBERRY_PI_3B) -> SingleDeviceResult:
+    """End-to-end inference latency on one device."""
+    return SingleDeviceResult(compute_s=device.compute_time(spec.total_macs()))

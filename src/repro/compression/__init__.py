@@ -1,0 +1,16 @@
+"""Communication compression of §4: clipped ReLU + quantization + RLE."""
+
+from .pipeline import CompressedTensor, CompressionPipeline, sparsity
+from .quantize import UniformQuantizer
+from .rle import RLEStream, rle_decode, rle_encode, rle_encoded_bits
+
+__all__ = [
+    "UniformQuantizer",
+    "RLEStream",
+    "rle_encode",
+    "rle_decode",
+    "rle_encoded_bits",
+    "CompressedTensor",
+    "CompressionPipeline",
+    "sparsity",
+]

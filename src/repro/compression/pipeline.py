@@ -1,0 +1,110 @@
+"""The full Conv-node output compression pipeline of §4 (Figure 6):
+
+clipped ReLU (sparsify) → k-bit uniform quantization → run-length encoding.
+
+The pipeline is what a Conv node applies to its separable-stack output
+before transmission, and what the Central node inverts on receipt.  It is
+*lossy* once (clip + quantize) but the wire encoding itself is lossless, so
+``decompress(compress(x)) == clip-and-quantize(x)`` exactly — which is also
+exactly what the retrained model (Figure 7b) was trained to expect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .quantize import UniformQuantizer
+from .rle import RLEStream, rle_decode, rle_encode
+
+__all__ = ["CompressedTensor", "CompressionPipeline", "sparsity"]
+
+
+def sparsity(x: np.ndarray) -> float:
+    """Fraction of exact zeros."""
+    x = np.asarray(x)
+    return float((x == 0).mean()) if x.size else 0.0
+
+
+@dataclass(frozen=True)
+class CompressedTensor:
+    """A compressed activation map plus exact size accounting."""
+
+    stream: RLEStream
+    raw_bits: int
+
+    @property
+    def compressed_bits(self) -> int:
+        return self.stream.encoded_bits
+
+    @property
+    def ratio(self) -> float:
+        """compressed / raw — the paper's Table 2 reports this (≈0.01-0.06)."""
+        return self.compressed_bits / self.raw_bits if self.raw_bits else 0.0
+
+    @property
+    def quantized_dense_bits(self) -> int:
+        """Size if every element were shipped at ``value_bits`` with no RLE —
+        the §4.2-only middle point (8x for 4-bit), isolating what §4.3's
+        run-length coding adds on top."""
+        return self.stream.num_elements * self.stream.value_bits
+
+    @property
+    def rle_gain(self) -> float:
+        """quantized-dense / RLE size: the factor RLE alone contributes."""
+        return self.quantized_dense_bits / self.compressed_bits if self.compressed_bits else 0.0
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.stream.shape
+
+
+class CompressionPipeline:
+    """clipped ReLU + quantize + RLE, with exact bit accounting.
+
+    Parameters mirror the training-graph modules: ``(lower, upper)`` are the
+    clipped-ReLU bounds, ``bits`` the quantizer width (paper: 4), and
+    ``run_bits`` the zero-run counter width.
+    """
+
+    def __init__(self, lower: float = 0.0, upper: float = 6.0, bits: int = 4, run_bits: int = 8) -> None:
+        if upper <= lower:
+            raise ValueError(f"need upper > lower, got [{lower}, {upper}]")
+        self.lower = float(lower)
+        self.upper = float(upper)
+        self.quantizer = UniformQuantizer(bits=bits, max_value=upper - lower)
+        self.run_bits = int(run_bits)
+
+    @property
+    def bits(self) -> int:
+        return self.quantizer.bits
+
+    def clip(self, x: np.ndarray) -> np.ndarray:
+        """ReLU_[a,b] — §4.1."""
+        return np.clip(x, self.lower, self.upper) - self.lower
+
+    def compress(self, x: np.ndarray) -> CompressedTensor:
+        """Full pipeline: clip → quantize → RLE."""
+        x = np.asarray(x, dtype=np.float32)
+        levels = self.quantizer.quantize(self.clip(x))
+        stream = rle_encode(levels, value_bits=self.quantizer.bits, run_bits=self.run_bits)
+        return CompressedTensor(stream=stream, raw_bits=x.size * 32)
+
+    def decompress(self, ct: CompressedTensor) -> np.ndarray:
+        """Invert the wire encoding: RLE decode → dequantize (float32)."""
+        return self.quantizer.dequantize(rle_decode(ct.stream))
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """What the Central node sees: compress then decompress."""
+        return self.decompress(self.compress(x))
+
+    def reference_values(self, x: np.ndarray) -> np.ndarray:
+        """clip + quantize without the wire encoding (for equality tests)."""
+        return self.quantizer.roundtrip(self.clip(np.asarray(x, dtype=np.float32)))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"CompressionPipeline(lower={self.lower}, upper={self.upper}, "
+            f"bits={self.quantizer.bits}, run_bits={self.run_bits})"
+        )

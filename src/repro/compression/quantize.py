@@ -1,0 +1,58 @@
+"""Uniform activation quantizer (§4.2).
+
+Array-level counterpart of :class:`repro.nn.QuantizeSTE`: where the module
+quantizes inside the training graph, this quantizer converts Conv-node
+outputs to integer *level indices* for the wire (4 bits per non-zero value
+in the paper) and back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["UniformQuantizer"]
+
+
+class UniformQuantizer:
+    """k-bit uniform quantizer over ``[0, max_value]``.
+
+    Level ``i`` represents the value ``i * step`` with
+    ``step = max_value / (2**bits - 1)``; level 0 is exactly 0 so that
+    clipped-ReLU sparsity survives quantization (the RLE stage depends on
+    that).
+    """
+
+    def __init__(self, bits: int = 4, max_value: float = 6.0) -> None:
+        if not 1 <= bits <= 16:
+            raise ValueError(f"bits must be in [1, 16], got {bits}")
+        if max_value <= 0:
+            raise ValueError("max_value must be positive")
+        self.bits = int(bits)
+        self.max_value = float(max_value)
+
+    @property
+    def num_levels(self) -> int:
+        return 2**self.bits
+
+    @property
+    def step(self) -> float:
+        return self.max_value / (self.num_levels - 1)
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Float array -> level indices (uint16; uint8-safe for bits <= 8)."""
+        levels = np.clip(np.rint(np.asarray(x) / self.step), 0, self.num_levels - 1)
+        return levels.astype(np.uint16)
+
+    def dequantize(self, levels: np.ndarray) -> np.ndarray:
+        """Level indices -> float32 values."""
+        levels = np.asarray(levels)
+        if levels.size and levels.max() >= self.num_levels:
+            raise ValueError(f"level {int(levels.max())} out of range for {self.bits}-bit quantizer")
+        return (levels.astype(np.float32)) * np.float32(self.step)
+
+    def roundtrip(self, x: np.ndarray) -> np.ndarray:
+        """quantize + dequantize — max error step/2 inside [0, max_value]."""
+        return self.dequantize(self.quantize(x))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"UniformQuantizer(bits={self.bits}, max_value={self.max_value})"

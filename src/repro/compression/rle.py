@@ -1,0 +1,100 @@
+"""Run-length encoding of sparse quantized activations (§4.3, Figure 6).
+
+The wire format is a token stream over flattened level indices:
+
+- **zero-run token**: 1 flag bit + ``run_bits`` counter encoding a run of
+  1 .. 2**run_bits zeros (longer runs are split);
+- **literal token**: 1 flag bit + ``value_bits`` level index (non-zero).
+
+Encoding is lossless over level indices and fully vectorized (run
+boundaries via ``np.diff`` on the zero mask — no Python loop over
+elements, only over *runs*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RLEStream", "rle_encode", "rle_decode", "rle_encoded_bits"]
+
+
+@dataclass(frozen=True)
+class RLEStream:
+    """An encoded activation map.
+
+    ``runs`` is a list of ``(is_zero_run, payload)`` where payload is a run
+    length (int) for zero runs or an ndarray of consecutive non-zero level
+    indices for literal stretches.
+    """
+
+    shape: tuple[int, ...]
+    runs: tuple[tuple[bool, object], ...]
+    value_bits: int
+    run_bits: int
+
+    @property
+    def num_elements(self) -> int:
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    @property
+    def encoded_bits(self) -> int:
+        """Exact size of the token stream on the wire."""
+        bits = 0
+        max_run = 2**self.run_bits
+        for is_zero, payload in self.runs:
+            if is_zero:
+                # Runs were split at encode time; each costs flag + counter.
+                n_tokens = -(-int(payload) // max_run)
+                bits += n_tokens * (1 + self.run_bits)
+            else:
+                bits += len(payload) * (1 + self.value_bits)
+        return bits
+
+
+def rle_encode(levels: np.ndarray, value_bits: int = 4, run_bits: int = 8) -> RLEStream:
+    """Encode an integer level array (any shape) into an :class:`RLEStream`."""
+    if value_bits < 1 or run_bits < 1:
+        raise ValueError("value_bits and run_bits must be >= 1")
+    levels = np.asarray(levels)
+    if levels.size and levels.min() < 0:
+        raise ValueError("RLE input must be non-negative level indices")
+    if levels.size and levels.max() >= 2**value_bits:
+        raise ValueError(f"level {int(levels.max())} does not fit in {value_bits} bits")
+    flat = levels.reshape(-1)
+    runs: list[tuple[bool, object]] = []
+    if flat.size:
+        zero = flat == 0
+        # Indices where the zero/non-zero state flips.
+        change = np.flatnonzero(np.diff(zero)) + 1
+        starts = np.concatenate(([0], change))
+        ends = np.concatenate((change, [flat.size]))
+        for s, e in zip(starts, ends):
+            if zero[s]:
+                runs.append((True, int(e - s)))
+            else:
+                runs.append((False, flat[s:e].astype(np.uint16)))
+    return RLEStream(tuple(levels.shape), tuple(runs), value_bits, run_bits)
+
+
+def rle_decode(stream: RLEStream) -> np.ndarray:
+    """Decode back to the original level array (uint16)."""
+    parts: list[np.ndarray] = []
+    for is_zero, payload in stream.runs:
+        if is_zero:
+            parts.append(np.zeros(int(payload), dtype=np.uint16))
+        else:
+            parts.append(np.asarray(payload, dtype=np.uint16))
+    flat = np.concatenate(parts) if parts else np.zeros(0, dtype=np.uint16)
+    if flat.size != stream.num_elements:
+        raise ValueError(f"corrupt stream: {flat.size} elements for shape {stream.shape}")
+    return flat.reshape(stream.shape)
+
+
+def rle_encoded_bits(levels: np.ndarray, value_bits: int = 4, run_bits: int = 8) -> int:
+    """Size in bits of the RLE encoding without materializing the stream."""
+    return rle_encode(levels, value_bits, run_bits).encoded_bits

@@ -1,0 +1,23 @@
+"""Deterministic synthetic datasets for the four task families (DESIGN.md §2)."""
+
+from .augment import augment_batch, random_horizontal_flip, random_translate
+from .detection import DetectionData, make_detection
+from .global_structure import make_global_structure
+from .segmentation import SegmentationData, make_segmentation
+from .synthetic import ClassificationData, make_classification
+from .text import TextData, make_text_classification
+
+__all__ = [
+    "ClassificationData",
+    "make_classification",
+    "SegmentationData",
+    "make_segmentation",
+    "DetectionData",
+    "make_detection",
+    "TextData",
+    "make_text_classification",
+    "make_global_structure",
+    "augment_batch",
+    "random_horizontal_flip",
+    "random_translate",
+]

@@ -1,0 +1,50 @@
+"""Lightweight data augmentation for the retraining loops.
+
+The paper retrains with the standard PyTorch ImageNet recipe, which
+includes flips/crops; these vectorized equivalents let the mini-model
+experiments use the same regularization without any framework.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["random_horizontal_flip", "random_translate", "augment_batch"]
+
+
+def random_horizontal_flip(images: np.ndarray, rng: np.random.Generator, p: float = 0.5) -> np.ndarray:
+    """Flip each (N, C, H, W) image left-right with probability ``p``."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    flip = rng.random(len(images)) < p
+    out = images.copy()
+    out[flip] = out[flip, :, :, ::-1]
+    return out
+
+
+def random_translate(images: np.ndarray, rng: np.random.Generator, max_shift: int = 2) -> np.ndarray:
+    """Shift each image by up to ``max_shift`` pixels (zero fill)."""
+    if max_shift < 0:
+        raise ValueError("max_shift cannot be negative")
+    if max_shift == 0:
+        return images.copy()
+    n, c, h, w = images.shape
+    out = np.zeros_like(images)
+    shifts = rng.integers(-max_shift, max_shift + 1, size=(n, 2))
+    for i, (dy, dx) in enumerate(shifts):
+        src_y = slice(max(0, -dy), min(h, h - dy))
+        src_x = slice(max(0, -dx), min(w, w - dx))
+        dst_y = slice(max(0, dy), min(h, h + dy))
+        dst_x = slice(max(0, dx), min(w, w + dx))
+        out[i, :, dst_y, dst_x] = images[i, :, src_y, src_x]
+    return out
+
+
+def augment_batch(
+    images: np.ndarray,
+    rng: np.random.Generator,
+    flip_p: float = 0.5,
+    max_shift: int = 2,
+) -> np.ndarray:
+    """Standard light augmentation: random flip then random translation."""
+    return random_translate(random_horizontal_flip(images, rng, flip_p), rng, max_shift)

@@ -1,0 +1,82 @@
+"""Synthetic object-detection data (PASCAL VOC stand-in for YOLO).
+
+Images contain a few textured square objects; targets use the YOLO grid
+layout (tx, ty, tw, th, objectness, class one-hot) per cell that
+:func:`repro.nn.losses.yolo_loss` consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DetectionData", "make_detection"]
+
+
+@dataclass(frozen=True)
+class DetectionData:
+    images: np.ndarray   # (N, 3, H, W)
+    targets: np.ndarray  # (N, 5 + K, S, S)
+    boxes: list          # per-image list of dicts (cx, cy, size, cls) in pixels
+    num_classes: int
+    grid_size: int
+
+    def split(self, train_fraction: float = 0.8):
+        n = int(len(self.images) * train_fraction)
+        return (
+            DetectionData(self.images[:n], self.targets[:n], self.boxes[:n], self.num_classes, self.grid_size),
+            DetectionData(self.images[n:], self.targets[n:], self.boxes[n:], self.num_classes, self.grid_size),
+        )
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+
+def make_detection(
+    num_samples: int = 100,
+    num_classes: int = 3,
+    image_size: int = 48,
+    grid_stride: int = 8,
+    objects_per_image: int = 2,
+    noise: float = 0.2,
+    seed: int = 0,
+) -> DetectionData:
+    """Generate detection images + YOLO-grid targets.
+
+    Each object is a textured square whose stripe orientation encodes its
+    class; its center cell gets objectness 1, offsets in [0,1], and log-size
+    targets.
+    """
+    if image_size % grid_stride:
+        raise ValueError("image_size must be divisible by grid_stride")
+    rng = np.random.default_rng(seed)
+    s = image_size // grid_stride
+    images = noise * rng.standard_normal((num_samples, 3, image_size, image_size)).astype(np.float32)
+    targets = np.zeros((num_samples, 5 + num_classes, s, s), dtype=np.float32)
+    all_boxes: list[list[dict]] = []
+    yy, xx = np.mgrid[0:image_size, 0:image_size]
+    for i in range(num_samples):
+        boxes = []
+        for _ in range(objects_per_image):
+            cls = int(rng.integers(0, num_classes))
+            size = int(rng.integers(image_size // 8, image_size // 4))
+            cx = float(rng.uniform(size / 2, image_size - size / 2))
+            cy = float(rng.uniform(size / 2, image_size - size / 2))
+            top, left = int(cy - size / 2), int(cx - size / 2)
+            region = (slice(top, top + size), slice(left, left + size))
+            angle = np.pi * cls / num_classes
+            stripes = np.sin(1.2 * (xx * np.cos(angle) + yy * np.sin(angle)))[region].astype(np.float32)
+            images[i, 0][region] = stripes
+            images[i, 1][region] = -stripes
+            images[i, 2][region] = 0.5 * stripes
+            gx, gy = int(cx // grid_stride), int(cy // grid_stride)
+            targets[i, 0, gy, gx] = cx / grid_stride - gx
+            targets[i, 1, gy, gx] = cy / grid_stride - gy
+            targets[i, 2, gy, gx] = np.log(size / grid_stride)
+            targets[i, 3, gy, gx] = np.log(size / grid_stride)
+            targets[i, 4, gy, gx] = 1.0
+            targets[i, 5 + cls, gy, gx] = 1.0
+            boxes.append({"cx": cx, "cy": cy, "size": size, "cls": cls})
+        all_boxes.append(boxes)
+    return DetectionData(images, targets, all_boxes, num_classes, s)

@@ -1,0 +1,52 @@
+"""Negative-control dataset: labels depend on *global* image structure.
+
+FDSP rests on §2.3's claim that early features are local.  This dataset
+violates the assumption deliberately: the label is whether two bright
+blobs lie in the same image half or in opposite halves — information no
+single tile can carry.  The locality-ablation experiment uses it to show
+FDSP degrading exactly when the paper's assumption fails, which is the
+honest boundary of the method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .synthetic import ClassificationData
+
+__all__ = ["make_global_structure"]
+
+
+def make_global_structure(
+    num_samples: int = 200,
+    image_size: int = 48,
+    blob_size: int = 6,
+    noise: float = 0.2,
+    seed: int = 0,
+) -> ClassificationData:
+    """Two blobs per image; label 1 iff they sit in opposite vertical halves.
+
+    Blob appearance is identical across classes, so any patch-local feature
+    distribution is the same for both labels — only the *relative geometry*
+    separates them.
+    """
+    if blob_size >= image_size // 2:
+        raise ValueError("blob too large for the image")
+    rng = np.random.default_rng(seed)
+    images = noise * rng.standard_normal((num_samples, 3, image_size, image_size)).astype(np.float32)
+    labels = rng.integers(0, 2, size=num_samples)
+    half = image_size // 2
+    span = half - blob_size
+
+    def place(img: np.ndarray, top: int, left: int) -> None:
+        img[:, top : top + blob_size, left : left + blob_size] += 2.0
+
+    for i in range(num_samples):
+        first_top = int(rng.integers(0, span))
+        if labels[i] == 0:  # same half
+            second_top = int(rng.integers(0, span))
+        else:  # opposite halves
+            second_top = int(rng.integers(half, half + span))
+        place(images[i], first_top, int(rng.integers(0, image_size - blob_size)))
+        place(images[i], second_top, int(rng.integers(0, image_size - blob_size)))
+    return ClassificationData(images, labels.astype(np.int64), num_classes=2)

@@ -1,0 +1,56 @@
+"""Extension experiment — fail-stop node death mid-run (§6.3).
+
+§6.3 claims Algorithm 3 "naturally handles the Conv node failure": a dead
+node's s_k decays to zero and it stops receiving tiles.  The paper asserts
+but does not evaluate this; here we kill one of 8 Conv nodes mid-run and
+report the full timeline: tiles initially lost to zero-fill, how many
+images it takes to route around the corpse, the steady-state latency cost
+of running on 7 nodes, and cluster utilization before/after.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime import ADCNNConfig
+
+from .common import ExperimentReport, build_adcnn_system
+
+__all__ = ["run"]
+
+
+def run(num_images: int = 40, fail_after_images: int = 15) -> ExperimentReport:
+    report = ExperimentReport("Extension — fail-stop Conv-node death mid-run (VGG16, 8 nodes)")
+    probe = build_adcnn_system("vgg16", num_nodes=8)
+    probe_records = probe.run(max(fail_after_images, 2))
+    fail_time = probe_records[fail_after_images - 1].dispatch_start
+
+    fail_times = [None] * 7 + [fail_time]
+    system = build_adcnn_system(
+        "vgg16", num_nodes=8, fail_times=fail_times, config=ADCNNConfig(pipeline_depth=1)
+    )
+    records = system.run(num_images)
+    for r in records:
+        report.add(
+            image=r.image_id,
+            latency_ms=r.latency * 1000,
+            dead_node_tiles=int(r.allocation[-1]),
+            zero_filled=r.zero_filled_tiles,
+        )
+    recovery = next(
+        (r.image_id for r in records[fail_after_images:] if r.allocation[-1] == 0), None
+    )
+    before = float(np.mean([r.latency for r in records[2:fail_after_images]])) * 1000
+    after = float(np.mean([r.latency for r in records[-5:]])) * 1000
+    lost = sum(r.zero_filled_tiles for r in records)
+    util = system.node_utilization()
+    report.note(f"node 8 dies at image {fail_after_images}; first zero-tile allocation at image {recovery}")
+    report.note(f"tiles lost to zero-fill in total: {lost}")
+    report.note(f"steady latency: {before:.0f} ms (8 nodes) -> {after:.0f} ms (7 nodes); "
+                f"ideal 8/7 ratio = {8 / 7:.2f}, measured {after / before:.2f}")
+    report.note(f"surviving-node utilization: {util[:-1].mean():.2f}")
+    return report
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().format_table())

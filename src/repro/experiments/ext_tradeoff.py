@@ -1,0 +1,69 @@
+"""Extension experiment — the latency/accuracy frontier over partition size.
+
+§7.2.2 discusses the trade-off qualitatively: more tiles = lower latency
+but more accuracy pressure ("a growing number of input partitions will
+further lower the accuracy of the retrained model").  This experiment
+quantifies both axes on the same sweep: for each grid, the retrained
+accuracy (mini model, Algorithm 1) and the simulated deployment latency
+(paper-scale VGG16 cost model) — the frontier a network operator would use
+to "decide the partition size based on their accuracy requirement".
+"""
+
+from __future__ import annotations
+
+from repro.runtime import ADCNNConfig, ADCNNSystem, ADCNNWorkload
+from repro.models import get_spec
+from repro.profiling import RASPBERRY_PI_3B, profile_for_model
+from repro.simulator import SimNode
+from repro.training import TrainConfig, progressive_retrain, train_epochs
+
+from .common import ExperimentReport
+from .fig10_accuracy import TRAIN_CONFIGS, prepare_task
+
+__all__ = ["run"]
+
+_GRID_TILES = {"2x2": 4, "4x4": 16, "8x8": 64}
+
+
+def run(
+    model_name: str = "vgg_mini",
+    grids: tuple[str, ...] = ("2x2", "4x4", "8x8"),
+    base_epochs: int = 5,
+    num_images: int = 15,
+    seed: int = 0,
+) -> ExperimentReport:
+    report = ExperimentReport("Extension — latency vs accuracy across partition grids")
+    cfg = TRAIN_CONFIGS.get(model_name, TrainConfig(lr=0.05, batch_size=16))
+    model, (xs, ys), loss_fn, metric = prepare_task(model_name, seed=seed)
+    train_epochs(model, xs, ys, loss_fn, epochs=base_epochs, config=cfg)
+    baseline = metric(model)
+    base_state = model.state_dict()
+
+    spec = get_spec("vgg16")
+    device = profile_for_model(RASPBERRY_PI_3B, "vgg16")
+    for grid in grids:
+        # Accuracy axis: Algorithm 1 on the mini model at this grid.
+        model.load_state_dict(base_state)
+        res = progressive_retrain(model, grid, xs, ys, loss_fn, metric,
+                                  max_epochs_per_stage=3, config=cfg)
+        # Latency axis: the paper-scale cost model at this tile count.
+        workload = ADCNNWorkload.from_spec(
+            spec, num_tiles=_GRID_TILES[grid], separable_prefix=13, compression_ratio=0.032
+        )
+        nodes = [SimNode(f"n{i}", device) for i in range(8)]
+        system = ADCNNSystem(workload, nodes, SimNode("c", device), config=ADCNNConfig(pipeline_depth=1))
+        system.run(num_images)
+        report.add(
+            grid=grid,
+            num_tiles=_GRID_TILES[grid],
+            latency_ms=system.mean_latency(skip=2) * 1000,
+            retrained_acc=res.final_metric,
+            degradation=baseline - res.final_metric,
+        )
+    report.note("§7.2.2: the operator picks the partition size on this frontier — finer grids "
+                "cut latency (better balance/overlap) at growing accuracy pressure")
+    return report
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().format_table())

@@ -1,0 +1,92 @@
+"""Figure 11 + Table 3 — end-to-end latency: ADCNN vs single-device vs
+remote-cloud on the five CNNs, plus the VGG16 breakdown.
+
+Claims under test: ADCNN cuts mean latency vs single-device (paper 6.68x)
+and remote-cloud (4.42x); single-device is compute-bound, remote-cloud is
+transmission-bound, ADCNN is neither (Table 3).
+"""
+
+from __future__ import annotations
+
+from repro.baselines import remote_cloud_latency, single_device_latency
+from repro.models import get_spec
+from repro.profiling import CLOUD_V100, RASPBERRY_PI_3B, profile_for_model
+
+from .common import SYSTEM_CONFIGS, ExperimentReport, build_adcnn_system
+
+__all__ = ["run", "run_breakdown"]
+
+DEFAULT_MODELS = ("vgg16", "resnet34", "fcn", "yolo", "charcnn")
+
+PAPER_TABLE3 = {
+    "ADCNN": {"transmission_ms": 37.14, "compute_ms": 202.88},
+    "Single-device": {"transmission_ms": 0.0, "compute_ms": 1586.53},
+    "Remote cloud": {"transmission_ms": 502.21, "compute_ms": 98.94},
+}
+
+
+def run(models: tuple[str, ...] = DEFAULT_MODELS, num_images: int = 30) -> ExperimentReport:
+    """Regenerate the Figure 11 latency bars."""
+    report = ExperimentReport("Figure 11 — latency: ADCNN vs single-device vs remote-cloud")
+    speedups_sd, speedups_rc = [], []
+    for name in models:
+        spec = get_spec(name)
+        device = profile_for_model(RASPBERRY_PI_3B, name)
+        cloud = profile_for_model(CLOUD_V100, name)
+        system = build_adcnn_system(name, num_nodes=8)
+        system.run(num_images)
+        adcnn_ms = system.mean_latency(skip=2) * 1000
+        sd_ms = single_device_latency(spec, device=device).total_s * 1000
+        rc_ms = remote_cloud_latency(spec, cloud=cloud).total_s * 1000
+        speedups_sd.append(sd_ms / adcnn_ms)
+        speedups_rc.append(rc_ms / adcnn_ms)
+        report.add(
+            model=name,
+            adcnn_ms=adcnn_ms,
+            single_ms=sd_ms,
+            cloud_ms=rc_ms,
+            speedup_vs_single=sd_ms / adcnn_ms,
+            speedup_vs_cloud=rc_ms / adcnn_ms,
+        )
+    mean_sd = sum(speedups_sd) / len(speedups_sd)
+    mean_rc = sum(speedups_rc) / len(speedups_rc)
+    report.note(f"mean speedup vs single-device: {mean_sd:.2f}x (paper 6.68x)")
+    report.note(f"mean speedup vs remote-cloud: {mean_rc:.2f}x (paper 4.42x)")
+    return report
+
+
+def run_breakdown(num_images: int = 30) -> ExperimentReport:
+    """Regenerate Table 3's VGG16 latency breakdown."""
+    report = ExperimentReport("Table 3 — VGG16 latency breakdown")
+    spec = get_spec("vgg16")
+    device = profile_for_model(RASPBERRY_PI_3B, "vgg16")
+
+    system = build_adcnn_system("vgg16", num_nodes=8)
+    system.run(num_images)
+    wl = system.workload
+    link = system.link_profile
+    tx_ms = (wl.input_bits + wl.output_bits) / link.bandwidth_bps * 1000
+    compute_ms = system.mean_latency(skip=2) * 1000 - tx_ms
+    report.add(scheme="ADCNN", transmission_ms=tx_ms, compute_ms=compute_ms,
+               paper_tx=PAPER_TABLE3["ADCNN"]["transmission_ms"],
+               paper_compute=PAPER_TABLE3["ADCNN"]["compute_ms"])
+
+    sd = single_device_latency(spec, device=device)
+    report.add(scheme="Single-device", transmission_ms=sd.transmission_s * 1000,
+               compute_ms=sd.compute_s * 1000,
+               paper_tx=PAPER_TABLE3["Single-device"]["transmission_ms"],
+               paper_compute=PAPER_TABLE3["Single-device"]["compute_ms"])
+
+    rc = remote_cloud_latency(spec)
+    report.add(scheme="Remote cloud", transmission_ms=rc.transmission_s * 1000,
+               compute_ms=rc.compute_s * 1000,
+               paper_tx=PAPER_TABLE3["Remote cloud"]["transmission_ms"],
+               paper_compute=PAPER_TABLE3["Remote cloud"]["compute_ms"])
+    report.note("shape: single-device compute-bound, cloud transmission-bound, ADCNN balanced")
+    return report
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().format_table())
+    print()
+    print(run_breakdown().format_table())

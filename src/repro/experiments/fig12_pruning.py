@@ -1,0 +1,51 @@
+"""Figure 12 — effect of Conv-node output pruning on latency at two
+transmission rates (87.72 and 12.66 Mbps).
+
+Claim under test: compression reduces latency modestly on the fast link and
+substantially on the slow link (paper: 10.73% and 31.2% mean reductions).
+"""
+
+from __future__ import annotations
+
+from repro.profiling import WIFI_LAN, WIFI_LAN_SLOW
+
+from .common import ExperimentReport, build_adcnn_system
+
+__all__ = ["run"]
+
+DEFAULT_MODELS = ("vgg16", "resnet34", "fcn", "yolo", "charcnn")
+
+
+def run(models: tuple[str, ...] = DEFAULT_MODELS, num_images: int = 20) -> ExperimentReport:
+    report = ExperimentReport("Figure 12 — pruning effect on latency vs transmission rate")
+    reductions = {"87.72Mbps": [], "12.66Mbps": []}
+    for name in models:
+        for link, label in ((WIFI_LAN, "87.72Mbps"), (WIFI_LAN_SLOW, "12.66Mbps")):
+            latencies = {}
+            for compressed in (False, True):
+                # Figure 12's setting is the §4 scenario: the Figure-10
+                # ("paper") separable prefixes, whose intermediate maps are
+                # large enough for pruning to matter on the wire.
+                system = build_adcnn_system(
+                    name, num_nodes=8, link=link, compression=compressed, prefix_kind="paper"
+                )
+                system.run(num_images)
+                latencies[compressed] = system.mean_latency(skip=2) * 1000
+            reduction = 100 * (1 - latencies[True] / latencies[False])
+            reductions[label].append(reduction)
+            report.add(
+                model=name,
+                link=label,
+                unpruned_ms=latencies[False],
+                pruned_ms=latencies[True],
+                reduction_pct=reduction,
+            )
+    for label, vals in reductions.items():
+        mean = sum(vals) / len(vals)
+        report.note(f"mean reduction at {label}: {mean:.1f}% "
+                    f"(paper: {'10.73%' if label == '87.72Mbps' else '31.2%'})")
+    return report
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().format_table())

@@ -1,0 +1,71 @@
+"""Figure 13 — scalability: speedup, energy, and memory vs cluster size.
+
+Claims under test: speedup over single-device grows from ~1.8x at 2 Conv
+nodes to ~6.2x at 8 with diminishing returns; per-node energy and memory
+shrink as the cluster grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.baselines import single_device_latency
+from repro.models import get_spec
+from repro.profiling import (
+    RASPBERRY_PI_3B,
+    RASPBERRY_PI_ENERGY,
+    conv_node_memory_bytes,
+    profile_for_model,
+    single_device_memory_bytes,
+)
+
+from .common import SYSTEM_CONFIGS, ExperimentReport, build_adcnn_system
+
+__all__ = ["run"]
+
+PAPER_SPEEDUPS = {2: 1.8, 4: None, 6: None, 8: 6.2}
+
+
+def run(model_name: str = "vgg16", node_counts: tuple[int, ...] = (2, 4, 6, 8), num_images: int = 20) -> ExperimentReport:
+    report = ExperimentReport(f"Figure 13 — {model_name} scalability, energy, memory vs #Conv nodes")
+    spec = get_spec(model_name)
+    device = profile_for_model(RASPBERRY_PI_3B, model_name)
+    single_ms = single_device_latency(spec, device=device).total_s * 1000
+    cfg = SYSTEM_CONFIGS[model_name]
+    # Memory accounting uses the system separable prefix (all conv blocks).
+    spec = replace(spec, separable_prefix=cfg["separable_prefix"])
+
+    # Single-device reference row.
+    report.add(
+        nodes="S",
+        latency_ms=single_ms,
+        speedup=1.0,
+        energy_j_per_inference=RASPBERRY_PI_ENERGY.energy_joules(single_ms / 1000, single_ms / 1000),
+        memory_mb=single_device_memory_bytes(spec) / 1e6,
+    )
+    for k in node_counts:
+        system = build_adcnn_system(model_name, num_nodes=k)
+        records = system.run(num_images)
+        latency_ms = system.mean_latency(skip=2) * 1000
+        window = system.makespan()
+        # Average Conv-node energy across its busy/idle split in the run.
+        node_energy = [
+            RASPBERRY_PI_ENERGY.energy_per_inference(n.total_busy_time(until=window), window, num_images)
+            for n in system.nodes
+        ]
+        tiles = records[-1].allocation.max()
+        report.add(
+            nodes=k,
+            latency_ms=latency_ms,
+            speedup=single_ms / latency_ms,
+            energy_j_per_inference=sum(node_energy) / len(node_energy),
+            memory_mb=conv_node_memory_bytes(spec, int(tiles), cfg["num_tiles"]) / 1e6,
+            paper_speedup=PAPER_SPEEDUPS.get(k),
+        )
+    report.note("paper: speedup 1.8x -> 6.2x from 2 to 8 nodes, diminishing growth;"
+                " per-node energy and memory fall with cluster size")
+    return report
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().format_table())

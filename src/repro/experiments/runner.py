@@ -1,0 +1,93 @@
+"""Command-line experiment runner.
+
+    python -m repro.experiments.runner list
+    python -m repro.experiments.runner fig13
+    python -m repro.experiments.runner all --fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from . import (
+    ext_failure,
+    ext_grid_sweep,
+    ext_prefix_ablation,
+    ext_process_validation,
+    ext_robustness,
+    ext_tradeoff,
+    fig03_layer_profile,
+    fig10_accuracy,
+    fig11_table3_latency,
+    fig12_pruning,
+    fig13_scalability,
+    fig14_comparison,
+    fig15_adaptivity,
+    sec23_feature_locality,
+    sec31_partition_costs,
+    table1_epochs,
+    table2_compression,
+)
+
+__all__ = ["EXPERIMENTS", "main"]
+
+#: name -> (full-run callable, fast-run callable)
+EXPERIMENTS: dict[str, tuple[Callable, Callable]] = {
+    "fig03": (fig03_layer_profile.run, fig03_layer_profile.run),
+    "fig10": (
+        fig10_accuracy.run,
+        lambda: fig10_accuracy.run(models=("vgg_mini",), partitions=("2x2", "8x8"), base_epochs=3,
+                                   max_epochs_per_stage=1),
+    ),
+    "table1": (table1_epochs.run, lambda: table1_epochs.run(models=("charcnn_mini",), base_epochs=3)),
+    "table2": (table2_compression.run, lambda: table2_compression.run(models=("charcnn_mini",), base_epochs=3)),
+    "fig11": (fig11_table3_latency.run, lambda: fig11_table3_latency.run(num_images=10)),
+    "table3": (fig11_table3_latency.run_breakdown, lambda: fig11_table3_latency.run_breakdown(num_images=10)),
+    "fig12": (fig12_pruning.run, lambda: fig12_pruning.run(models=("vgg16", "charcnn"), num_images=8)),
+    "fig13": (fig13_scalability.run, lambda: fig13_scalability.run(node_counts=(2, 8), num_images=10)),
+    "fig14": (fig14_comparison.run, lambda: fig14_comparison.run(num_images=10)),
+    "fig15": (fig15_adaptivity.run, lambda: fig15_adaptivity.run(num_images=30, throttle_after_images=12)),
+    "sec31": (sec31_partition_costs.run, sec31_partition_costs.run),
+    "sec23": (sec23_feature_locality.run, lambda: sec23_feature_locality.run(base_epochs=2)),
+    "ext-robustness": (ext_robustness.run, lambda: ext_robustness.run(loss_fractions=(0.0, 0.25), base_epochs=3)),
+    "ext-grid-sweep": (ext_grid_sweep.run, lambda: ext_grid_sweep.run(tile_counts=(8, 64), num_images=8)),
+    "ext-failure": (ext_failure.run, lambda: ext_failure.run(num_images=25, fail_after_images=8)),
+    "ext-tradeoff": (ext_tradeoff.run, lambda: ext_tradeoff.run(grids=("2x2", "8x8"), base_epochs=3)),
+    "ext-prefix": (
+        ext_prefix_ablation.run,
+        lambda: ext_prefix_ablation.run(prefixes=(1, 5), base_epochs=3, max_epochs_per_stage=1),
+    ),
+    "ext-process": (ext_process_validation.run, lambda: ext_process_validation.run(num_images=3)),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="Run ADCNN reproduction experiments")
+    parser.add_argument("name", help="experiment name, 'list', or 'all'")
+    parser.add_argument("--fast", action="store_true", help="reduced configurations")
+    args = parser.parse_args(argv)
+
+    if args.name == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    names = list(EXPERIMENTS) if args.name == "all" else [args.name]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s) {unknown}; try 'list'", file=sys.stderr)
+        return 2
+    for name in names:
+        full, fast = EXPERIMENTS[name]
+        start = time.perf_counter()
+        report = (fast if args.fast else full)()
+        elapsed = time.perf_counter() - start
+        print(report.format_table())
+        print(f"[{name} finished in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

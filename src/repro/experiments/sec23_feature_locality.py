@@ -1,0 +1,71 @@
+"""§2.3 analysis — early layers extract *local* features; later layers need
+global context.
+
+The paper motivates FDSP with AlexNet deconv visualizations (Figure 2d):
+layers 1-2 respond to edges/textures, layers 4-5 to shapes/objects.  We
+measure the same property quantitatively on a trained model with a
+**locality score** per block: how much of a block's center response
+survives when everything outside a local patch of the input is blanked.
+A score near 1 = the feature depends only on the patch (local); falling
+scores with depth = growing receptive fields pulling in global context.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.nn as nn
+from repro.data import make_classification
+from repro.models import vgg_mini
+from repro.nn import Tensor
+from repro.training import TrainConfig, train_epochs
+from repro.nn.losses import cross_entropy
+
+from .common import ExperimentReport
+
+__all__ = ["run", "locality_scores"]
+
+
+def locality_scores(model, images: np.ndarray, patch: int = 8) -> list[float]:
+    """Per-block locality: correlation between center-feature responses on
+    the full image and on the image with everything outside a centered
+    ``patch``x``patch`` window zeroed."""
+    model.eval()
+    n, c, h, w = images.shape
+    lo, hi = (h - patch) // 2, (h + patch) // 2
+    masked = np.zeros_like(images)
+    masked[:, :, lo:hi, lo:hi] = images[:, :, lo:hi, lo:hi]
+    scores: list[float] = []
+    x_full, x_mask = Tensor(images), Tensor(masked)
+    with nn.no_grad():
+        for block in model.blocks:
+            x_full = block(x_full)
+            x_mask = block(x_mask)
+            # Compare the spatial center of the responses.
+            fh = x_full.shape[2]
+            ch_lo, ch_hi = fh // 2 - 1, fh // 2 + 1
+            a = x_full.data[:, :, ch_lo:ch_hi, ch_lo:ch_hi].reshape(-1)
+            b = x_mask.data[:, :, ch_lo:ch_hi, ch_lo:ch_hi].reshape(-1)
+            denom = np.linalg.norm(a) * np.linalg.norm(b)
+            scores.append(float(a @ b / denom) if denom > 0 else 1.0)
+    return scores
+
+
+def run(base_epochs: int = 4, seed: int = 0) -> ExperimentReport:
+    report = ExperimentReport("§2.3 — feature locality per layer block (trained vgg_mini)")
+    data = make_classification(num_samples=96, num_classes=3, image_size=48, seed=seed)
+    train, _ = data.split()
+    model = vgg_mini(num_classes=3, input_size=48, base_width=8, seed=seed)
+    train_epochs(model, train.images, train.labels, cross_entropy,
+                 epochs=base_epochs, config=TrainConfig(lr=0.05, batch_size=16))
+    scores = locality_scores(model, train.images[:16])
+    for i, score in enumerate(scores, start=1):
+        report.add(block=f"L{i}", locality=score,
+                   interpretation="local" if score > 0.9 else "mixing global context")
+    report.note("paper (Figure 2d): early layers detect edges/textures (local), later layers "
+                "shapes/objects (global) — the reason only a separable *prefix* runs under FDSP")
+    return report
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().format_table())

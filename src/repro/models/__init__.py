@@ -1,0 +1,52 @@
+"""Model zoo: the paper's five CNN families plus paper-scale layer specs."""
+
+from .blocks import ConvBlock1d, LayerBlock, PartitionableCNN, ResidualBlock
+from .charcnn import charcnn_mini, encode_text
+from .fcn import fcn_mini
+from .registry import MODEL_BUILDERS, available_models, create_model
+from .resnet import resnet, resnet_mini
+from .specs import (
+    SPEC_BUILDERS,
+    BlockSpec,
+    ModelSpec,
+    alexnet_spec,
+    charcnn_spec,
+    fcn_spec,
+    get_spec,
+    resnet18_spec,
+    resnet34_spec,
+    vgg16_spec,
+    yolo_spec,
+)
+from .vgg import vgg16, vgg_mini
+from .yolo import decode_yolo, yolo_mini
+
+__all__ = [
+    "LayerBlock",
+    "ResidualBlock",
+    "ConvBlock1d",
+    "PartitionableCNN",
+    "vgg16",
+    "vgg_mini",
+    "resnet",
+    "resnet_mini",
+    "yolo_mini",
+    "decode_yolo",
+    "fcn_mini",
+    "charcnn_mini",
+    "encode_text",
+    "create_model",
+    "available_models",
+    "MODEL_BUILDERS",
+    "BlockSpec",
+    "ModelSpec",
+    "get_spec",
+    "SPEC_BUILDERS",
+    "alexnet_spec",
+    "vgg16_spec",
+    "resnet18_spec",
+    "resnet34_spec",
+    "yolo_spec",
+    "fcn_spec",
+    "charcnn_spec",
+]

@@ -1,0 +1,190 @@
+"""Layer blocks and the partitionable-model base class.
+
+§2.1 of the paper: a *layer block* is a concatenation of a CONV layer, a BN
+layer, an activation layer and an optional pooling layer (Figure 2a); ResNet
+adds a shortcut connection (Figure 2b/c).  Every model in the zoo is a stack
+of layer blocks followed by task-specific "rest layers", and declares how
+many leading blocks are *separable* — i.e. may run under FDSP on Conv nodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.nn as nn
+from repro.nn import Tensor
+
+__all__ = ["LayerBlock", "ResidualBlock", "ConvBlock1d", "PartitionableCNN"]
+
+
+class LayerBlock(nn.Module):
+    """CONV + BN + ReLU (+ optional max pool) — Figure 2(a)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        pool: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        padding = kernel_size // 2
+        self.conv = nn.Conv2d(in_channels, out_channels, kernel_size, stride=stride, padding=padding, bias=False, rng=rng)
+        self.bn = nn.BatchNorm2d(out_channels)
+        self.act = nn.ReLU()
+        self.pool = nn.MaxPool2d(pool) if pool else None
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+
+    @property
+    def spatial_reduction(self) -> int:
+        """Factor by which this block shrinks H and W."""
+        r = self.conv.stride
+        if self.pool is not None:
+            r *= self.pool.kernel_size
+        return r
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.act(self.bn(self.conv(x)))
+        if self.pool is not None:
+            x = self.pool(x)
+        return x
+
+
+class ResidualBlock(nn.Module):
+    """Basic ResNet block — Figure 2(b)/(c).
+
+    Two 3x3 convolutions with an identity (or 1x1-projection) shortcut added
+    element-wise before the final activation.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.conv1 = nn.Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(out_channels)
+        self.conv2 = nn.Conv2d(out_channels, out_channels, 3, stride=1, padding=1, bias=False, rng=rng)
+        self.bn2 = nn.BatchNorm2d(out_channels)
+        self.act = nn.ReLU()
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut: nn.Module = nn.Sequential(
+                nn.Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                nn.BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = nn.Identity()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.stride = stride
+
+    @property
+    def spatial_reduction(self) -> int:
+        return self.stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.act(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        return self.act(out + self.shortcut(x))
+
+
+class ConvBlock1d(nn.Module):
+    """CONV1d + BN + ReLU (+ optional max pool) for CharCNN."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        pool: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.conv = nn.Conv1d(in_channels, out_channels, kernel_size, padding=kernel_size // 2, bias=False, rng=rng)
+        self.bn = nn.BatchNorm1d(out_channels)
+        self.act = nn.ReLU()
+        self.pool = nn.MaxPool1d(pool) if pool else None
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+
+    @property
+    def spatial_reduction(self) -> int:
+        return self.pool.kernel_size if self.pool else 1
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.act(self.bn(self.conv(x)))
+        if self.pool is not None:
+            x = self.pool(x)
+        return x
+
+
+class PartitionableCNN(nn.Module):
+    """A CNN split into a layer-block backbone and task-specific rest layers.
+
+    Attributes
+    ----------
+    blocks:
+        ``nn.Sequential`` of layer blocks (the distributable backbone).
+    head:
+        ``nn.Sequential`` of the rest layers (run on the Central node).
+    separable_prefix:
+        Default number of leading blocks that may run under FDSP (the paper
+        reports 7/7/4/12/12 for VGG16/FCN/CharCNN/ResNet34/YOLO).
+    input_shape:
+        (C, H, W) for 2-D models, (C, L) for CharCNN.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        blocks: nn.Sequential,
+        head: nn.Sequential,
+        separable_prefix: int,
+        input_shape: tuple[int, ...],
+        task: str = "classification",
+    ) -> None:
+        super().__init__()
+        if not 0 < separable_prefix <= len(blocks):
+            raise ValueError(f"separable_prefix {separable_prefix} out of range for {len(blocks)} blocks")
+        self.name = name
+        self.blocks = blocks
+        self.head = head
+        self.separable_prefix = separable_prefix
+        self.input_shape = tuple(input_shape)
+        self.task = task
+
+    # ------------------------------------------------------------- structure
+    def separable_part(self) -> nn.Sequential:
+        """Blocks stored on Conv nodes (red in Figure 1b)."""
+        return self.blocks[: self.separable_prefix]
+
+    def rest_part(self) -> nn.Sequential:
+        """Blocks + head stored on the Central node (blue in Figure 1b)."""
+        return nn.Sequential(*self.blocks[self.separable_prefix :], *self.head)
+
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    def separable_spatial_reduction(self) -> int:
+        """Total H/W shrink factor across the separable prefix."""
+        r = 1
+        for blk in self.separable_part():
+            r *= blk.spatial_reduction
+        return r
+
+    def separable_out_channels(self) -> int:
+        return self.blocks[self.separable_prefix - 1].out_channels
+
+    # --------------------------------------------------------------- forward
+    def forward(self, x: Tensor) -> Tensor:
+        return self.head(self.blocks(x))
+
+    def forward_split(self, x: Tensor) -> Tensor:
+        """Forward through separable part then rest — must equal forward()."""
+        return self.rest_part()(self.separable_part()(x))

@@ -1,0 +1,57 @@
+"""Character-level CNN for text classification (Zhang et al. 2015).
+
+Input is a one-hot character tensor (N, vocab, L).  For FDSP, a partition
+grid (r x c) maps to ``r*c`` 1-D segments of the character sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.nn as nn
+
+from .blocks import ConvBlock1d, PartitionableCNN
+
+__all__ = ["charcnn_mini", "encode_text"]
+
+
+def charcnn_mini(
+    num_classes: int = 4,
+    vocab: int = 16,
+    length: int = 128,
+    base_width: int = 16,
+    separable_prefix: int = 3,
+    seed: int = 0,
+) -> PartitionableCNN:
+    """Small CharCNN: 4 conv1d blocks (pools after 1 and 4) + linear head."""
+    rng = np.random.default_rng(seed)
+    w = base_width
+    blocks = nn.Sequential(
+        ConvBlock1d(vocab, w, 7, pool=2, rng=rng),
+        ConvBlock1d(w, w, 5, rng=rng),
+        ConvBlock1d(w, 2 * w, 3, rng=rng),
+        ConvBlock1d(2 * w, 2 * w, 3, pool=2, rng=rng),
+    )
+    head = nn.Sequential(
+        nn.GlobalMaxPool1d(),
+        nn.Linear(2 * w, num_classes, rng=rng),
+    )
+    model = PartitionableCNN(
+        "charcnn_mini",
+        blocks,
+        head,
+        separable_prefix=separable_prefix,
+        input_shape=(vocab, length),
+        task="text",
+    )
+    model.num_classes = num_classes
+    return model
+
+
+def encode_text(indices: np.ndarray, vocab: int) -> np.ndarray:
+    """One-hot encode integer character indices (N, L) -> (N, vocab, L)."""
+    n, l = indices.shape
+    out = np.zeros((n, vocab, l), dtype=np.float32)
+    batch, pos = np.meshgrid(np.arange(n), np.arange(l), indexing="ij")
+    out[batch, indices, pos] = 1.0
+    return out

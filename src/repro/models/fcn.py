@@ -1,0 +1,50 @@
+"""Fully Convolutional Network for semantic segmentation (Long et al. 2015).
+
+FCN-style: a conv backbone downsamples, a 1x1 score conv maps to class
+channels, and a nearest-neighbour upsample restores input resolution,
+producing per-pixel logits (N, K, H, W).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.nn as nn
+
+from .blocks import LayerBlock, PartitionableCNN
+
+__all__ = ["fcn_mini"]
+
+
+def fcn_mini(
+    num_classes: int = 3,
+    input_size: int = 48,
+    base_width: int = 12,
+    separable_prefix: int = 4,
+    seed: int = 0,
+) -> PartitionableCNN:
+    """Small FCN: 5 layer blocks (pools after 2 and 5, total stride 4),
+    1x1 score conv, 4x upsample back to input resolution."""
+    rng = np.random.default_rng(seed)
+    w = base_width
+    blocks = nn.Sequential(
+        LayerBlock(3, w, 3, rng=rng),
+        LayerBlock(w, w, 3, pool=2, rng=rng),
+        LayerBlock(w, 2 * w, 3, rng=rng),
+        LayerBlock(2 * w, 2 * w, 3, rng=rng),
+        LayerBlock(2 * w, 4 * w, 3, pool=2, rng=rng),
+    )
+    head = nn.Sequential(
+        nn.Conv2d(4 * w, num_classes, 1, rng=rng),
+        nn.NearestUpsample2d(4),
+    )
+    model = PartitionableCNN(
+        "fcn_mini",
+        blocks,
+        head,
+        separable_prefix=separable_prefix,
+        input_shape=(3, input_size, input_size),
+        task="segmentation",
+    )
+    model.num_classes = num_classes
+    return model

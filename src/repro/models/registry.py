@@ -1,0 +1,41 @@
+"""Model registry — one factory per paper model, mini and paper scale."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .blocks import PartitionableCNN
+from .charcnn import charcnn_mini
+from .fcn import fcn_mini
+from .resnet import resnet, resnet_mini
+from .vgg import vgg16, vgg_mini
+from .yolo import yolo_mini
+
+__all__ = ["MODEL_BUILDERS", "create_model", "available_models"]
+
+MODEL_BUILDERS: dict[str, Callable[..., PartitionableCNN]] = {
+    "vgg16": vgg16,
+    "vgg_mini": vgg_mini,
+    "resnet34": lambda **kw: resnet(stage_blocks=[3, 4, 6, 3], **kw),
+    "resnet18": lambda **kw: resnet(stage_blocks=[2, 2, 2, 2], separable_prefix=6, **kw),
+    "resnet_mini": resnet_mini,
+    "yolo_mini": yolo_mini,
+    "fcn_mini": fcn_mini,
+    "charcnn_mini": charcnn_mini,
+}
+
+
+def create_model(name: str, **kwargs) -> PartitionableCNN:
+    """Build a model by registry name.
+
+    >>> model = create_model("vgg_mini", num_classes=4)
+    """
+    try:
+        builder = MODEL_BUILDERS[name]
+    except KeyError:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(MODEL_BUILDERS)}") from None
+    return builder(**kwargs)
+
+
+def available_models() -> list[str]:
+    return sorted(MODEL_BUILDERS)

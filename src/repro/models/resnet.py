@@ -1,0 +1,72 @@
+"""ResNet models (He et al. 2016) with shortcut layer blocks (Figure 2b/c)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.nn as nn
+
+from .blocks import LayerBlock, PartitionableCNN, ResidualBlock
+
+__all__ = ["resnet", "resnet_mini"]
+
+
+def resnet(
+    stage_blocks: list[int] | None = None,
+    num_classes: int = 1000,
+    input_size: int = 224,
+    width_mult: float = 1.0,
+    separable_prefix: int = 12,
+    seed: int = 0,
+) -> PartitionableCNN:
+    """ResNet with basic blocks; default ``[3, 4, 6, 3]`` = ResNet34."""
+    rng = np.random.default_rng(seed)
+    stage_blocks = stage_blocks or [3, 4, 6, 3]
+    ch = [max(4, int(c * width_mult)) for c in (64, 128, 256, 512)]
+    blocks: list[nn.Module] = [LayerBlock(3, ch[0], 7, stride=2, pool=2, rng=rng)]
+    in_ch = ch[0]
+    for stage, n in enumerate(stage_blocks):
+        for j in range(n):
+            stride = 2 if (stage > 0 and j == 0) else 1
+            blocks.append(ResidualBlock(in_ch, ch[stage], stride=stride, rng=rng))
+            in_ch = ch[stage]
+    head = nn.Sequential(nn.GlobalAvgPool2d(), nn.Linear(in_ch, num_classes, rng=rng))
+    name = f"resnet{2 * sum(stage_blocks) + 2}"
+    return PartitionableCNN(
+        name,
+        nn.Sequential(*blocks),
+        head,
+        separable_prefix=separable_prefix,
+        input_shape=(3, input_size, input_size),
+    )
+
+
+def resnet_mini(
+    num_classes: int = 4,
+    input_size: int = 48,
+    base_width: int = 12,
+    separable_prefix: int = 3,
+    seed: int = 0,
+) -> PartitionableCNN:
+    """Small ResNet for the retraining experiments.
+
+    Stem block (with pool) + three residual blocks; the separable prefix
+    (default 3) contains the stem pool only, keeping FDSP tiles pool-aligned
+    down to 6x6.
+    """
+    rng = np.random.default_rng(seed)
+    w = base_width
+    blocks = nn.Sequential(
+        LayerBlock(3, w, 3, pool=2, rng=rng),
+        ResidualBlock(w, w, rng=rng),
+        ResidualBlock(w, 2 * w, rng=rng),  # projection shortcut (Figure 2c)
+        ResidualBlock(2 * w, 2 * w, stride=2, rng=rng),
+    )
+    head = nn.Sequential(nn.GlobalAvgPool2d(), nn.Linear(2 * w, num_classes, rng=rng))
+    return PartitionableCNN(
+        "resnet_mini",
+        blocks,
+        head,
+        separable_prefix=separable_prefix,
+        input_shape=(3, input_size, input_size),
+    )

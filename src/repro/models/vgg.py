@@ -1,0 +1,91 @@
+"""VGG-style models (Simonyan & Zisserman 2014).
+
+``vgg16`` builds the paper's 13-block architecture at a configurable channel
+width; ``vgg_mini`` is the default trainable configuration used by the
+accuracy experiments (Figure 10) — same block structure, 48x48 inputs,
+narrow channels, and a separable prefix containing exactly one pooling stage
+so that FDSP tile sizes down to 6x6 stay pool-aligned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.nn as nn
+
+from .blocks import LayerBlock, PartitionableCNN
+
+__all__ = ["vgg16", "vgg_mini"]
+
+
+def vgg16(
+    num_classes: int = 1000,
+    input_size: int = 224,
+    width_mult: float = 1.0,
+    separable_prefix: int = 7,
+    seed: int = 0,
+) -> PartitionableCNN:
+    """Full VGG16 layer-block structure at ``width_mult`` channel width."""
+    rng = np.random.default_rng(seed)
+    cfg = [
+        (64, None), (64, 2),
+        (128, None), (128, 2),
+        (256, None), (256, None), (256, 2),
+        (512, None), (512, None), (512, 2),
+        (512, None), (512, None), (512, 2),
+    ]
+    blocks = []
+    in_ch = 3
+    for out_ch, pool in cfg:
+        out_ch = max(4, int(out_ch * width_mult))
+        blocks.append(LayerBlock(in_ch, out_ch, 3, pool=pool, rng=rng))
+        in_ch = out_ch
+    spatial = input_size // 32
+    head = nn.Sequential(
+        nn.Flatten(),
+        nn.Linear(in_ch * spatial * spatial, max(16, int(4096 * width_mult)), rng=rng),
+        nn.ReLU(),
+        nn.Linear(max(16, int(4096 * width_mult)), num_classes, rng=rng),
+    )
+    return PartitionableCNN(
+        "vgg16",
+        nn.Sequential(*blocks),
+        head,
+        separable_prefix=separable_prefix,
+        input_shape=(3, input_size, input_size),
+    )
+
+
+def vgg_mini(
+    num_classes: int = 4,
+    input_size: int = 48,
+    base_width: int = 12,
+    separable_prefix: int = 4,
+    seed: int = 0,
+) -> PartitionableCNN:
+    """Trainable VGG-style model for the retraining experiments.
+
+    Five layer blocks (pool after blocks 2 and 5) + linear head; the
+    separable prefix (default 4) crosses one pooling stage, mirroring the
+    VGG16 topology at laptop scale.
+    """
+    rng = np.random.default_rng(seed)
+    w = base_width
+    blocks = nn.Sequential(
+        LayerBlock(3, w, 3, rng=rng),
+        LayerBlock(w, w, 3, pool=2, rng=rng),
+        LayerBlock(w, 2 * w, 3, rng=rng),
+        LayerBlock(2 * w, 2 * w, 3, rng=rng),
+        LayerBlock(2 * w, 4 * w, 3, pool=2, rng=rng),
+    )
+    head = nn.Sequential(
+        nn.GlobalAvgPool2d(),
+        nn.Linear(4 * w, num_classes, rng=rng),
+    )
+    return PartitionableCNN(
+        "vgg_mini",
+        blocks,
+        head,
+        separable_prefix=separable_prefix,
+        input_shape=(3, input_size, input_size),
+    )

@@ -1,0 +1,82 @@
+"""YOLO-style single-shot detector (Redmon & Farhadi 2017, simplified).
+
+The detector predicts, for every cell of an SxS grid, one box
+``(tx, ty, tw, th)``, an objectness logit, and class logits — the
+``(5 + K, S, S)`` layout consumed by :func:`repro.nn.losses.yolo_loss`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.nn as nn
+
+from .blocks import LayerBlock, PartitionableCNN
+
+__all__ = ["yolo_mini", "decode_yolo"]
+
+
+def yolo_mini(
+    num_classes: int = 3,
+    input_size: int = 48,
+    base_width: int = 12,
+    separable_prefix: int = 4,
+    seed: int = 0,
+) -> PartitionableCNN:
+    """Tiny YOLO for the detection experiments.
+
+    Six layer blocks (pools after blocks 1, 3 and 6 → grid = input/8) and a
+    1x1-conv detection head.  Default separable prefix 4 spans one pool.
+    """
+    rng = np.random.default_rng(seed)
+    w = base_width
+    blocks = nn.Sequential(
+        LayerBlock(3, w, 3, pool=2, rng=rng),
+        LayerBlock(w, w, 3, rng=rng),
+        LayerBlock(w, 2 * w, 3, pool=2, rng=rng),
+        LayerBlock(2 * w, 2 * w, 3, rng=rng),
+        LayerBlock(2 * w, 4 * w, 3, rng=rng),
+        LayerBlock(4 * w, 4 * w, 3, pool=2, rng=rng),
+    )
+    head = nn.Sequential(nn.Conv2d(4 * w, 5 + num_classes, 1, rng=rng))
+    model = PartitionableCNN(
+        "yolo_mini",
+        blocks,
+        head,
+        separable_prefix=separable_prefix,
+        input_shape=(3, input_size, input_size),
+        task="detection",
+    )
+    model.num_classes = num_classes
+    model.grid_stride = 8
+    return model
+
+
+def decode_yolo(pred: np.ndarray, conf_threshold: float = 0.5) -> list[list[dict]]:
+    """Decode raw predictions (N, 5+K, S, S) into per-image box lists.
+
+    Boxes are returned in grid units: center ``(cx, cy)`` = cell + sigmoid
+    offset, size ``(w, h)`` = exp of the size logits.
+    """
+    n, ch, s, _ = pred.shape
+    k = ch - 5
+    out: list[list[dict]] = []
+    obj = 1.0 / (1.0 + np.exp(-pred[:, 4]))
+    for i in range(n):
+        boxes = []
+        ys, xs = np.nonzero(obj[i] >= conf_threshold)
+        for y, x in zip(ys, xs):
+            tx, ty, tw, th = pred[i, 0:4, y, x]
+            cls_logits = pred[i, 5:, y, x]
+            boxes.append(
+                {
+                    "cx": x + 1.0 / (1.0 + np.exp(-tx)),
+                    "cy": y + 1.0 / (1.0 + np.exp(-ty)),
+                    "w": float(np.exp(np.clip(tw, -5, 5))),
+                    "h": float(np.exp(np.clip(th, -5, 5))),
+                    "conf": float(obj[i, y, x]),
+                    "cls": int(np.argmax(cls_logits)) if k else 0,
+                }
+            )
+        out.append(boxes)
+    return out

@@ -1,0 +1,48 @@
+"""Weight initialization schemes.
+
+All initializers take an explicit :class:`numpy.random.Generator` so that
+every model in the reproduction is bit-for-bit reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kaiming_normal", "kaiming_uniform", "xavier_uniform", "zeros", "ones"]
+
+
+def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 2:  # linear: (out, in)
+        return shape[1], shape[0]
+    # conv: (out, in, *kernel)
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive
+
+
+def kaiming_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He-normal init, the right choice before a ReLU nonlinearity."""
+    fan_in, _ = _fan_in_out(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He-uniform init."""
+    fan_in, _ = _fan_in_out(shape)
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot-uniform init, for tanh/sigmoid layers."""
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)

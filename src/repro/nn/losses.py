@@ -1,0 +1,99 @@
+"""Loss functions for the paper's four task families.
+
+Classification (VGG/ResNet/CharCNN) uses softmax cross-entropy;
+segmentation (FCN) uses per-pixel cross-entropy; detection (YOLO) uses the
+standard composite of localization MSE + objectness BCE + class CE on a grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["cross_entropy", "mse_loss", "pixel_cross_entropy", "yolo_loss", "bce_with_logits"]
+
+
+def _log_softmax(logits: Tensor, axis: int = 1) -> Tensor:
+    # Subtract a detached max for numerical stability (no gradient needed
+    # through the shift — it cancels exactly).
+    shift = Tensor(logits.data.max(axis=axis, keepdims=True))
+    z = logits - shift
+    return z - z.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean softmax cross-entropy; ``logits``: (N, K), ``targets``: (N,) ints."""
+    n, k = logits.shape
+    targets = np.asarray(targets)
+    if targets.shape != (n,):
+        raise ValueError(f"targets shape {targets.shape} != ({n},)")
+    onehot = np.zeros((n, k), dtype=np.float32)
+    onehot[np.arange(n), targets] = 1.0
+    logp = _log_softmax(logits, axis=1)
+    return -(logp * Tensor(onehot)).sum() / n
+
+
+def pixel_cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Per-pixel CE for segmentation; ``logits``: (N, K, H, W), ``targets``: (N, H, W)."""
+    n, k, h, w = logits.shape
+    targets = np.asarray(targets)
+    if targets.shape != (n, h, w):
+        raise ValueError(f"targets shape {targets.shape} != {(n, h, w)}")
+    onehot = np.zeros((n, k, h, w), dtype=np.float32)
+    nn_idx, hh, ww = np.meshgrid(np.arange(n), np.arange(h), np.arange(w), indexing="ij")
+    onehot[nn_idx, targets, hh, ww] = 1.0
+    logp = _log_softmax(logits, axis=1)
+    return -(logp * Tensor(onehot)).sum() / (n * h * w)
+
+
+def mse_loss(pred: Tensor, target: np.ndarray | Tensor) -> Tensor:
+    """Mean squared error."""
+    t = target if isinstance(target, Tensor) else Tensor(np.asarray(target, dtype=np.float32))
+    diff = pred - t
+    return (diff * diff).mean()
+
+
+def bce_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Binary cross-entropy on raw logits (epsilon-guarded sigmoid form)."""
+    t = Tensor(np.asarray(targets, dtype=np.float32))
+    sig = logits.sigmoid()
+    eps = 1e-7
+    one = Tensor(np.float32(1.0))
+    loss = -(t * (sig + eps).log() + (one - t) * (one - sig + eps).log())
+    return loss.mean()
+
+
+def yolo_loss(
+    pred: Tensor,
+    target: np.ndarray,
+    num_classes: int,
+    lambda_coord: float = 5.0,
+    lambda_noobj: float = 0.5,
+) -> Tensor:
+    """Single-box-per-cell YOLO loss on a prediction grid.
+
+    ``pred``: (N, 5 + K, S, S) — (tx, ty, tw, th, objectness, class logits).
+    ``target``: same layout with objectness in {0, 1} and class id one-hot.
+    """
+    target = np.asarray(target, dtype=np.float32)
+    if pred.shape != target.shape:
+        raise ValueError(f"pred {pred.shape} vs target {target.shape}")
+    obj_mask = Tensor(target[:, 4:5])          # (N,1,S,S)
+    noobj_mask = Tensor(1.0 - target[:, 4:5])
+    t = Tensor(target)
+
+    coords = pred[:, 0:4]
+    t_coords = t[:, 0:4]
+    coord_loss = (((coords - t_coords) * obj_mask) ** 2).mean()
+
+    obj_pred = pred[:, 4:5].sigmoid()
+    eps = 1e-7
+    obj_loss = -((obj_pred + eps).log() * obj_mask).mean()
+    noobj_loss = -(((Tensor(np.float32(1.0)) - obj_pred) + eps).log() * noobj_mask).mean()
+
+    cls_logits = pred[:, 5 : 5 + num_classes]
+    logp = _log_softmax(cls_logits, axis=1)
+    cls_loss = -((logp * t[:, 5 : 5 + num_classes]) * obj_mask).mean()
+
+    return lambda_coord * coord_loss + obj_loss + lambda_noobj * noobj_loss + cls_loss

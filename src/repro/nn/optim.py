@@ -1,0 +1,116 @@
+"""Optimizers and learning-rate schedules for the retraining loops."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "StepLR"]
+
+
+class Optimizer:
+    """Base optimizer over a list of :class:`Parameter`."""
+
+    def __init__(self, params: list[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """SGD with momentum and decoupled weight decay.
+
+    The paper retrains with PyTorch's default ImageNet recipe (SGD +
+    momentum); this matches that behaviour.
+    """
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v += g
+                g = g + self.momentum * v if self.nesterov else v
+            p.data -= self.lr * g
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015) with bias correction."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+
+class StepLR:
+    """Multiply the optimizer's lr by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+
+    def step(self) -> None:
+        self._epoch += 1
+        if self._epoch % self.step_size == 0:
+            self.optimizer.lr *= self.gamma

@@ -1,0 +1,54 @@
+"""Model persistence: save/load state dicts as ``.npz`` archives.
+
+This is how retrained weights move from the training machine to the edge
+deployment — the Central node loads the rest-layer weights, Conv nodes the
+separable-block weights (§6.1: "the filter weights for the separable layer
+blocks and remaining layers are stored in the Conv nodes and Central node").
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .modules import Module
+
+__all__ = ["save_state", "load_state", "save_model", "load_model_into"]
+
+_META_KEY = "__meta__"
+
+
+def save_state(state: dict[str, np.ndarray], path: str | Path, metadata: dict | None = None) -> None:
+    """Write a state dict (+ optional JSON-serializable metadata) to .npz."""
+    path = Path(path)
+    if _META_KEY in state:
+        raise ValueError(f"state may not contain the reserved key {_META_KEY!r}")
+    payload = dict(state)
+    payload[_META_KEY] = np.frombuffer(json.dumps(metadata or {}).encode(), dtype=np.uint8)
+    np.savez_compressed(path, **payload)
+
+
+def load_state(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
+    """Read a state dict and its metadata back from .npz."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(path)
+    with np.load(path) as archive:
+        meta_raw = bytes(archive[_META_KEY].tobytes()) if _META_KEY in archive else b"{}"
+        state = {k: archive[k].copy() for k in archive.files if k != _META_KEY}
+    return state, json.loads(meta_raw.decode())
+
+
+def save_model(model: Module, path: str | Path, metadata: dict | None = None) -> None:
+    """Persist a module's parameters and buffers."""
+    save_state(model.state_dict(), path, metadata)
+
+
+def load_model_into(model: Module, path: str | Path) -> dict:
+    """Load persisted weights into an architecture-compatible module;
+    returns the stored metadata."""
+    state, meta = load_state(path)
+    model.load_state_dict(state)
+    return meta

@@ -1,0 +1,426 @@
+"""Reverse-mode autograd tensor.
+
+This is the foundation of :mod:`repro.nn`, a small NumPy deep-learning
+framework built for the ADCNN reproduction (the paper used PyTorch, which is
+unavailable offline — see DESIGN.md §2).  The design follows the classic
+tape-based pattern: each :class:`Tensor` records the parents that produced it
+and a closure that routes its output gradient back to them;
+:meth:`Tensor.backward` topologically sorts the tape and runs the closures.
+
+Only the operations the reproduction needs are implemented, but each is fully
+vectorized and gradient-checked in ``tests/test_nn_tensor.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "Parameter", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables graph construction (inference mode)."""
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """Return whether autograd graph recording is currently active."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing NumPy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dims added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were 1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad
+
+
+class Tensor:
+    """A NumPy array plus an autograd tape node.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to ``float32`` unless an ndarray of a
+        float dtype is supplied.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "op")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        _prev: Sequence["Tensor"] = (),
+        op: str = "",
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data)
+        if arr.dtype not in (np.float32, np.float64):
+            arr = arr.astype(np.float32)
+        self.data: np.ndarray = arr
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Callable[[], None] | None = None
+        self._prev: tuple[Tensor, ...] = tuple(_prev) if _GRAD_ENABLED else ()
+        self.op = op
+
+    # ------------------------------------------------------------------ meta
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tensor(shape={self.shape}, op={self.op!r}, grad={self.requires_grad})"
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0])
+
+    def numpy(self) -> np.ndarray:
+        """Return the raw ndarray (no copy)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ----------------------------------------------------------- graph build
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        op: str,
+        backward: Callable[["Tensor"], None] | None,
+    ) -> "Tensor":
+        """Create an op output; ``backward`` receives the output tensor."""
+        req = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=req, _prev=parents if req else (), op=op)
+        if req and backward is not None:
+            out._backward = lambda: backward(out)
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into ``self.grad`` (allocating on first touch)."""
+        if not self.requires_grad:
+            return
+        grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded tape."""
+        if grad is None:
+            if self.size != 1:
+                raise ValueError("backward() without grad requires a scalar output")
+            grad = np.ones_like(self.data)
+        self._accumulate(np.asarray(grad, dtype=self.data.dtype))
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward()
+
+    # ------------------------------------------------------------ arithmetic
+    @staticmethod
+    def _coerce(other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(np.asarray(other, dtype=np.float32))
+
+    def __add__(self, other) -> "Tensor":
+        other = self._coerce(other)
+
+        def bwd(out: Tensor) -> None:
+            self._accumulate(out.grad)
+            other._accumulate(out.grad)
+
+        return Tensor._make(self.data + other.data, (self, other), "add", bwd)
+
+    __radd__ = __add__
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+
+        def bwd(out: Tensor) -> None:
+            self._accumulate(out.grad * other.data)
+            other._accumulate(out.grad * self.data)
+
+        return Tensor._make(self.data * other.data, (self, other), "mul", bwd)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Tensor":
+        def bwd(out: Tensor) -> None:
+            self._accumulate(-out.grad)
+
+        return Tensor._make(-self.data, (self,), "neg", bwd)
+
+    def __sub__(self, other) -> "Tensor":
+        other = self._coerce(other)
+
+        def bwd(out: Tensor) -> None:
+            self._accumulate(out.grad)
+            other._accumulate(-out.grad)
+
+        return Tensor._make(self.data - other.data, (self, other), "sub", bwd)
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._coerce(other) - self
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._coerce(other)
+
+        def bwd(out: Tensor) -> None:
+            self._accumulate(out.grad / other.data)
+            other._accumulate(-out.grad * self.data / (other.data**2))
+
+        return Tensor._make(self.data / other.data, (self, other), "div", bwd)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._coerce(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+
+        def bwd(out: Tensor) -> None:
+            self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(self.data**exponent, (self,), "pow", bwd)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        if self.ndim != 2 or other.ndim != 2:
+            raise ValueError("matmul supports 2-D tensors; use reshape first")
+
+        def bwd(out: Tensor) -> None:
+            self._accumulate(out.grad @ other.data.T)
+            other._accumulate(self.data.T @ out.grad)
+
+        return Tensor._make(self.data @ other.data, (self, other), "matmul", bwd)
+
+    # ------------------------------------------------------------- reshaping
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        old_shape = self.data.shape
+
+        def bwd(out: Tensor) -> None:
+            self._accumulate(out.grad.reshape(old_shape))
+
+        return Tensor._make(self.data.reshape(shape), (self,), "reshape", bwd)
+
+    def flatten_from(self, start_dim: int = 1) -> "Tensor":
+        """Flatten all dims from ``start_dim`` onward (torch-style flatten)."""
+        lead = self.shape[:start_dim]
+        return self.reshape(*lead, -1)
+
+    def transpose(self, axes: tuple[int, ...]) -> "Tensor":
+        inv = np.argsort(axes)
+
+        def bwd(out: Tensor) -> None:
+            self._accumulate(out.grad.transpose(inv))
+
+        return Tensor._make(self.data.transpose(axes), (self,), "transpose", bwd)
+
+    def __getitem__(self, idx) -> "Tensor":
+        def bwd(out: Tensor) -> None:
+            grad = np.zeros_like(self.data)
+            np.add.at(grad, idx, out.grad)
+            self._accumulate(grad)
+
+        return Tensor._make(self.data[idx], (self,), "getitem", bwd)
+
+    @staticmethod
+    def concatenate(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._coerce(t) for t in tensors]
+        sizes = [t.shape[axis] for t in tensors]
+        splits = np.cumsum(sizes)[:-1]
+
+        def bwd(out: Tensor) -> None:
+            for t, g in zip(tensors, np.split(out.grad, splits, axis=axis)):
+                t._accumulate(g)
+
+        data = np.concatenate([t.data for t in tensors], axis=axis)
+        return Tensor._make(data, tensors, "concat", bwd)
+
+    # ------------------------------------------------------------ reductions
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        def bwd(out: Tensor) -> None:
+            grad = out.grad
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+            self._accumulate(np.broadcast_to(grad, self.data.shape))
+
+        return Tensor._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), "sum", bwd)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.shape[a] for a in axes]))
+
+        def bwd(out: Tensor) -> None:
+            grad = out.grad
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+            self._accumulate(np.broadcast_to(grad, self.data.shape) / count)
+
+        return Tensor._make(self.data.mean(axis=axis, keepdims=keepdims), (self,), "mean", bwd)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=True)
+
+        def bwd(out: Tensor) -> None:
+            grad = out.grad
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+            mask = (self.data == data).astype(self.data.dtype)
+            mask /= mask.sum(axis=axis, keepdims=True)
+            self._accumulate(mask * grad)
+
+        res = data if keepdims else np.squeeze(data, axis=axis) if axis is not None else data.reshape(())
+        return Tensor._make(res, (self,), "max", bwd)
+
+    # ------------------------------------------------------- unary nonlinear
+    def exp(self) -> "Tensor":
+        def bwd(out: Tensor) -> None:
+            self._accumulate(out.grad * out.data)
+
+        return Tensor._make(np.exp(self.data), (self,), "exp", bwd)
+
+    def log(self) -> "Tensor":
+        def bwd(out: Tensor) -> None:
+            self._accumulate(out.grad / self.data)
+
+        return Tensor._make(np.log(self.data), (self,), "log", bwd)
+
+    def sqrt(self) -> "Tensor":
+        def bwd(out: Tensor) -> None:
+            self._accumulate(out.grad * 0.5 / np.sqrt(self.data))
+
+        return Tensor._make(np.sqrt(self.data), (self,), "sqrt", bwd)
+
+    def tanh(self) -> "Tensor":
+        def bwd(out: Tensor) -> None:
+            self._accumulate(out.grad * (1.0 - out.data**2))
+
+        return Tensor._make(np.tanh(self.data), (self,), "tanh", bwd)
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def bwd(out: Tensor) -> None:
+            self._accumulate(out.grad * out.data * (1.0 - out.data))
+
+        return Tensor._make(data, (self,), "sigmoid", bwd)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def bwd(out: Tensor) -> None:
+            self._accumulate(out.grad * mask)
+
+        return Tensor._make(self.data * mask, (self,), "relu", bwd)
+
+    def leaky_relu(self, negative_slope: float = 0.1) -> "Tensor":
+        """LeakyReLU — YOLO's activation (slope 0.1 in Darknet)."""
+        scale = np.where(self.data > 0, 1.0, negative_slope).astype(self.data.dtype)
+
+        def bwd(out: Tensor) -> None:
+            self._accumulate(out.grad * scale)
+
+        return Tensor._make(self.data * scale, (self,), "leaky_relu", bwd)
+
+    def clipped_relu(self, lower: float, upper: float) -> "Tensor":
+        """Paper §4.1: ``ReLU_[a,b](x)`` — 0 below ``a``, ``x-a`` inside,
+        ``b-a`` above.  Gradient is 1 strictly inside ``[a, b]``."""
+        if upper <= lower:
+            raise ValueError(f"clipped ReLU needs upper > lower, got [{lower}, {upper}]")
+        inside = (self.data >= lower) & (self.data <= upper)
+        data = np.clip(self.data, lower, upper) - lower
+
+        def bwd(out: Tensor) -> None:
+            self._accumulate(out.grad * inside)
+
+        return Tensor._make(data, (self,), "clipped_relu", bwd)
+
+    def quantize_ste(self, step: float, num_levels: int) -> "Tensor":
+        """Uniform quantization with a straight-through gradient (§4.4).
+
+        Values are snapped to ``round(x / step) * step`` and clamped to
+        ``num_levels - 1`` steps; the backward pass is the identity so that
+        "full-precision gradients are used to update the weights".
+        """
+        if step <= 0:
+            raise ValueError("quantization step must be positive")
+        q = np.clip(np.rint(self.data / step), 0, num_levels - 1) * step
+
+        def bwd(out: Tensor) -> None:
+            self._accumulate(out.grad)
+
+        return Tensor._make(q.astype(self.data.dtype), (self,), "quantize", bwd)
+
+
+class Parameter(Tensor):
+    """A trainable tensor (``requires_grad=True`` by construction)."""
+
+    def __init__(self, data) -> None:
+        super().__init__(data, requires_grad=True)

@@ -1,0 +1,87 @@
+"""Training and inspection utilities: gradient clipping, model summaries."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .modules import Module
+from .tensor import Parameter, Tensor, no_grad
+
+__all__ = ["clip_grad_norm", "model_summary", "count_parameters"]
+
+
+def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is <= ``max_norm``.
+
+    Returns the pre-clip norm.  Useful for the YOLO loss, whose coordinate
+    terms occasionally spike early in training.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total = 0.0
+    grads = [p.grad for p in params if p.grad is not None]
+    for g in grads:
+        total += float((g * g).sum())
+    norm = float(np.sqrt(total))
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for g in grads:
+            g *= scale
+    return norm
+
+
+def count_parameters(module: Module, trainable_only: bool = True) -> int:
+    """Total parameter count."""
+    return sum(p.size for p in module.parameters() if p.requires_grad or not trainable_only)
+
+
+def model_summary(module: Module, input_shape: tuple[int, ...] | None = None) -> str:
+    """Human-readable layer table (name, type, parameters, output shape).
+
+    ``input_shape`` excludes the batch dim; when given, a dry forward pass
+    records per-layer output shapes.
+    """
+    shapes: dict[int, tuple[int, ...]] = {}
+    if input_shape is not None:
+        x = Tensor(np.zeros((1, *input_shape), dtype=np.float32))
+        was_training = module.training
+        module.eval()
+        # Record output shapes by wrapping each leaf module's forward once.
+        leaves = [m for m in module.modules() if not m._modules]
+        originals: dict[int, object] = {}
+
+        def make_wrapper(orig, key):
+            def wrapper(*args, **kwargs):
+                out = orig(*args, **kwargs)
+                if isinstance(out, Tensor):
+                    shapes[key] = out.shape
+                return out
+
+            return wrapper
+
+        for leaf in leaves:
+            if id(leaf) in originals:
+                continue
+            originals[id(leaf)] = leaf.forward
+            leaf.forward = make_wrapper(leaf.forward, id(leaf))
+        try:
+            with no_grad():
+                module(x)
+        finally:
+            for leaf in leaves:
+                if id(leaf) in originals:
+                    leaf.forward = originals[id(leaf)]
+            module.train(was_training)
+
+    rows = [("name", "type", "params", "output")]
+    for name, sub in module.named_modules():
+        if sub._modules:  # containers: report leaves only
+            continue
+        params = sum(p.size for p in sub._parameters.values() if p is not None)
+        shape = shapes.get(id(sub))
+        rows.append((name or "(root)", type(sub).__name__, f"{params:,}", str(shape) if shape else "-"))
+    rows.append(("TOTAL", "", f"{count_parameters(module):,}", ""))
+    widths = [max(len(r[i]) for r in rows) for i in range(4)]
+    lines = ["  ".join(col.ljust(widths[i]) for i, col in enumerate(row)).rstrip() for row in rows]
+    lines.insert(1, "  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Partitioning strategies of §3: FDSP plus the traditional schemes."""
+
+from .batch import BatchPartitionResult, batch_partition_metrics
+from .channel import channel_partition_traffic, channel_traffic_per_block
+from .fdsp import FDSPModel, fdsp_forward, interior_mask, receptive_border
+from .geometry import (
+    PARTITION_OPTIONS,
+    SegmentGrid,
+    TileGrid,
+    grid_for_model,
+    reassemble_array,
+    reassemble_tensor,
+    split_array,
+    split_tensor,
+)
+from .halo import HaloExchangeForward, halo_elements_per_layer, naive_spatial_traffic
+from .layerwise import SplitPoint, enumerate_split_points
+
+__all__ = [
+    "TileGrid",
+    "SegmentGrid",
+    "PARTITION_OPTIONS",
+    "grid_for_model",
+    "split_array",
+    "reassemble_array",
+    "split_tensor",
+    "reassemble_tensor",
+    "FDSPModel",
+    "fdsp_forward",
+    "interior_mask",
+    "receptive_border",
+    "HaloExchangeForward",
+    "halo_elements_per_layer",
+    "naive_spatial_traffic",
+    "channel_partition_traffic",
+    "channel_traffic_per_block",
+    "batch_partition_metrics",
+    "BatchPartitionResult",
+    "SplitPoint",
+    "enumerate_split_points",
+]

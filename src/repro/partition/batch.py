@@ -1,0 +1,48 @@
+"""Batch partitioning (§3.1's first strawman).
+
+Whole images are dealt out to devices round-robin.  Throughput scales with
+the cluster, but per-image latency is exactly the single-device latency —
+the paper's reason for rejecting it.  Modeled here so the §3.1 comparison
+benchmark can show the throughput/latency split quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.specs import ModelSpec
+from repro.profiling.flops import BITS_PER_ELEMENT
+from repro.profiling.latency_model import RASPBERRY_PI_3B, WIFI_LAN, DeviceProfile, LinkProfile
+
+__all__ = ["BatchPartitionResult", "batch_partition_metrics"]
+
+
+@dataclass(frozen=True)
+class BatchPartitionResult:
+    """Latency and throughput of K-way batch partitioning."""
+
+    per_image_latency_s: float
+    throughput_images_per_s: float
+    distribute_s_per_image: float
+
+
+def batch_partition_metrics(
+    spec: ModelSpec,
+    num_devices: int,
+    device: DeviceProfile = RASPBERRY_PI_3B,
+    link: LinkProfile = WIFI_LAN,
+) -> BatchPartitionResult:
+    """Cost model: images stream from a source over the shared link, each
+    device runs whole images."""
+    if num_devices < 1:
+        raise ValueError("need at least one device")
+    compute = device.compute_time(spec.total_macs())
+    distribute = link.transfer_time(spec.input_elements() * BITS_PER_ELEMENT)
+    latency = distribute + compute
+    # Steady state: the link serializes image shipments; compute overlaps.
+    bottleneck = max(distribute, compute / num_devices)
+    return BatchPartitionResult(
+        per_image_latency_s=latency,
+        throughput_images_per_s=1.0 / bottleneck,
+        distribute_s_per_image=distribute,
+    )

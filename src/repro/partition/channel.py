@@ -1,0 +1,49 @@
+"""Channel-partitioning cost model (§3.1).
+
+Feature maps are split along channels across K devices; after every CONV
+layer each device holds 1/K of the ofmap channels but needs *all* channels
+of the ifmap for the next layer, so the partial ofmaps must be all-gathered.
+The paper estimates 51.38 Mbits for VGG16 block 1 with K=2 — 11x the input
+image — and concludes the scheme is not viable; this module reproduces that
+arithmetic for any spec.
+"""
+
+from __future__ import annotations
+
+__all__ = ["channel_partition_traffic", "channel_traffic_per_block"]
+
+
+def channel_traffic_per_block(spec, num_devices: int) -> list[dict]:
+    """Per-block all-gather traffic (elements) for K-way channel partition.
+
+    Each device produces ``ofmap/K`` and must send it to the other K-1
+    devices; total wire traffic per block = ``ofmap * (K-1)``.  For the
+    K=2 pairwise estimate of §3.1 use ``pairwise=True`` semantics via
+    :func:`channel_partition_traffic`.
+    """
+    if num_devices < 2:
+        raise ValueError("channel partitioning needs at least 2 devices")
+    out = []
+    for blk in spec.block_geometry():
+        if blk["macs"] == 0 or blk["out_hw"] == (1, 1):
+            traffic = 0  # FC blocks run centrally
+        else:
+            traffic = blk["ofmap"] * (num_devices - 1)
+        out.append(
+            {
+                "name": blk["name"],
+                "allgather_elements": traffic,
+                # §3.1 quotes the one-directional volume between a device
+                # pair: each device ships its 1/K share to each peer.
+                "per_device_sent": traffic // num_devices,
+            }
+        )
+    return out
+
+
+def channel_partition_traffic(spec, num_devices: int, num_blocks: int | None = None) -> int:
+    """Total all-gather elements over the first ``num_blocks`` blocks."""
+    per_block = channel_traffic_per_block(spec, num_devices)
+    if num_blocks is None:
+        num_blocks = len(per_block)
+    return sum(b["allgather_elements"] for b in per_block[:num_blocks])

@@ -1,0 +1,196 @@
+"""Tile-grid geometry for spatial partitioning (§3).
+
+A :class:`TileGrid` splits feature maps (N, C, H, W) into ``rows x cols``
+equal tiles, row-major.  :class:`SegmentGrid` is the 1-D analogue used for
+CharCNN, where a paper partition "r x c" maps to ``r*c`` sequence segments.
+
+Both support array-level (fast, no autograd) and Tensor-level (autograd,
+used inside the retraining graph) split/reassemble, and both validate the
+paper's §3.2 constraint that pooling receptive fields stay inside one tile
+(tile sizes must be divisible by the separable stack's spatial reduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn import Tensor
+
+__all__ = [
+    "TileGrid",
+    "SegmentGrid",
+    "PARTITION_OPTIONS",
+    "grid_for_model",
+    "split_array",
+    "reassemble_array",
+    "split_tensor",
+    "reassemble_tensor",
+]
+
+#: The five partition options evaluated in Figure 10.
+PARTITION_OPTIONS: dict[str, tuple[int, int]] = {
+    "2x2": (2, 2),
+    "3x3": (3, 3),
+    "4x4": (4, 4),
+    "4x8": (4, 8),
+    "8x8": (8, 8),
+}
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """A rows x cols spatial partition of a 2-D feature map."""
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError(f"grid must be at least 1x1, got {self.rows}x{self.cols}")
+
+    @classmethod
+    def parse(cls, spec: str) -> "TileGrid":
+        """Parse '4x8' into TileGrid(4, 8)."""
+        try:
+            r, c = spec.lower().split("x")
+            return cls(int(r), int(c))
+        except Exception:
+            raise ValueError(f"bad grid spec {spec!r}; expected e.g. '4x8'") from None
+
+    @property
+    def num_tiles(self) -> int:
+        return self.rows * self.cols
+
+    def __str__(self) -> str:
+        return f"{self.rows}x{self.cols}"
+
+    # ---------------------------------------------------------------- checks
+    def validate(self, height: int, width: int, spatial_reduction: int = 1) -> tuple[int, int]:
+        """Check divisibility and return the tile shape (th, tw).
+
+        ``spatial_reduction`` is the total downsampling factor of the
+        separable stack; each tile must stay divisible by it so pooling
+        receptive fields never straddle tiles (§3.2).
+        """
+        if height % self.rows or width % self.cols:
+            raise ValueError(f"image {height}x{width} not divisible by grid {self}")
+        th, tw = height // self.rows, width // self.cols
+        if th % spatial_reduction or tw % spatial_reduction:
+            raise ValueError(
+                f"tile {th}x{tw} not divisible by separable spatial reduction {spatial_reduction}"
+            )
+        return th, tw
+
+    # ---------------------------------------------------------------- slices
+    def tile_slices(self, height: int, width: int) -> list[tuple[slice, slice]]:
+        """Row-major (row_slice, col_slice) for every tile id."""
+        th, tw = self.validate(height, width)
+        return [
+            (slice(r * th, (r + 1) * th), slice(c * tw, (c + 1) * tw))
+            for r in range(self.rows)
+            for c in range(self.cols)
+        ]
+
+    def tile_index(self, tile_id: int) -> tuple[int, int]:
+        """(row, col) of a row-major tile id."""
+        if not 0 <= tile_id < self.num_tiles:
+            raise IndexError(f"tile id {tile_id} out of range for {self}")
+        return divmod(tile_id, self.cols)
+
+    def neighbors(self, tile_id: int) -> list[int]:
+        """4-neighbourhood tile ids (used by halo-exchange cost models)."""
+        r, c = self.tile_index(tile_id)
+        out = []
+        for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            rr, cc = r + dr, c + dc
+            if 0 <= rr < self.rows and 0 <= cc < self.cols:
+                out.append(rr * self.cols + cc)
+        return out
+
+
+@dataclass(frozen=True)
+class SegmentGrid:
+    """1-D partition of a character sequence into equal segments."""
+
+    num_segments: int
+
+    def __post_init__(self) -> None:
+        if self.num_segments < 1:
+            raise ValueError("need at least one segment")
+
+    @classmethod
+    def from_grid(cls, grid: TileGrid) -> "SegmentGrid":
+        """Map a 2-D paper partition (r x c) onto r*c sequence segments."""
+        return cls(grid.num_tiles)
+
+    @property
+    def num_tiles(self) -> int:
+        return self.num_segments
+
+    def __str__(self) -> str:
+        return f"{self.num_segments}seg"
+
+    def validate(self, length: int, spatial_reduction: int = 1) -> int:
+        if length % self.num_segments:
+            raise ValueError(f"length {length} not divisible by {self.num_segments} segments")
+        seg = length // self.num_segments
+        if seg % spatial_reduction:
+            raise ValueError(f"segment {seg} not divisible by spatial reduction {spatial_reduction}")
+        return seg
+
+    def tile_slices(self, length: int) -> list[slice]:
+        seg = self.validate(length)
+        return [slice(i * seg, (i + 1) * seg) for i in range(self.num_segments)]
+
+
+def grid_for_model(model, spec: str | TileGrid):
+    """Return the right grid type (TileGrid or SegmentGrid) for a model."""
+    grid = TileGrid.parse(spec) if isinstance(spec, str) else spec
+    if len(model.input_shape) == 2:  # 1-D model (CharCNN)
+        return SegmentGrid.from_grid(grid)
+    return grid
+
+
+# ---------------------------------------------------------------------------
+# Array-level split/reassemble (runtime fast path — views where possible).
+# ---------------------------------------------------------------------------
+def split_array(x: np.ndarray, grid: TileGrid | SegmentGrid) -> list[np.ndarray]:
+    """Split (N, C, H, W) or (N, C, L) into row-major tile views."""
+    if isinstance(grid, SegmentGrid):
+        return [x[:, :, sl] for sl in grid.tile_slices(x.shape[2])]
+    return [x[:, :, rs, cs] for rs, cs in grid.tile_slices(x.shape[2], x.shape[3])]
+
+
+def reassemble_array(tiles: list[np.ndarray], grid: TileGrid | SegmentGrid) -> np.ndarray:
+    """Inverse of :func:`split_array` (tiles may be at a reduced resolution)."""
+    if len(tiles) != grid.num_tiles:
+        raise ValueError(f"expected {grid.num_tiles} tiles, got {len(tiles)}")
+    if isinstance(grid, SegmentGrid):
+        return np.concatenate(tiles, axis=2)
+    rows = [
+        np.concatenate(tiles[r * grid.cols : (r + 1) * grid.cols], axis=3) for r in range(grid.rows)
+    ]
+    return np.concatenate(rows, axis=2)
+
+
+# ---------------------------------------------------------------------------
+# Tensor-level split/reassemble (autograd — used in the retraining graph).
+# ---------------------------------------------------------------------------
+def split_tensor(x: Tensor, grid: TileGrid | SegmentGrid) -> list[Tensor]:
+    if isinstance(grid, SegmentGrid):
+        return [x[:, :, sl] for sl in grid.tile_slices(x.shape[2])]
+    return [x[:, :, rs, cs] for rs, cs in grid.tile_slices(x.shape[2], x.shape[3])]
+
+
+def reassemble_tensor(tiles: list[Tensor], grid: TileGrid | SegmentGrid) -> Tensor:
+    if len(tiles) != grid.num_tiles:
+        raise ValueError(f"expected {grid.num_tiles} tiles, got {len(tiles)}")
+    if isinstance(grid, SegmentGrid):
+        return Tensor.concatenate(tiles, axis=2)
+    rows = [
+        Tensor.concatenate(tiles[r * grid.cols : (r + 1) * grid.cols], axis=3)
+        for r in range(grid.rows)
+    ]
+    return Tensor.concatenate(rows, axis=2)

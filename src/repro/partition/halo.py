@@ -1,0 +1,129 @@
+"""Data halos and the naive spatial-partitioning scheme of §3.1.
+
+With naive spatial partitioning, every convolution needs the border pixels
+("data halo", Figure 4b/c) of neighbouring tiles, so tiles exchange a halo
+ring before each CONV layer.  This module provides the exact forward pass
+(tiles exchange halos → result identical to the unpartitioned network) and
+the communication accounting that motivates FDSP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+import repro.nn as nn
+from repro.models.blocks import LayerBlock, ResidualBlock
+from repro.nn import Tensor
+
+from .geometry import TileGrid, reassemble_array, split_array
+
+__all__ = ["halo_elements_per_layer", "naive_spatial_traffic", "HaloExchangeForward"]
+
+
+def _tile_halo_elements(grid: TileGrid, h: int, w: int, channels: int, halo: int) -> int:
+    """Total elements every tile must *receive* from neighbours for one conv.
+
+    A tile needs the ``halo``-wide ring of in-image pixels around it; the
+    ring is clipped at the image boundary (zero padding there is free).
+    """
+    if halo == 0:
+        return 0
+    th, tw = grid.validate(h, w)
+    total = 0
+    for r in range(grid.rows):
+        for c in range(grid.cols):
+            top = min(halo, r * th)
+            bottom = min(halo, h - (r + 1) * th)
+            left = min(halo, c * tw)
+            right = min(halo, w - (c + 1) * tw)
+            ring = (th + top + bottom) * (tw + left + right) - th * tw
+            total += ring
+    return total * channels
+
+
+def halo_elements_per_layer(spec, grid: TileGrid) -> list[dict]:
+    """Per-block halo traffic (elements) for a paper-scale ModelSpec.
+
+    Each conv with kernel k needs a (k//2)-wide halo of its *ifmap*.
+    Returns one entry per block with ``name`` and ``halo_elements``.
+    """
+    out = []
+    geo = spec.block_geometry()
+    if spec.is_1d:
+        raise ValueError("halo accounting is defined for 2-D specs")
+    for blk_spec, blk_geo in zip(spec.blocks, geo):
+        if blk_spec.is_fc:
+            out.append({"name": blk_geo["name"], "halo_elements": 0})
+            continue
+        h, w = blk_geo["in_hw"]
+        ch = blk_geo["ifmap"] // (h * w)
+        elements = 0
+        for out_ch, k, stride in blk_spec.convs:
+            halo = k // 2
+            try:
+                elements += _tile_halo_elements(grid, h, w, ch, halo)
+            except ValueError:
+                # Feature map no longer divisible by the grid — deeper layers
+                # would be executed centrally; no halo traffic.
+                break
+            h, w = h // stride, w // stride
+            ch = out_ch
+        out.append({"name": blk_geo["name"], "halo_elements": elements})
+    return out
+
+
+def naive_spatial_traffic(spec, grid: TileGrid, num_blocks: int | None = None) -> int:
+    """Total halo elements exchanged across the first ``num_blocks`` blocks."""
+    per_layer = halo_elements_per_layer(spec, grid)
+    if num_blocks is None:
+        num_blocks = len(per_layer)
+    return sum(e["halo_elements"] for e in per_layer[:num_blocks])
+
+
+@dataclass
+class HaloExchangeForward:
+    """Exact naive-spatial-partition execution with halo exchange.
+
+    Processes the stack block by block: before every conv, each tile gathers
+    its halo ring from the current global feature map (which is what the
+    per-step exchanges of Figure 4(c) reconstruct), so the final output is
+    bit-identical to unpartitioned execution.  The bytes that would cross
+    the network are accumulated in :attr:`exchanged_elements`.
+    """
+
+    blocks: nn.Sequential
+    grid: TileGrid
+
+    def __post_init__(self) -> None:
+        self.exchanged_elements = 0
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Run (N, C, H, W) through the stack; returns the exact output."""
+        self.exchanged_elements = 0
+        feat = np.asarray(x, dtype=np.float32)
+        for block in self.blocks:
+            feat = self._run_block(block, feat)
+        return feat
+
+    # ------------------------------------------------------------------ impl
+    def _run_block(self, block, feat: np.ndarray) -> np.ndarray:
+        if isinstance(block, LayerBlock):
+            halo = block.conv.kernel_size // 2
+            self._account(feat, halo)
+            out = block(Tensor(feat)).data
+        elif isinstance(block, ResidualBlock):
+            halo = block.conv1.kernel_size // 2 + block.conv2.kernel_size // 2
+            self._account(feat, halo)
+            out = block(Tensor(feat)).data
+        else:
+            out = block(Tensor(feat)).data
+        return out
+
+    def _account(self, feat: np.ndarray, halo: int) -> None:
+        n, c, h, w = feat.shape
+        try:
+            self.exchanged_elements += n * _tile_halo_elements(self.grid, h, w, c, halo)
+        except ValueError:
+            pass  # map too small for the grid; treated as centralized

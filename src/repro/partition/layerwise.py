@@ -1,0 +1,42 @@
+"""Layer-wise partitioning substrate (Neurosurgeon, Kang et al. 2017).
+
+Neurosurgeon cuts the network after some layer block: the prefix runs on the
+edge device, the activation crosses the network, and the suffix runs in the
+cloud.  This module enumerates every cut point with its edge/cloud compute
+and transfer volume; the latency-optimal search lives in
+:mod:`repro.baselines.neurosurgeon`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SplitPoint", "enumerate_split_points"]
+
+
+@dataclass(frozen=True)
+class SplitPoint:
+    """A candidate layer-wise cut.
+
+    ``index`` = number of blocks on the edge (0 = everything in the cloud,
+    ``num_blocks`` = everything on the edge); ``transfer_elements`` = size
+    of the activation crossing the network (the input image for index 0).
+    """
+
+    index: int
+    edge_macs: int
+    cloud_macs: int
+    transfer_elements: int
+
+
+def enumerate_split_points(spec) -> list[SplitPoint]:
+    """All ``num_blocks + 1`` cut points for a paper-scale ModelSpec."""
+    geo = spec.block_geometry()
+    total = sum(b["macs"] for b in geo)
+    points = [SplitPoint(0, 0, total, spec.input_elements())]
+    edge = 0
+    for i, blk in enumerate(geo, start=1):
+        edge += blk["macs"]
+        transfer = blk["ofmap"] if i < len(geo) else 0  # final output is tiny
+        points.append(SplitPoint(i, edge, total - edge, transfer))
+    return points

@@ -1,0 +1,39 @@
+"""Workload, latency, energy, and memory models for the experiments."""
+
+from .energy import RASPBERRY_PI_ENERGY, EnergyModel
+from .flops import BITS_PER_ELEMENT, BlockProfile, profile_blocks, rest_macs, separable_macs, tile_macs
+from .latency_model import (
+    CLOUD_V100,
+    EDGE_TO_CLOUD,
+    MODEL_EFFICIENCY,
+    RASPBERRY_PI_3B,
+    WIFI_LAN,
+    WIFI_LAN_SLOW,
+    DeviceProfile,
+    LinkProfile,
+    profile_for_model,
+)
+from .memory import central_node_memory_bytes, conv_node_memory_bytes, single_device_memory_bytes
+
+__all__ = [
+    "DeviceProfile",
+    "LinkProfile",
+    "RASPBERRY_PI_3B",
+    "CLOUD_V100",
+    "WIFI_LAN",
+    "WIFI_LAN_SLOW",
+    "EDGE_TO_CLOUD",
+    "MODEL_EFFICIENCY",
+    "profile_for_model",
+    "BlockProfile",
+    "profile_blocks",
+    "tile_macs",
+    "separable_macs",
+    "rest_macs",
+    "BITS_PER_ELEMENT",
+    "EnergyModel",
+    "RASPBERRY_PI_ENERGY",
+    "conv_node_memory_bytes",
+    "central_node_memory_bytes",
+    "single_device_memory_bytes",
+]

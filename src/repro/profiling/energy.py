@@ -1,0 +1,41 @@
+"""Per-node energy model for Figure 13 (right).
+
+The paper measured a Raspberry Pi with a MakerHawk USB power meter; we model
+the same quantity as active power during busy time plus idle power for the
+rest of the measurement window.  RPi 3B+ figures: ~5.5 W under full CPU
+load, ~2.3 W idle (commonly reported for the board + WiFi).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EnergyModel", "RASPBERRY_PI_ENERGY"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Two-state power model."""
+
+    active_watts: float
+    idle_watts: float
+
+    def __post_init__(self) -> None:
+        if self.active_watts < self.idle_watts:
+            raise ValueError("active power below idle power")
+        if self.idle_watts < 0:
+            raise ValueError("negative idle power")
+
+    def energy_joules(self, busy_s: float, window_s: float) -> float:
+        """Energy consumed over ``window_s`` with ``busy_s`` of it active."""
+        if busy_s < 0 or window_s < busy_s:
+            raise ValueError(f"need 0 <= busy ({busy_s}) <= window ({window_s})")
+        return self.active_watts * busy_s + self.idle_watts * (window_s - busy_s)
+
+    def energy_per_inference(self, busy_s: float, window_s: float, num_inferences: int) -> float:
+        if num_inferences < 1:
+            raise ValueError("need at least one inference")
+        return self.energy_joules(busy_s, window_s) / num_inferences
+
+
+RASPBERRY_PI_ENERGY = EnergyModel(active_watts=5.5, idle_watts=2.3)

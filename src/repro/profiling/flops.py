@@ -1,0 +1,66 @@
+"""Per-layer-block workload profiles (Figure 3) and FDSP tile workloads.
+
+Works on :class:`repro.models.ModelSpec` geometry so full-scale models cost
+nothing to analyse.  Times come from a :class:`DeviceProfile`; sizes are in
+elements and bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.specs import ModelSpec
+
+from .latency_model import RASPBERRY_PI_3B, DeviceProfile
+
+__all__ = ["BlockProfile", "profile_blocks", "tile_macs", "separable_macs", "rest_macs"]
+
+BITS_PER_ELEMENT = 32  # the paper assumes 32-bit floats throughout §3-§4
+
+
+@dataclass(frozen=True)
+class BlockProfile:
+    """One Figure-3 bar pair: a block's execution time and ifmap size."""
+
+    name: str
+    exec_time_s: float
+    ifmap_elements: int
+    ifmap_bits: int
+    macs: int
+
+
+def profile_blocks(spec: ModelSpec, device: DeviceProfile = RASPBERRY_PI_3B) -> list[BlockProfile]:
+    """Reproduce Figure 3's per-block execution time and ifmap size."""
+    out = []
+    for blk in spec.block_geometry():
+        out.append(
+            BlockProfile(
+                name=blk["name"],
+                exec_time_s=device.compute_time(blk["macs"]),
+                ifmap_elements=blk["ifmap"],
+                ifmap_bits=blk["ifmap"] * BITS_PER_ELEMENT,
+                macs=blk["macs"],
+            )
+        )
+    return out
+
+
+def separable_macs(spec: ModelSpec) -> int:
+    """MACs of the separable prefix (the distributed portion)."""
+    return sum(b["macs"] for b in spec.separable_geometry())
+
+
+def rest_macs(spec: ModelSpec) -> int:
+    """MACs of the rest layers (run on the Central node)."""
+    return spec.total_macs() - separable_macs(spec)
+
+
+def tile_macs(spec: ModelSpec, num_tiles: int) -> float:
+    """MACs a Conv node spends per tile under FDSP.
+
+    FDSP partitions evenly and zero-padding adds no real work, so per-tile
+    cost is the separable workload divided by the tile count.
+    """
+    if num_tiles < 1:
+        raise ValueError("need at least one tile")
+    return separable_macs(spec) / num_tiles

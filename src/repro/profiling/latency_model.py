@@ -1,0 +1,122 @@
+"""Device and link latency models, calibrated to the paper's testbed.
+
+The paper measured a Raspberry Pi 3B+ cluster on 87.72 Mbps WiFi and an EC2
+p3.2xlarge (V100) behind a 61.30 Mbps uplink.  We cannot rerun that
+hardware, so the discrete-event experiments use effective-throughput
+profiles fit to the paper's own Table 3 numbers:
+
+- single-device VGG16 compute = 1586.53 ms over 15.47 GMACs
+  -> **9.75 GMAC/s** effective for the RPi 3B+;
+- cloud VGG16 compute = 98.94 ms -> **156 GMAC/s** effective for the V100;
+- cloud round trip = 502.21 ms at 61.30 Mbps for a 4.8 Mbit image
+  -> **~210 ms per-message protocol overhead** (TCP/HTTP setup, RTT).
+
+Absolute milliseconds inherit these fits; the experiments compare *shapes*
+(ratios, crossovers, trends) against the paper — see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "DeviceProfile",
+    "LinkProfile",
+    "RASPBERRY_PI_3B",
+    "CLOUD_V100",
+    "WIFI_LAN",
+    "WIFI_LAN_SLOW",
+    "EDGE_TO_CLOUD",
+    "MODEL_EFFICIENCY",
+    "profile_for_model",
+]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Compute-speed model: seconds = overhead + MACs / rate."""
+
+    name: str
+    macs_per_second: float
+    invocation_overhead_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.macs_per_second <= 0:
+            raise ValueError("macs_per_second must be positive")
+        if self.invocation_overhead_s < 0:
+            raise ValueError("invocation overhead cannot be negative")
+
+    def compute_time(self, macs: float) -> float:
+        """Seconds to execute ``macs`` multiply-accumulates."""
+        if macs < 0:
+            raise ValueError("negative MAC count")
+        return self.invocation_overhead_s + macs / self.macs_per_second
+
+    def scaled(self, factor: float, name: str | None = None) -> "DeviceProfile":
+        """A device ``factor`` times as fast (heterogeneous clusters)."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return DeviceProfile(
+            name or f"{self.name}x{factor:g}",
+            self.macs_per_second * factor,
+            self.invocation_overhead_s,
+        )
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Network-transfer model: seconds = overhead + bits / bandwidth."""
+
+    name: str
+    bandwidth_bps: float
+    per_message_overhead_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.per_message_overhead_s < 0:
+            raise ValueError("overhead cannot be negative")
+
+    def transfer_time(self, bits: float) -> float:
+        """Seconds to move ``bits`` across the link (one message)."""
+        if bits < 0:
+            raise ValueError("negative bit count")
+        return self.per_message_overhead_s + bits / self.bandwidth_bps
+
+
+#: RPi 3B+ fit to Table 3 (VGG16 single-device = 1586.53 ms / 15.47 GMACs).
+RASPBERRY_PI_3B = DeviceProfile("rpi3b+", macs_per_second=9.75e9, invocation_overhead_s=1e-3)
+
+#: EC2 p3.2xlarge (V100) fit to Table 3 (VGG16 cloud compute = 98.94 ms).
+CLOUD_V100 = DeviceProfile("v100", macs_per_second=156.0e9, invocation_overhead_s=2e-3)
+
+#: The testbed WiFi LAN (§7.2): 87.72 Mbps measured.
+WIFI_LAN = LinkProfile("wifi-87.72Mbps", bandwidth_bps=87.72e6, per_message_overhead_s=2e-4)
+
+#: The degraded link of Figure 12: 12.66 Mbps.
+WIFI_LAN_SLOW = LinkProfile("wifi-12.66Mbps", bandwidth_bps=12.66e6, per_message_overhead_s=2e-4)
+
+#: Edge-to-cloud uplink (§7.2): 61.30 Mbps + protocol overhead fit to the
+#: 502.21 ms round trip of Table 3.
+EDGE_TO_CLOUD = LinkProfile("cloud-61.30Mbps", bandwidth_bps=61.30e6, per_message_overhead_s=0.21)
+
+#: Effective-throughput correction per model family.  A CPU's MAC rate is
+#: not architecture-independent: 3x3x(many-channel) VGG-style convs are
+#: compute-bound, while ResNet's thin residual blocks and 1x1 convs are
+#: memory-bound and run at a fraction of peak (the reason Figure 3 shows
+#: ResNet18 layer times far above its FLOP share).  Factors are relative to
+#: the VGG16-calibrated profile.
+MODEL_EFFICIENCY: dict[str, float] = {
+    "vgg16": 1.0,
+    "fcn": 1.0,
+    "resnet18": 0.45,
+    "resnet34": 0.45,
+    "yolo": 0.85,
+    "charcnn": 0.8,
+}
+
+
+def profile_for_model(base: DeviceProfile, model_name: str) -> DeviceProfile:
+    """Scale ``base`` by the model family's efficiency factor."""
+    factor = MODEL_EFFICIENCY.get(model_name, 1.0)
+    return base.scaled(factor, name=f"{base.name}[{model_name}]")

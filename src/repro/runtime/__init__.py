@@ -1,0 +1,30 @@
+"""ADCNN runtime (§6): scheduling algorithms, DES system, process cluster."""
+
+from .deployment import ADCNNDeployment
+from .messages import Shutdown, TileResult, TileTask
+from .process_backend import InferenceOutcome, ProcessCluster, ProcessClusterConfig
+from .scheduler import SchedulingError, StatisticsCollector, allocate_tiles, brute_force_allocation
+from .system import ADCNNConfig, ADCNNSystem, ImageRecord, MediumQueue
+from .workload import ADCNNWorkload
+from .zero_fill import accuracy_under_tile_loss, forward_with_missing_tiles
+
+__all__ = [
+    "StatisticsCollector",
+    "allocate_tiles",
+    "brute_force_allocation",
+    "SchedulingError",
+    "ADCNNWorkload",
+    "ADCNNConfig",
+    "ADCNNSystem",
+    "ImageRecord",
+    "MediumQueue",
+    "TileTask",
+    "TileResult",
+    "Shutdown",
+    "ProcessCluster",
+    "ProcessClusterConfig",
+    "InferenceOutcome",
+    "forward_with_missing_tiles",
+    "accuracy_under_tile_loss",
+    "ADCNNDeployment",
+]

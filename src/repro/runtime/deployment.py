@@ -1,0 +1,120 @@
+"""High-level deployment API: retrained model -> serving cluster.
+
+Ties the pieces a user otherwise wires manually: an
+:class:`~repro.training.progressive.ProgressiveResult` (or an explicit
+model + bounds) becomes a ready-to-serve :class:`ADCNNDeployment` that owns
+the compression pipeline, persists/restores itself, and serves inferences
+from worker processes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.compression import CompressionPipeline
+from repro.models.blocks import PartitionableCNN
+from repro.nn.serialization import load_state, save_state
+from repro.partition.geometry import SegmentGrid, TileGrid, grid_for_model
+
+from .process_backend import InferenceOutcome, ProcessCluster, ProcessClusterConfig
+
+__all__ = ["ADCNNDeployment"]
+
+
+class ADCNNDeployment:
+    """A packaged ADCNN model: weights + grid + compression bounds.
+
+    Build one from a progressive-retraining result::
+
+        result = progressive_retrain(model, "4x4", ...)
+        deployment = ADCNNDeployment.from_progressive(result)
+        with deployment.serve(num_workers=4) as cluster:
+            out = cluster.infer(image)
+
+    or persist/restore it::
+
+        deployment.save("model.npz")
+        restored = ADCNNDeployment.load("model.npz", builder=vgg_mini, num_classes=3)
+    """
+
+    def __init__(
+        self,
+        model: PartitionableCNN,
+        grid: TileGrid | SegmentGrid | str,
+        clip_lower: float = 0.0,
+        clip_upper: float = 6.0,
+        bits: int = 4,
+    ) -> None:
+        self.model = model
+        self.grid = grid_for_model(model, grid) if isinstance(grid, str) else grid
+        if clip_upper <= clip_lower:
+            raise ValueError("need clip_upper > clip_lower")
+        self.clip_lower = float(clip_lower)
+        self.clip_upper = float(clip_upper)
+        self.bits = int(bits)
+        self.model.eval()
+
+    @classmethod
+    def from_progressive(cls, result) -> "ADCNNDeployment":
+        """Package a :class:`ProgressiveResult` (Algorithm 1 output)."""
+        fdsp = result.model
+        bounds = result.bounds
+        if bounds is None:
+            raise ValueError("progressive result carries no compression bounds")
+        quant_bits = fdsp.quant.bits if hasattr(fdsp.quant, "bits") else 4
+        return cls(fdsp.model, fdsp.grid, bounds.lower, bounds.upper, quant_bits)
+
+    # ------------------------------------------------------------- pipeline
+    @property
+    def pipeline(self) -> CompressionPipeline:
+        return CompressionPipeline(self.clip_lower, self.clip_upper, bits=self.bits)
+
+    def serve(self, num_workers: int = 2, t_limit: float = 30.0, **kwargs) -> ProcessCluster:
+        """A process cluster serving this deployment (context manager)."""
+        config = ProcessClusterConfig(num_workers=num_workers, t_limit=t_limit, **kwargs)
+        return ProcessCluster(self.model, self.grid, pipeline=self.pipeline, config=config)
+
+    def infer_local(self, image: np.ndarray) -> np.ndarray:
+        """Single-process reference inference through the same graph."""
+        from repro.nn import ClippedReLU, QuantizeSTE, Tensor, no_grad
+        from repro.partition.fdsp import FDSPModel
+
+        fdsp = FDSPModel(
+            self.model,
+            self.grid,
+            clipped_relu=ClippedReLU(self.clip_lower, self.clip_upper),
+            quantizer=QuantizeSTE(bits=self.bits, max_value=self.clip_upper - self.clip_lower),
+        )
+        fdsp.eval()
+        with no_grad():
+            return fdsp(Tensor(np.asarray(image, dtype=np.float32))).data
+
+    # ----------------------------------------------------------- persistence
+    def save(self, path: str | Path) -> None:
+        """Persist weights + deployment metadata to .npz."""
+        meta = {
+            "grid": str(self.grid),
+            "clip_lower": self.clip_lower,
+            "clip_upper": self.clip_upper,
+            "bits": self.bits,
+            "separable_prefix": self.model.separable_prefix,
+            "model_name": self.model.name,
+        }
+        save_state(self.model.state_dict(), path, metadata=meta)
+
+    @classmethod
+    def load(cls, path: str | Path, builder, **builder_kwargs) -> "ADCNNDeployment":
+        """Rebuild from disk; ``builder(**builder_kwargs)`` must produce the
+        same architecture the weights were saved from."""
+        state, meta = load_state(path)
+        model = builder(**builder_kwargs)
+        model.load_state_dict(state)
+        grid_spec = meta["grid"]
+        grid: TileGrid | SegmentGrid
+        if grid_spec.endswith("seg"):
+            grid = SegmentGrid(int(grid_spec[:-3]))
+        else:
+            grid = TileGrid.parse(grid_spec)
+        return cls(model, grid, meta["clip_lower"], meta["clip_upper"], meta["bits"])

@@ -1,0 +1,48 @@
+"""Wire messages between the Central node and Conv nodes (Figure 8).
+
+Every tile carries an ``(image_id, tile_id)`` pair so the Central node can
+route results to the right image slot regardless of arrival order, and
+results echo the pair back plus the worker that produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = ["TileTask", "TileResult", "Shutdown"]
+
+
+@dataclass(frozen=True)
+class TileTask:
+    """An input tile dispatched to a Conv node."""
+
+    image_id: int
+    tile_id: int
+    tile: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.image_id < 0 or self.tile_id < 0:
+            raise ValueError("ids must be non-negative")
+
+
+@dataclass(frozen=True)
+class TileResult:
+    """A Conv node's intermediate result for one tile.
+
+    ``payload`` is a :class:`repro.compression.CompressedTensor` when the §4
+    pipeline is enabled, otherwise a raw ndarray.
+    """
+
+    image_id: int
+    tile_id: int
+    payload: Any
+    worker: int
+    compute_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Sentinel telling a Conv-node worker to exit."""

@@ -1,0 +1,371 @@
+"""Process-emulated edge cluster: Conv nodes as OS processes (DESIGN.md §2).
+
+This backend runs the *actual* computation end-to-end: worker processes hold
+the separable-block weights, receive real tile arrays over IPC queues, run
+the NumPy forward pass, compress with the §4 pipeline, and stream results
+back; the central process allocates tiles with Algorithms 2/3 against
+wall-clock statistics, enforces the ``T_L`` deadline with zero-fill, and
+finishes the rest layers.  It validates the protocol (IDs, stragglers, node
+death, load re-balancing) on real data — the DES backend covers timing.
+
+Workers are forked, so the separable module is inherited, not pickled.
+An optional per-worker ``delay_per_tile`` emulates slow/throttled devices.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import queue as queue_mod
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+import repro.nn as nn
+from repro.compression import CompressionPipeline
+from repro.models.blocks import PartitionableCNN
+from repro.nn import Tensor
+from repro.partition.geometry import grid_for_model, reassemble_array, split_array
+
+from .messages import Shutdown, TileResult, TileTask
+from .scheduler import StatisticsCollector, allocate_tiles
+
+__all__ = ["ProcessClusterConfig", "InferenceOutcome", "ProcessCluster"]
+
+
+def _worker_loop(
+    worker_id: int,
+    separable: nn.Sequential,
+    pipeline: CompressionPipeline | None,
+    task_queue: mp.Queue,
+    result_queue: mp.Queue,
+    delay_per_tile: float,
+) -> None:
+    """Conv-node main loop (runs in a forked child process)."""
+    separable.eval()
+    while True:
+        msg = task_queue.get()
+        if isinstance(msg, Shutdown):
+            break
+        assert isinstance(msg, TileTask)
+        start = time.perf_counter()
+        if delay_per_tile > 0:
+            time.sleep(delay_per_tile)  # emulated slow device (cpulimit stand-in)
+        with nn.no_grad():
+            out = separable(Tensor(msg.tile)).data
+        payload = pipeline.compress(out) if pipeline is not None else out
+        result_queue.put(
+            TileResult(
+                image_id=msg.image_id,
+                tile_id=msg.tile_id,
+                payload=payload,
+                worker=worker_id,
+                compute_seconds=time.perf_counter() - start,
+            )
+        )
+
+
+def _rate_credits(
+    received: np.ndarray,
+    allocation: np.ndarray,
+    busy_seconds: np.ndarray,
+    window: float,
+    num_tiles: int,
+) -> np.ndarray:
+    """The ``n_k`` fed to Algorithm 2 (mirrors the DES's span-normalized
+    counting): a worker that delivered its batch in a fraction of the
+    window is credited proportionally more; a worker that missed the
+    deadline is credited its raw within-window count, exactly the paper's
+    rule.  Credits are capped at the image's tile total."""
+    credits = np.zeros(len(received))
+    for k in range(len(received)):
+        if received[k] == 0:
+            continue
+        if received[k] >= allocation[k] and busy_seconds[k] > 0:
+            span = min(busy_seconds[k], window)
+            credits[k] = min(received[k] * window / span, float(num_tiles))
+        else:
+            credits[k] = float(received[k])
+    return credits
+
+
+@dataclass(frozen=True)
+class ProcessClusterConfig:
+    """Cluster shape and deadline policy."""
+
+    num_workers: int = 2
+    t_limit: float = 10.0          # generous default: correctness over speed
+    gamma: float = 0.9
+    delay_per_tile: tuple[float, ...] = ()  # per-worker artificial slowness
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("need at least one worker")
+        if self.t_limit <= 0:
+            raise ValueError("t_limit must be positive")
+        if self.delay_per_tile and len(self.delay_per_tile) != self.num_workers:
+            raise ValueError("delay_per_tile must have one entry per worker")
+
+
+@dataclass
+class InferenceOutcome:
+    """Result of one distributed inference."""
+
+    output: np.ndarray
+    allocation: np.ndarray
+    received_per_worker: np.ndarray
+    zero_filled_tiles: list[int] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+
+class ProcessCluster:
+    """A live process-backed ADCNN deployment.
+
+    Use as a context manager::
+
+        with ProcessCluster(model, "4x4", pipeline, config) as cluster:
+            out = cluster.infer(image).output
+    """
+
+    def __init__(
+        self,
+        model: PartitionableCNN,
+        grid,
+        pipeline: CompressionPipeline | None = None,
+        config: ProcessClusterConfig | None = None,
+    ) -> None:
+        self.model = model
+        self.grid = grid_for_model(model, grid) if isinstance(grid, str) else grid
+        self.pipeline = pipeline
+        self.config = config or ProcessClusterConfig()
+        self._rest = model.rest_part()
+        self._rest.eval()
+        self._stats = StatisticsCollector(self.config.num_workers, gamma=self.config.gamma)
+        self._ctx = mp.get_context("fork")
+        self._task_queues: list[mp.Queue] = []
+        self._result_queue: mp.Queue | None = None
+        self._procs: list[mp.Process] = []
+        self._image_counter = 0
+
+    # -------------------------------------------------------------- lifecycle
+    def start(self) -> "ProcessCluster":
+        if self._procs:
+            raise RuntimeError("cluster already started")
+        separable = self.model.separable_part()
+        self._result_queue = self._ctx.Queue()
+        delays = self.config.delay_per_tile or (0.0,) * self.config.num_workers
+        for wid in range(self.config.num_workers):
+            tq = self._ctx.Queue()
+            proc = self._ctx.Process(
+                target=_worker_loop,
+                args=(wid, separable, self.pipeline, tq, self._result_queue, delays[wid]),
+                daemon=True,
+            )
+            proc.start()
+            self._task_queues.append(tq)
+            self._procs.append(proc)
+        return self
+
+    def stop(self) -> None:
+        for tq in self._task_queues:
+            try:
+                tq.put(Shutdown())
+            except Exception:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        self._procs.clear()
+        self._task_queues.clear()
+
+    def kill_worker(self, worker_id: int) -> None:
+        """Fail-stop a Conv node mid-run (fault-injection for tests)."""
+        self._procs[worker_id].terminate()
+        self._procs[worker_id].join(timeout=5.0)
+
+    def __enter__(self) -> "ProcessCluster":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -------------------------------------------------------------- inference
+    @property
+    def worker_rates(self) -> np.ndarray:
+        return self._stats.rates()
+
+    def infer(self, image: np.ndarray) -> InferenceOutcome:
+        """One distributed inference over the live cluster.
+
+        Follows Figure 8: partition → allocate (Algorithm 3) → dispatch →
+        collect until all results or ``T_L`` → zero-fill stragglers →
+        rest layers.  Worker delivery counts feed Algorithm 2.
+        """
+        if not self._procs:
+            raise RuntimeError("cluster not started — use `with ProcessCluster(...)`")
+        image = np.asarray(image, dtype=np.float32)
+        if image.ndim == len(self.model.input_shape):
+            image = image[None]
+        start_wall = time.perf_counter()
+        image_id = self._image_counter
+        self._image_counter += 1
+
+        tiles = split_array(image, self.grid)
+        allocation = allocate_tiles(len(tiles), self._stats.rates())
+        # Row-major tiles dealt out worker by worker, preserving tile ids.
+        assignments: list[int] = []
+        for wid, count in enumerate(allocation):
+            assignments.extend([wid] * count)
+        for tile_id, wid in enumerate(assignments):
+            self._task_queues[wid].put(TileTask(image_id, tile_id, np.ascontiguousarray(tiles[tile_id])))
+
+        deadline = time.monotonic() + self.config.t_limit
+        collect_start = time.monotonic()
+        results: dict[int, TileResult] = {}
+        received = np.zeros(self.config.num_workers, dtype=int)
+        busy = np.zeros(self.config.num_workers)
+        while len(results) < len(tiles):
+            timeout = deadline - time.monotonic()
+            if timeout <= 0:
+                break
+            try:
+                res: TileResult = self._result_queue.get(timeout=timeout)
+            except queue_mod.Empty:
+                break
+            if res.image_id != image_id:
+                continue  # stale result from a previous (timed-out) image
+            results[res.tile_id] = res
+            received[res.worker] += 1
+            busy[res.worker] += res.compute_seconds
+        window = max(time.monotonic() - collect_start, 1e-6)
+        self._stats.update(
+            _rate_credits(received, allocation, busy, window, len(tiles))
+        )
+
+        out_tiles, missing = self._materialize_tiles(tiles, results)
+        feature_map = reassemble_array(out_tiles, self.grid)
+        with nn.no_grad():
+            output = self._rest(Tensor(feature_map)).data
+        return InferenceOutcome(
+            output=output,
+            allocation=allocation,
+            received_per_worker=received,
+            zero_filled_tiles=missing,
+            wall_seconds=time.perf_counter() - start_wall,
+        )
+
+    def infer_stream(self, images, pipeline_depth: int = 2) -> list[InferenceOutcome]:
+        """Pipelined inference over a sequence of images (Figure 9).
+
+        Up to ``pipeline_depth`` images are in flight: the next image's
+        tiles are dispatched before the current image's results finish
+        collecting, overlapping Conv-node compute with Central-node work.
+        Results are returned in input order.
+        """
+        if not self._procs:
+            raise RuntimeError("cluster not started — use `with ProcessCluster(...)`")
+        if pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
+        images = [np.asarray(img, dtype=np.float32) for img in images]
+        images = [img[None] if img.ndim == len(self.model.input_shape) else img for img in images]
+
+        inflight: dict[int, dict] = {}
+        outcomes: dict[int, InferenceOutcome] = {}
+        order: list[int] = []
+        next_idx = 0
+
+        def dispatch(idx: int) -> None:
+            image_id = self._image_counter
+            self._image_counter += 1
+            tiles = split_array(images[idx], self.grid)
+            allocation = allocate_tiles(len(tiles), self._stats.rates())
+            assignments: list[int] = []
+            for wid, count in enumerate(allocation):
+                assignments.extend([wid] * count)
+            start = time.perf_counter()
+            for tile_id, wid in enumerate(assignments):
+                self._task_queues[wid].put(
+                    TileTask(image_id, tile_id, np.ascontiguousarray(tiles[tile_id]))
+                )
+            inflight[image_id] = {
+                "idx": idx,
+                "tiles": tiles,
+                "allocation": allocation,
+                "results": {},
+                "received": np.zeros(self.config.num_workers, dtype=int),
+                "busy": np.zeros(self.config.num_workers),
+                "deadline": time.monotonic() + self.config.t_limit,
+                "collect_start": time.monotonic(),
+                "start": start,
+            }
+            order.append(image_id)
+
+        def finalize(image_id: int) -> None:
+            st = inflight.pop(image_id)
+            window = max(time.monotonic() - st["collect_start"], 1e-6)
+            self._stats.update(
+                _rate_credits(st["received"], st["allocation"], st["busy"], window, len(st["tiles"]))
+            )
+            out_tiles, missing = self._materialize_tiles(st["tiles"], st["results"])
+            feature_map = reassemble_array(out_tiles, self.grid)
+            with nn.no_grad():
+                output = self._rest(Tensor(feature_map)).data
+            outcomes[st["idx"]] = InferenceOutcome(
+                output=output,
+                allocation=st["allocation"],
+                received_per_worker=st["received"],
+                zero_filled_tiles=missing,
+                wall_seconds=time.perf_counter() - st["start"],
+            )
+
+        while next_idx < len(images) or inflight:
+            while next_idx < len(images) and len(inflight) < pipeline_depth:
+                dispatch(next_idx)
+                next_idx += 1
+            oldest = order[len(outcomes)]
+            st = inflight[oldest]
+            done = len(st["results"]) >= len(st["tiles"])
+            if not done:
+                timeout = st["deadline"] - time.monotonic()
+                if timeout <= 0:
+                    done = True
+                else:
+                    try:
+                        res: TileResult = self._result_queue.get(timeout=timeout)
+                    except queue_mod.Empty:
+                        done = True
+                    else:
+                        target = inflight.get(res.image_id)
+                        if target is not None:
+                            target["results"][res.tile_id] = res
+                            target["received"][res.worker] += 1
+                            target["busy"][res.worker] += res.compute_seconds
+                        done = len(st["results"]) >= len(st["tiles"])
+            if done:
+                finalize(oldest)
+        return [outcomes[i] for i in range(len(images))]
+
+    def _materialize_tiles(self, tiles, results) -> tuple[list[np.ndarray], list[int]]:
+        """Decompress received tiles; zero-fill the rest (§6.1)."""
+        shape = self._tile_output_shape(tiles[0])
+        out, missing = [], []
+        for tile_id in range(len(tiles)):
+            res = results.get(tile_id)
+            if res is None:
+                missing.append(tile_id)
+                out.append(np.zeros(shape, dtype=np.float32))
+            elif self.pipeline is not None:
+                out.append(self.pipeline.decompress(res.payload))
+            else:
+                out.append(np.asarray(res.payload, dtype=np.float32))
+        return out, missing
+
+    def _tile_output_shape(self, tile: np.ndarray) -> tuple[int, ...]:
+        reduction = self.model.separable_spatial_reduction()
+        channels = self.model.separable_out_channels()
+        if tile.ndim == 3:  # (N, C, L)
+            return (tile.shape[0], channels, tile.shape[2] // reduction)
+        return (tile.shape[0], channels, tile.shape[2] // reduction, tile.shape[3] // reduction)

@@ -1,0 +1,131 @@
+"""Algorithms 2 and 3 — statistics collection and input-tile allocation (§6).
+
+Algorithm 2 keeps an exponentially-weighted moving estimate ``s_k`` of each
+Conv node's delivered throughput: ``s_k <- (1-γ) s_k + γ n_k`` where ``n_k``
+is the number of intermediate results node ``k`` returned for the last image
+within the deadline.
+
+Algorithm 3 allocates the D tiles of the next image greedily, repeatedly
+giving a tile to the node whose new ``x_k / s_k`` ratio stays smallest
+(classic list scheduling of unit jobs on uniform machines — optimal for the
+min-makespan objective in Eq. 1), subject to per-node storage
+``M * x_k <= H_k``.  A failed node's ``s_k`` decays to ~0 and stops
+receiving tiles, which is how ADCNN tolerates node failure.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+
+__all__ = ["StatisticsCollector", "allocate_tiles", "brute_force_allocation", "SchedulingError"]
+
+
+class SchedulingError(RuntimeError):
+    """No feasible tile allocation exists."""
+
+
+class StatisticsCollector:
+    """Algorithm 2 — per-node EWMA of delivered results.
+
+    ``initial`` seeds every node equal so the first image splits evenly
+    (§7.3: "the tiles are evenly distributed to each node in the
+    beginning").
+    """
+
+    def __init__(self, num_nodes: int, gamma: float = 0.9, initial: float = 1.0) -> None:
+        if num_nodes < 1:
+            raise ValueError("need at least one node")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        if initial < 0:
+            raise ValueError("initial statistic cannot be negative")
+        self.gamma = float(gamma)
+        self._s = np.full(num_nodes, float(initial))
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._s)
+
+    def update(self, counts) -> None:
+        """Fold in ``n_k`` for one image: ``s <- (1-γ)s + γn``."""
+        counts = np.asarray(counts, dtype=float)
+        if counts.shape != self._s.shape:
+            raise ValueError(f"expected {self._s.shape[0]} counts, got {counts.shape}")
+        if (counts < 0).any():
+            raise ValueError("negative result counts")
+        self._s = (1.0 - self.gamma) * self._s + self.gamma * counts
+
+    def rates(self) -> np.ndarray:
+        """Current ``s_k`` estimates (copy)."""
+        return self._s.copy()
+
+
+def allocate_tiles(
+    num_tiles: int,
+    rates,
+    tile_bits: float = 0.0,
+    storage_bits=None,
+    rng: np.random.Generator | None = None,
+    epsilon: float = 1e-9,
+) -> np.ndarray:
+    """Algorithm 3 — greedy min-max allocation of ``num_tiles`` unit tiles.
+
+    Parameters
+    ----------
+    rates:
+        ``s_k`` from Algorithm 2.  Nodes with ``s_k <= epsilon`` are treated
+        as dead and receive nothing.
+    tile_bits / storage_bits:
+        Enforce ``tile_bits * x_k <= storage_bits[k]`` (``M x_k <= H_k``).
+    rng:
+        Used to break ties randomly as in the paper; deterministic
+        lowest-index tie-breaking when omitted.
+    """
+    s = np.asarray(rates, dtype=float)
+    if num_tiles < 0:
+        raise ValueError("negative tile count")
+    k = len(s)
+    if storage_bits is None:
+        capacity = np.full(k, np.inf)
+    else:
+        capacity = np.asarray(storage_bits, dtype=float)
+        if capacity.shape != s.shape:
+            raise ValueError("storage_bits must match rates length")
+    if tile_bits > 0:
+        max_tiles = np.floor(capacity / tile_bits)
+    else:
+        max_tiles = np.full(k, np.inf)
+    alive = s > epsilon
+    x = np.zeros(k, dtype=int)
+    for _ in range(num_tiles):
+        eligible = alive & (x < max_tiles)
+        if not eligible.any():
+            raise SchedulingError(
+                "no node can accept another tile (all failed or storage-exhausted)"
+            )
+        ratios = np.where(eligible, (x + 1) / np.where(alive, s, 1.0), np.inf)
+        best = ratios.min()
+        candidates = np.flatnonzero(ratios <= best * (1 + 1e-12))
+        choice = int(rng.choice(candidates)) if rng is not None else int(candidates[0])
+        x[choice] += 1
+    return x
+
+
+def brute_force_allocation(num_tiles: int, rates) -> np.ndarray:
+    """Exact min-max allocation by exhaustive search (tests only)."""
+    s = np.asarray(rates, dtype=float)
+    k = len(s)
+    if num_tiles > 12 or k > 4:
+        raise ValueError("brute force limited to tiny instances")
+    best, best_cost = None, math.inf
+    for combo in itertools.product(range(num_tiles + 1), repeat=k):
+        if sum(combo) != num_tiles:
+            continue
+        cost = max((c / s[i]) if s[i] > 0 else (math.inf if c else 0.0) for i, c in enumerate(combo))
+        if cost < best_cost:
+            best, best_cost = np.array(combo), cost
+    assert best is not None
+    return best

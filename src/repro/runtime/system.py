@@ -1,0 +1,314 @@
+"""The ADCNN system of §6 as a discrete-event application (Figure 8/9).
+
+One Central node and K Conv nodes connected by a (by default shared, WiFi-
+like) medium.  Per image: the Input-partition block allocates tiles with
+Algorithm 3, tile batches stream to Conv nodes, each node computes its tiles
+FIFO and returns one (compressed) intermediate result per tile, and the
+Central node runs the rest layers once all results arrive or the deadline
+expires (missing tiles are zero-filled).  Algorithm 2 folds the per-image
+delivery counts into the ``s_k`` statistics that drive the next allocation.
+
+Deadline semantics: the paper starts a timer "after transmitting all the
+tiles of an input image" with T_L = 30 ms.  A fixed 30 ms from dispatch
+would expire long before *any* VGG16 tile completes (~25 ms/tile, 8 tiles
+per node), so we interpret T_L as slack on top of the Central node's own
+completion estimate: ``deadline = dispatch_done + slack * expected + T_L``
+(``expected`` = nominal compute time of the largest per-node batch;
+``slack`` defaults to 2).  EXPERIMENTS.md discusses this calibration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.profiling.latency_model import WIFI_LAN, LinkProfile
+from repro.simulator.core import Simulator
+from repro.simulator.node import SimNode
+
+from .scheduler import StatisticsCollector, allocate_tiles
+from .workload import ADCNNWorkload
+
+__all__ = ["ADCNNConfig", "ImageRecord", "ADCNNSystem", "MediumQueue"]
+
+
+class MediumQueue:
+    """A DES-integrated FIFO transmission resource (shared WiFi medium)."""
+
+    def __init__(self, sim: Simulator, profile: LinkProfile) -> None:
+        self.sim = sim
+        self.profile = profile
+        self._queue: list[tuple[float, Callable[[float], None]]] = []
+        self._busy = False
+        self.transferred_bits = 0.0
+
+    def request(self, bits: float, on_delivered: Callable[[float], None]) -> None:
+        """Enqueue ``bits`` that are ready *now*; callback gets arrival time."""
+        if bits < 0:
+            raise ValueError("negative transfer size")
+        self._queue.append((bits, on_delivered))
+        if not self._busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        bits, callback = self._queue.pop(0)
+        duration = self.profile.transfer_time(bits)
+        self.transferred_bits += bits
+
+        def complete() -> None:
+            arrival = self.sim.now
+            self._start_next()
+            callback(arrival)
+
+        self.sim.schedule(duration, complete)
+
+
+@dataclass(frozen=True)
+class ADCNNConfig:
+    """Runtime knobs of §6/§7.2."""
+
+    t_limit: float = 0.030        # T_L
+    deadline_slack: float = 2.0   # multiplier on the nominal completion estimate
+    gamma: float = 0.9            # Algorithm 2 decay
+    stats_initial: float = 1.0    # equal s_k at start -> even first split
+    pipeline_depth: int = 2       # images in flight (Figure 9 overlapping)
+
+    def __post_init__(self) -> None:
+        if self.t_limit < 0 or self.deadline_slack < 1.0:
+            raise ValueError("need t_limit >= 0 and deadline_slack >= 1")
+        if self.pipeline_depth < 1:
+            raise ValueError("pipeline depth must be >= 1")
+
+
+@dataclass
+class ImageRecord:
+    """Per-image outcome of a simulated run."""
+
+    image_id: int
+    dispatch_start: float
+    allocation: np.ndarray
+    dispatch_done: float = math.nan
+    deadline: float = math.nan
+    trigger_time: float = math.nan
+    completion: float = math.nan
+    received: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    zero_filled_tiles: int = 0
+
+    @property
+    def latency(self) -> float:
+        """End-to-end (§7.2): partition start -> final output."""
+        return self.completion - self.dispatch_start
+
+
+class ADCNNSystem:
+    """Simulated ADCNN deployment: build, ``run(n)``, inspect records."""
+
+    def __init__(
+        self,
+        workload: ADCNNWorkload,
+        conv_nodes: list[SimNode],
+        central: SimNode,
+        link: LinkProfile = WIFI_LAN,
+        config: ADCNNConfig | None = None,
+        shared_medium: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not conv_nodes:
+            raise ValueError("need at least one Conv node")
+        self.workload = workload
+        self.nodes = conv_nodes
+        self.central = central
+        self.link_profile = link
+        self.config = config or ADCNNConfig()
+        self.shared_medium = shared_medium
+        self.rng = rng
+        self.records: list[ImageRecord] = []
+
+    # ------------------------------------------------------------------ run
+    def run(self, num_images: int) -> list[ImageRecord]:
+        """Simulate ``num_images`` consecutive inferences; returns records."""
+        if num_images < 1:
+            raise ValueError("need at least one image")
+        sim = Simulator()
+        for node in self.nodes:
+            node.reset()
+        self.central.reset()
+        k = len(self.nodes)
+        stats = StatisticsCollector(k, gamma=self.config.gamma, initial=self.config.stats_initial)
+        if self.shared_medium:
+            shared = MediumQueue(sim, self.link_profile)
+            up = [shared] * k
+            down = [shared] * k
+        else:
+            up = [MediumQueue(sim, self.link_profile) for _ in range(k)]
+            down = [MediumQueue(sim, self.link_profile) for _ in range(k)]
+        self._media = list({id(m): m for m in up + down}.values())
+
+        records: list[ImageRecord] = []
+        state = {"next_image": 0, "in_flight": 0}
+        received: list[np.ndarray] = []
+        last_arrival: list[np.ndarray] = []
+        node_start: list[np.ndarray] = []
+        triggered: list[bool] = []
+
+        def try_dispatch() -> None:
+            if state["next_image"] >= num_images or state["in_flight"] >= self.config.pipeline_depth:
+                return
+            image_id = state["next_image"]
+            state["next_image"] += 1
+            state["in_flight"] += 1
+            allocation = allocate_tiles(
+                self.workload.num_tiles,
+                stats.rates(),
+                tile_bits=self.workload.tile_input_bits,
+                storage_bits=[n.storage_bits for n in self.nodes],
+                rng=self.rng,
+            )
+            rec = ImageRecord(image_id, sim.now, allocation)
+            records.append(rec)
+            received.append(np.zeros(k, dtype=int))
+            last_arrival.append(np.full(k, math.nan))
+            node_start.append(np.full(k, math.nan))
+            triggered.append(False)
+
+            pending_batches = int((allocation > 0).sum())
+            if pending_batches == 0:  # degenerate: nothing allocated
+                rec.dispatch_done = sim.now
+                arm_deadline(image_id)
+                return
+
+            def batch_delivered(node_idx: int, arrival: float) -> None:
+                nonlocal pending_batches
+                pending_batches -= 1
+                if pending_batches == 0:
+                    rec.dispatch_done = arrival
+                    arm_deadline(image_id)
+                start_node_compute(image_id, node_idx, int(allocation[node_idx]), arrival)
+
+            for idx in range(k):
+                if allocation[idx] > 0:
+                    bits = allocation[idx] * self.workload.tile_input_bits
+                    up[idx].request(bits, lambda t, i=idx: batch_delivered(i, t))
+
+        def start_node_compute(image_id: int, node_idx: int, count: int, arrival: float) -> None:
+            node_start[image_id][node_idx] = arrival
+            node = self.nodes[node_idx]
+            for _ in range(count):
+                finish = node.submit(arrival, self.workload.tile_macs)
+                if math.isfinite(finish):
+                    sim.schedule_at(
+                        finish,
+                        lambda i=image_id, n=node_idx, f=finish: down[n].request(
+                            self.workload.tile_output_bits,
+                            lambda t, i=i, n=n, f=f: result_delivered(i, n, f),
+                        ),
+                    )
+
+        def arm_deadline(image_id: int) -> None:
+            rec = records[image_id]
+            allocation = rec.allocation
+            nominal_compute = max(
+                (
+                    allocation[i] * self.workload.tile_macs / self.nodes[i].device.macs_per_second
+                    for i in range(k)
+                    if allocation[i] > 0
+                ),
+                default=0.0,
+            )
+            # The Central node's completion estimate budgets result transfer
+            # too — on a slow link the wire, not the CPU, is the long pole.
+            nominal_comm = self.workload.output_bits / self.link_profile.bandwidth_bps
+            nominal = nominal_compute + nominal_comm
+            rec.deadline = rec.dispatch_done + self.config.deadline_slack * nominal + self.config.t_limit
+            sim.schedule_at(rec.deadline, lambda i=image_id: trigger(i, by_deadline=True))
+
+        def result_delivered(image_id: int, node_idx: int, compute_finish: float) -> None:
+            if triggered[image_id]:
+                return  # late result past the deadline — already zero-filled
+            received[image_id][node_idx] += 1
+            # Results carry the node-side completion timestamp; rate credits
+            # should reflect compute speed, not medium queueing noise.
+            last_arrival[image_id][node_idx] = compute_finish
+            if received[image_id].sum() == records[image_id].allocation.sum():
+                trigger(image_id, by_deadline=False)
+
+        def trigger(image_id: int, by_deadline: bool) -> None:
+            if triggered[image_id]:
+                return
+            triggered[image_id] = True
+            rec = records[image_id]
+            rec.trigger_time = sim.now
+            rec.received = received[image_id].copy()
+            rec.zero_filled_tiles = int(rec.allocation.sum() - rec.received.sum())
+            stats.update(self._throughput_counts(rec, last_arrival[image_id], node_start[image_id]))
+            rec.completion = self.central.submit(
+                sim.now, self.workload.rest_macs + self.workload.partition_macs
+            )
+            # The pipeline window opens when the image *completes* (not at
+            # trigger): Figure 9 overlaps transfer/conv of image i+1 with
+            # the rest-layer stage of image i, but an unbounded in-flight
+            # count would let the Central node's queue grow without limit
+            # whenever the rest layers are the bottleneck stage.
+            sim.schedule_at(rec.completion, lambda: (state.__setitem__("in_flight", state["in_flight"] - 1), try_dispatch()))
+
+        sim.schedule(0.0, try_dispatch)
+        sim.schedule(0.0, try_dispatch)  # fill the pipeline window
+        sim.run()
+        self.records = records
+        return records
+
+    def _throughput_counts(
+        self, rec: ImageRecord, finishes: np.ndarray, starts: np.ndarray
+    ) -> np.ndarray:
+        """The ``n_k`` fed to Algorithm 2.
+
+        The paper counts results received within the window.  Raw counts can
+        only shrink a node's share (a fast node that finishes its batch early
+        still reports n_k = x_k), so we normalize each node's count by its
+        *busy span* (results carry node-side completion timestamps): a node
+        that returned its tiles in half the window is credited with twice the
+        rate.  When a node uses the full window — the straggler case the
+        paper targets — this reduces exactly to the paper's count.  Credits
+        are capped at the image's tile total.
+        """
+        window = max(rec.trigger_time - rec.dispatch_done, 1e-9)
+        counts = np.zeros(len(self.nodes))
+        for i in range(len(self.nodes)):
+            d = rec.received[i]
+            if d == 0:
+                continue
+            span = finishes[i] - starts[i]
+            span = window if not math.isfinite(span) or span <= 0 else min(span, window)
+            counts[i] = min(d * window / span, float(self.workload.num_tiles))
+        return counts
+
+    # ------------------------------------------------------------- analysis
+    def mean_latency(self, skip: int = 0) -> float:
+        """Average end-to-end latency (optionally skipping warm-up images)."""
+        lat = [r.latency for r in self.records[skip:]]
+        if not lat:
+            raise ValueError("no records — call run() first")
+        return float(np.mean(lat))
+
+    def total_transferred_bits(self) -> float:
+        return sum(m.transferred_bits for m in self._media)
+
+    def makespan(self) -> float:
+        return max(r.completion for r in self.records)
+
+    def node_utilization(self) -> np.ndarray:
+        """Per-Conv-node busy fraction over the run (§6.3's "nearly perfect
+        utilization" claim).  Measured from first dispatch to makespan."""
+        if not self.records:
+            raise ValueError("no records — call run() first")
+        window = self.makespan() - self.records[0].dispatch_start
+        if window <= 0:
+            return np.zeros(len(self.nodes))
+        return np.array([n.total_busy_time(until=self.makespan()) / window for n in self.nodes])

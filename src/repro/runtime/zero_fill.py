@@ -1,0 +1,76 @@
+"""Functional evaluation of the deadline zero-fill path (§6.1).
+
+When a Conv node misses ``T_L``, the Central node substitutes zeros for its
+tiles' intermediate results.  The DES tells us *when* that happens; this
+module tells us what it *costs in accuracy*: it runs the real FDSP model
+with a chosen set of tiles zeroed out, so experiments can sweep the
+robustness of a retrained model to stragglers and node failures — an
+evaluation the paper motivates (§6.1) but does not quantify.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+import repro.nn as nn
+from repro.nn import Tensor
+from repro.partition.fdsp import FDSPModel, fdsp_forward
+from repro.partition.geometry import reassemble_tensor, split_tensor
+
+__all__ = ["forward_with_missing_tiles", "accuracy_under_tile_loss"]
+
+
+def forward_with_missing_tiles(
+    fdsp: FDSPModel,
+    x: np.ndarray | Tensor,
+    missing_tiles: Iterable[int],
+) -> Tensor:
+    """FDSP inference with the listed tile results replaced by zeros.
+
+    Mirrors the Central node's behaviour exactly: the separable stack (plus
+    clip/quantize) runs per tile, then zero maps stand in for the missing
+    tile ids before the rest layers run.
+    """
+    missing = set(missing_tiles)
+    if not all(0 <= t < fdsp.grid.num_tiles for t in missing):
+        raise ValueError(f"tile ids out of range for grid {fdsp.grid}")
+    if not isinstance(x, Tensor):
+        x = Tensor(x)
+    tiles = split_tensor(x, fdsp.grid)
+    separable = fdsp.model.separable_part()
+    outs = []
+    for tile_id, tile in enumerate(tiles):
+        out = fdsp.quant(fdsp.clip(separable(tile)))
+        if tile_id in missing:
+            out = Tensor(np.zeros_like(out.data))
+        outs.append(out)
+    feature_map = reassemble_tensor(outs, fdsp.grid)
+    return fdsp.model.rest_part()(feature_map)
+
+
+def accuracy_under_tile_loss(
+    fdsp: FDSPModel,
+    images: np.ndarray,
+    labels: np.ndarray,
+    loss_fraction: float,
+    seed: int = 0,
+    batch_size: int = 16,
+) -> float:
+    """Classification accuracy when a random ``loss_fraction`` of tiles is
+    zero-filled per image (straggler/failure emulation)."""
+    if not 0.0 <= loss_fraction <= 1.0:
+        raise ValueError("loss_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    num_tiles = fdsp.grid.num_tiles
+    num_lost = int(round(loss_fraction * num_tiles))
+    fdsp.eval()
+    correct = 0
+    with nn.no_grad():
+        for i in range(0, len(labels), batch_size):
+            batch = images[i : i + batch_size]
+            missing = rng.choice(num_tiles, size=num_lost, replace=False) if num_lost else []
+            logits = forward_with_missing_tiles(fdsp, batch, missing).data
+            correct += int((logits.argmax(axis=1) == labels[i : i + batch_size]).sum())
+    return correct / len(labels)

@@ -1,0 +1,23 @@
+"""Discrete-event edge-cluster simulator (testbed substitute — DESIGN.md §2)."""
+
+from .analysis import StageBreakdown, latency_series, render_timeline, stage_breakdown
+from .core import Simulator
+from .events import Event, EventQueue
+from .network import Link, Medium
+from .node import CpuSchedule, SimNode
+from .trace import TraceRecorder
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "EventQueue",
+    "SimNode",
+    "CpuSchedule",
+    "Link",
+    "Medium",
+    "TraceRecorder",
+    "StageBreakdown",
+    "stage_breakdown",
+    "latency_series",
+    "render_timeline",
+]

@@ -1,0 +1,73 @@
+"""Post-run analysis of simulated ADCNN executions.
+
+Turns a list of :class:`~repro.runtime.system.ImageRecord` plus the node
+busy intervals into the quantities the paper discusses: stage breakdowns
+(Figure 9's T_F / T_Conv / T_C / T_rest), per-node utilization, and a
+textual timeline for debugging runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["StageBreakdown", "stage_breakdown", "latency_series", "render_timeline"]
+
+
+@dataclass(frozen=True)
+class StageBreakdown:
+    """Mean per-image stage durations (Figure 9's timeline segments)."""
+
+    dispatch_s: float   # T_F: partition + input-tile transfer
+    conv_wait_s: float  # T_Conv + T_C: node compute + result return
+    rest_s: float       # T_rest: Central-node rest layers
+
+    @property
+    def total_s(self) -> float:
+        return self.dispatch_s + self.conv_wait_s + self.rest_s
+
+
+def stage_breakdown(records, skip: int = 0) -> StageBreakdown:
+    """Average the three visible latency stages over ``records[skip:]``."""
+    rows = records[skip:]
+    if not rows:
+        raise ValueError("no records to analyse")
+    dispatch = float(np.mean([r.dispatch_done - r.dispatch_start for r in rows]))
+    conv = float(np.mean([r.trigger_time - r.dispatch_done for r in rows]))
+    rest = float(np.mean([r.completion - r.trigger_time for r in rows]))
+    return StageBreakdown(dispatch, conv, rest)
+
+
+def latency_series(records) -> np.ndarray:
+    """Per-image latency array (seconds) — Figure 15(b)'s curve."""
+    return np.array([r.latency for r in records])
+
+
+def render_timeline(records, width: int = 60, max_rows: int = 20) -> str:
+    """ASCII timeline: one row per image, `d`=dispatch, `c`=conv+collect,
+    `r`=rest layers, scaled to the run's makespan."""
+    if not records:
+        return "(no records)"
+    rows = records[:max_rows]
+    end = max(r.completion for r in rows)
+    start = rows[0].dispatch_start
+    span = max(end - start, 1e-9)
+
+    def pos(t: float) -> int:
+        return min(width - 1, int((t - start) / span * width))
+
+    lines = []
+    for r in rows:
+        line = [" "] * width
+        for lo, hi, ch in (
+            (r.dispatch_start, r.dispatch_done, "d"),
+            (r.dispatch_done, r.trigger_time, "c"),
+            (r.trigger_time, r.completion, "r"),
+        ):
+            for i in range(pos(lo), max(pos(hi), pos(lo) + 1)):
+                line[i] = ch
+        lines.append(f"img{r.image_id:>3} |{''.join(line)}|")
+    if len(records) > max_rows:
+        lines.append(f"... ({len(records) - max_rows} more)")
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Simulated network links with FIFO serialization.
+
+The testbed's WiFi is a shared half-duplex medium: all Central<->Conv-node
+transfers contend for the same 87.72 Mbps.  :class:`Medium` models that
+shared capacity; :class:`Link` gives each node pair its own capacity (the
+edge-to-cloud uplink).  Both serialize transfers FIFO and return delivery
+times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.profiling.latency_model import LinkProfile
+
+__all__ = ["Medium", "Link"]
+
+
+@dataclass
+class Medium:
+    """A shared transmission medium (WiFi LAN): one transfer at a time."""
+
+    profile: LinkProfile
+
+    def __post_init__(self) -> None:
+        self._busy_until = 0.0
+        self.transferred_bits = 0.0
+
+    def transfer(self, ready: float, bits: float) -> float:
+        """Deliver ``bits`` that become ready at ``ready``; returns arrival."""
+        if bits < 0:
+            raise ValueError("negative transfer size")
+        start = max(ready, self._busy_until)
+        finish = start + self.profile.transfer_time(bits)
+        self._busy_until = finish
+        self.transferred_bits += bits
+        return finish
+
+    def reset(self) -> None:
+        self._busy_until = 0.0
+        self.transferred_bits = 0.0
+
+
+@dataclass
+class Link:
+    """A dedicated point-to-point link (FIFO on this link only)."""
+
+    profile: LinkProfile
+    name: str = ""
+    medium: Medium | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        self._busy_until = 0.0
+        self.transferred_bits = 0.0
+
+    def transfer(self, ready: float, bits: float) -> float:
+        if self.medium is not None:
+            return self.medium.transfer(ready, bits)
+        if bits < 0:
+            raise ValueError("negative transfer size")
+        start = max(ready, self._busy_until)
+        finish = start + self.profile.transfer_time(bits)
+        self._busy_until = finish
+        self.transferred_bits += bits
+        return finish
+
+    def reset(self) -> None:
+        self._busy_until = 0.0
+        self.transferred_bits = 0.0

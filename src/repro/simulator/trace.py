@@ -1,0 +1,27 @@
+"""Trace recording for simulated runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["TraceRecorder"]
+
+
+@dataclass
+class TraceRecorder:
+    """Chronological record of simulation events (dict rows)."""
+
+    events: list[dict[str, Any]] = field(default_factory=list)
+
+    def record(self, time: float, kind: str, **fields: Any) -> None:
+        self.events.append({"time": time, "kind": kind, **fields})
+
+    def of_kind(self, kind: str) -> list[dict[str, Any]]:
+        return [e for e in self.events if e["kind"] == kind]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)

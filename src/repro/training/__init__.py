@@ -1,0 +1,29 @@
+"""Training loops, bound search, and Algorithm-1 progressive retraining."""
+
+from .bounds_search import BoundsSearchResult, search_clip_bounds
+from .progressive import ProgressiveResult, StageReport, oneshot_retrain, progressive_retrain
+from .trainer import (
+    TrainConfig,
+    TrainHistory,
+    evaluate_classification,
+    evaluate_detection_cells,
+    evaluate_segmentation,
+    train_epochs,
+    train_until_recovered,
+)
+
+__all__ = [
+    "TrainConfig",
+    "TrainHistory",
+    "train_epochs",
+    "train_until_recovered",
+    "evaluate_classification",
+    "evaluate_segmentation",
+    "evaluate_detection_cells",
+    "search_clip_bounds",
+    "BoundsSearchResult",
+    "progressive_retrain",
+    "oneshot_retrain",
+    "ProgressiveResult",
+    "StageReport",
+]

@@ -1,0 +1,82 @@
+"""Clipped-ReLU bound selection (§7.1).
+
+The paper: "we first search for a coarse parameter range based on separable
+layer block output statistics, and then perform grid search to produce
+expected output sparsity."  Implemented exactly that way: percentiles of a
+calibration batch of separable-output activations give the coarse range,
+then a small grid picks the (lower, upper) pair that meets the sparsity
+target with minimal clip-plus-quantize distortion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BoundsSearchResult", "search_clip_bounds"]
+
+
+@dataclass(frozen=True)
+class BoundsSearchResult:
+    lower: float
+    upper: float
+    achieved_sparsity: float
+    quantization_mse: float
+
+
+def _clip_quant_mse(acts: np.ndarray, lower: float, upper: float, bits: int) -> float:
+    """Distortion over the *surviving* activations (x > lower): both the
+    quantization grid error and the top-clipping error count; the values the
+    lower bound zeroes are the sparsity budget, priced separately."""
+    survivors = acts[acts > lower]
+    if survivors.size == 0:
+        return float("inf")
+    clipped = np.clip(survivors, lower, upper) - lower
+    step = (upper - lower) / (2**bits - 1)
+    q = np.rint(clipped / step) * step
+    return float(np.mean((q - (survivors - lower)) ** 2))
+
+
+def search_clip_bounds(
+    activations: np.ndarray,
+    target_sparsity: float = 0.85,
+    bits: int = 4,
+    grid_points: int = 8,
+) -> BoundsSearchResult:
+    """Pick clipped-ReLU bounds from calibration activations.
+
+    ``activations`` is a sample of separable-block outputs (post-ReLU, so
+    non-negative values dominate).  The lower bound controls sparsity
+    (everything below it becomes zero); the upper bound trades clipping
+    error against quantization step size.
+    """
+    acts = np.asarray(activations, dtype=np.float32).reshape(-1)
+    if acts.size == 0:
+        raise ValueError("empty calibration sample")
+    if not 0.0 <= target_sparsity < 1.0:
+        raise ValueError("target_sparsity must be in [0, 1)")
+    # Coarse step: the lower bound is the quantile that *hits* the sparsity
+    # target — the paper's "grid search to produce expected output
+    # sparsity" — not more (over-sparsifying destroys information the rest
+    # layers need, and retraining cannot fully recover it).
+    lower = float(max(np.quantile(acts, target_sparsity), 0.0))
+    sparsity = float((acts <= lower).mean())
+    # Fine step: grid over the upper bound, trading quantization step size
+    # against top-clipping error on the surviving activations.
+    upper_lo = float(np.quantile(acts, min(0.97, target_sparsity + (1 - target_sparsity) * 0.5)))
+    upper_hi = float(acts.max())
+    if upper_hi <= lower:
+        upper_hi = lower + max(abs(lower), 1e-3)
+    uppers = np.linspace(max(upper_lo, lower + 1e-3), upper_hi + 1e-6, grid_points)
+    best: BoundsSearchResult | None = None
+    for hi in uppers:
+        if hi <= lower:
+            continue
+        mse = _clip_quant_mse(acts, lower, float(hi), bits)
+        if best is None or mse < best.quantization_mse:
+            best = BoundsSearchResult(lower, float(hi), sparsity, mse)
+    if best is None:  # degenerate (e.g. constant activations)
+        best = BoundsSearchResult(lower, float(upper_hi), sparsity,
+                                  _clip_quant_mse(acts, lower, float(upper_hi), bits))
+    return best

@@ -1,0 +1,171 @@
+"""Algorithm 1 — progressive retraining (§5).
+
+Three small modifications applied one at a time, each retrained from the
+previous stage's weights until accuracy recovers:
+
+1. FDSP: partition the separable blocks' inputs into tiles (zero-padded
+   borders);
+2. clipped ReLU on the separable output (bounds from
+   :mod:`repro.training.bounds_search`);
+3. k-bit quantization with a straight-through gradient.
+
+Because each step perturbs the loss surface only slightly, the previous
+optimum is a good initialization and a handful of epochs recovers the
+accuracy (Table 1) — versus 4-5% residual degradation when all
+modifications land at once (§5), which :func:`oneshot_retrain` reproduces
+as the ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+import repro.nn as nn
+from repro.models.blocks import PartitionableCNN
+from repro.nn import Tensor
+from repro.partition.fdsp import FDSPModel
+
+from .bounds_search import BoundsSearchResult, search_clip_bounds
+from .trainer import TrainConfig, train_until_recovered
+
+__all__ = ["StageReport", "ProgressiveResult", "progressive_retrain", "oneshot_retrain"]
+
+
+@dataclass(frozen=True)
+class StageReport:
+    """One row of Table 1: epochs spent recovering one modification."""
+
+    name: str
+    epochs: int
+    metric: float
+
+
+@dataclass
+class ProgressiveResult:
+    """Final modified model + the per-stage recovery record."""
+
+    model: FDSPModel
+    stages: list[StageReport] = field(default_factory=list)
+    baseline_metric: float = 0.0
+    bounds: BoundsSearchResult | None = None
+
+    @property
+    def total_epochs(self) -> int:
+        return sum(s.epochs for s in self.stages)
+
+    @property
+    def final_metric(self) -> float:
+        return self.stages[-1].metric if self.stages else float("nan")
+
+    @property
+    def degradation(self) -> float:
+        """baseline - final (what Figure 10 plots per partition option)."""
+        return self.baseline_metric - self.final_metric
+
+
+def _collect_separable_activations(fdsp: FDSPModel, inputs: np.ndarray, sample: int = 8) -> np.ndarray:
+    """Calibration sample of separable-stack outputs (pre-compression)."""
+    fdsp.eval()
+    with nn.no_grad():
+        from repro.partition.fdsp import fdsp_forward
+
+        out = fdsp_forward(fdsp.model.separable_part(), Tensor(inputs[:sample]), fdsp.grid)
+    return out.data
+
+
+def progressive_retrain(
+    model: PartitionableCNN,
+    grid,
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    loss_fn: Callable[[Tensor, np.ndarray], Tensor],
+    metric_fn: Callable[[nn.Module], float],
+    bits: int = 4,
+    target_sparsity: float = 0.85,
+    recover_margin: float = 0.01,
+    max_epochs_per_stage: int = 5,
+    config: TrainConfig | None = None,
+) -> ProgressiveResult:
+    """Run Algorithm 1 on a converged model.
+
+    ``metric_fn`` evaluates any module on held-out data (accuracy / IoU /
+    mAP proxy); recovery means reaching ``baseline - recover_margin``
+    (the paper allows <=1% degradation).  The input ``model`` is modified
+    in place (its weights are the ones being retrained).
+    """
+    baseline = metric_fn(model)
+    target = baseline - recover_margin
+    result = ProgressiveResult(model=FDSPModel(model, grid), baseline_metric=baseline)
+
+    # Stage 1 (Algorithm 1 line 3): apply FDSP, retrain until recovered.
+    m1 = FDSPModel(model, grid)
+    epochs, metric = train_until_recovered(
+        m1, inputs, targets, loss_fn, metric_fn, target, max_epochs_per_stage, config
+    )
+    result.stages.append(StageReport("FDSP", epochs, metric))
+
+    # Stage 2 (line 4): insert the clipped ReLU on separable outputs.
+    acts = _collect_separable_activations(m1, inputs)
+    bounds = search_clip_bounds(acts, target_sparsity=target_sparsity, bits=bits)
+    result.bounds = bounds
+    m2 = FDSPModel(model, m1.grid, clipped_relu=nn.ClippedReLU(bounds.lower, bounds.upper))
+    epochs, metric = train_until_recovered(
+        m2, inputs, targets, loss_fn, metric_fn, target, max_epochs_per_stage, config
+    )
+    result.stages.append(StageReport("Clipped ReLU", epochs, metric))
+
+    # Stage 3 (line 5): quantize the clipped output (straight-through).
+    m3 = FDSPModel(
+        model,
+        m1.grid,
+        clipped_relu=nn.ClippedReLU(bounds.lower, bounds.upper),
+        quantizer=nn.QuantizeSTE(bits=bits, max_value=bounds.upper - bounds.lower),
+    )
+    epochs, metric = train_until_recovered(
+        m3, inputs, targets, loss_fn, metric_fn, target, max_epochs_per_stage, config
+    )
+    result.stages.append(StageReport("Quantization", epochs, metric))
+
+    result.model = m3
+    return result
+
+
+def oneshot_retrain(
+    model: PartitionableCNN,
+    grid,
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    loss_fn: Callable[[Tensor, np.ndarray], Tensor],
+    metric_fn: Callable[[nn.Module], float],
+    bits: int = 4,
+    target_sparsity: float = 0.85,
+    recover_margin: float = 0.01,
+    max_epochs: int = 15,
+    config: TrainConfig | None = None,
+) -> ProgressiveResult:
+    """Ablation: apply all three modifications at once and retrain.
+
+    §5 reports this converges worse (4-5% below the original accuracy);
+    the ablation benchmark compares it against Algorithm 1 at equal epoch
+    budgets.
+    """
+    baseline = metric_fn(model)
+    target = baseline - recover_margin
+    fdsp_plain = FDSPModel(model, grid)
+    acts = _collect_separable_activations(fdsp_plain, inputs)
+    bounds = search_clip_bounds(acts, target_sparsity=target_sparsity, bits=bits)
+    full = FDSPModel(
+        model,
+        fdsp_plain.grid,
+        clipped_relu=nn.ClippedReLU(bounds.lower, bounds.upper),
+        quantizer=nn.QuantizeSTE(bits=bits, max_value=bounds.upper - bounds.lower),
+    )
+    epochs, metric = train_until_recovered(
+        full, inputs, targets, loss_fn, metric_fn, target, max_epochs, config
+    )
+    result = ProgressiveResult(model=full, baseline_metric=baseline, bounds=bounds)
+    result.stages.append(StageReport("all-at-once", epochs, metric))
+    return result

@@ -1,0 +1,40 @@
+"""Shared numerical-gradient checking helpers for the nn test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Tensor
+
+
+def numerical_grad(fn, x: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``fn`` at ``x``."""
+    x = x.astype(np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = fn(x)
+        flat[i] = orig - eps
+        lo = fn(x)
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check_grad(build_fn, x: np.ndarray, atol: float = 1e-2, rtol: float = 1e-2) -> None:
+    """Assert autograd gradient of ``build_fn(Tensor) -> Tensor`` matches
+    the numerical gradient.  ``build_fn`` must return a scalar Tensor."""
+    t = Tensor(x.astype(np.float64), requires_grad=True)
+    out = build_fn(t)
+    assert out.size == 1, "check_grad requires a scalar output"
+    out.backward()
+    analytic = t.grad
+
+    def scalar_fn(arr: np.ndarray) -> float:
+        return float(build_fn(Tensor(arr)).data)
+
+    numeric = numerical_grad(scalar_fn, x.copy())
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)

@@ -1,0 +1,144 @@
+"""Tests for the §7 comparison baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AOFLForward,
+    aofl_latency,
+    block_extensions,
+    neurosurgeon_latency,
+    remote_cloud_latency,
+    single_device_latency,
+)
+from repro.models import get_spec, vgg_mini
+from repro.nn import Tensor
+from repro.partition import TileGrid
+from repro.profiling import RASPBERRY_PI_3B, profile_for_model
+
+RNG = np.random.default_rng(41)
+
+
+class TestSingleDevice:
+    def test_vgg16_matches_table3(self):
+        res = single_device_latency(get_spec("vgg16"))
+        assert res.total_s == pytest.approx(1.587, rel=0.02)
+        assert res.transmission_s == 0.0
+
+
+class TestRemoteCloud:
+    def test_vgg16_matches_table3(self):
+        """Table 3: transmission 502.21 ms, computation 98.94 ms."""
+        res = remote_cloud_latency(get_spec("vgg16"))
+        assert res.transmission_s == pytest.approx(0.502, rel=0.06)
+        assert res.compute_s == pytest.approx(0.099, rel=0.05)
+
+    def test_transmission_dominates(self):
+        """§7.2: the remote-cloud scheme is constrained by transmission."""
+        res = remote_cloud_latency(get_spec("vgg16"))
+        assert res.transmission_s > res.compute_s * 3
+
+
+class TestNeurosurgeon:
+    def test_prefers_early_split(self):
+        """§7.4: Neurosurgeon partitions at early layers for all models."""
+        for name in ("vgg16", "resnet34", "yolo"):
+            res = neurosurgeon_latency(get_spec(name))
+            assert res.best.split.index <= 2
+
+    def test_transmission_fraction_high(self):
+        """§7.4: transmission ~67% of Neurosurgeon's latency."""
+        res = neurosurgeon_latency(get_spec("vgg16"))
+        assert res.transmission_fraction > 0.5
+
+    def test_beats_single_device(self):
+        for name in ("vgg16", "yolo"):
+            dev = profile_for_model(RASPBERRY_PI_3B, name)
+            ns = neurosurgeon_latency(get_spec(name), edge=dev)
+            sd = single_device_latency(get_spec(name), device=dev)
+            assert ns.total_s < sd.total_s
+
+    def test_candidates_cover_all_splits(self):
+        spec = get_spec("vgg16")
+        res = neurosurgeon_latency(spec)
+        assert len(res.candidates) == len(spec.blocks) + 1
+
+    def test_best_is_minimum(self):
+        res = neurosurgeon_latency(get_spec("vgg16"))
+        assert res.best.total_s == min(c.total_s for c in res.candidates)
+
+
+class TestAOFLLatency:
+    def test_beats_single_device_on_vgg(self):
+        dev = profile_for_model(RASPBERRY_PI_3B, "vgg16")
+        ao = aofl_latency(get_spec("vgg16"), TileGrid(2, 4), device=dev)
+        sd = single_device_latency(get_spec("vgg16"), device=dev)
+        assert ao.total_s < sd.total_s / 1.5
+
+    def test_groups_cover_prefix_contiguously(self):
+        ao = aofl_latency(get_spec("vgg16"), TileGrid(2, 4))
+        ends = [g.start for g in ao.groups] + [ao.groups[-1].end]
+        assert ends[0] == 0
+        for g1, g2 in zip(ao.groups, ao.groups[1:]):
+            assert g1.end == g2.start
+
+    def test_overhead_at_least_one(self):
+        ao = aofl_latency(get_spec("vgg16"), TileGrid(2, 4))
+        assert all(g.compute_overhead >= 1.0 for g in ao.groups)
+
+    def test_deeper_fusion_more_overhead(self):
+        """§7.4: halo recompute overhead grows with fuse depth."""
+        spec = get_spec("vgg16")
+        shallow = aofl_latency(spec, TileGrid(2, 4), fuse_depth=2)
+        deep = aofl_latency(spec, TileGrid(2, 4), fuse_depth=7)
+        assert deep.groups[0].compute_overhead > shallow.groups[0].compute_overhead
+
+    def test_forced_depth_respected(self):
+        ao = aofl_latency(get_spec("vgg16"), TileGrid(2, 4), fuse_depth=4)
+        assert ao.groups[0].end == 4
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            aofl_latency(get_spec("charcnn"), TileGrid(2, 4))
+
+    def test_rejects_bad_overlap(self):
+        with pytest.raises(ValueError):
+            aofl_latency(get_spec("vgg16"), TileGrid(2, 4), comm_overlap=1.0)
+
+    def test_extensions_monotone_decreasing(self):
+        """E_j shrinks as the halo is consumed block by block."""
+        exts = block_extensions(get_spec("vgg16"), 7)
+        assert all(a >= b for a, b in zip(exts, exts[1:]))
+        assert exts[-1] >= 1
+
+
+class TestAOFLForwardExactness:
+    def test_equals_unpartitioned(self):
+        """The fused-tile execution must be exact everywhere, including at
+        image boundaries (per-block out-of-image masking)."""
+        model = vgg_mini(input_size=32, base_width=6).eval()
+        stack = model.separable_part()  # 4 blocks incl. one pool
+        runner = AOFLForward(stack, TileGrid(2, 2))
+        x = RNG.normal(size=(1, 3, 32, 32)).astype(np.float32)
+        ref = stack(Tensor(x)).data
+        np.testing.assert_allclose(runner(x), ref, atol=1e-4)
+
+    def test_equals_unpartitioned_4x4(self):
+        model = vgg_mini(input_size=32, base_width=4).eval()
+        stack = model.separable_part()
+        runner = AOFLForward(stack, TileGrid(4, 4))
+        x = RNG.normal(size=(1, 3, 32, 32)).astype(np.float32)
+        ref = stack(Tensor(x)).data
+        np.testing.assert_allclose(runner(x), ref, atol=1e-4)
+
+    def test_extension_positive(self):
+        model = vgg_mini(input_size=32, base_width=4).eval()
+        runner = AOFLForward(model.separable_part(), TileGrid(2, 2))
+        assert runner.input_extension() > 0
+        assert runner.input_extension() % runner.total_reduction() == 0
+
+    def test_rejects_non_layerblock(self):
+        import repro.nn as nn
+
+        with pytest.raises(TypeError):
+            AOFLForward(nn.Sequential(nn.Linear(4, 4)), TileGrid(2, 2))

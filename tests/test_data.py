@@ -1,0 +1,130 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    make_classification,
+    make_detection,
+    make_segmentation,
+    make_text_classification,
+)
+
+
+class TestClassification:
+    def test_shapes_and_dtypes(self):
+        d = make_classification(num_samples=20, num_classes=3, image_size=16)
+        assert d.images.shape == (20, 3, 16, 16) and d.images.dtype == np.float32
+        assert d.labels.shape == (20,) and d.labels.max() < 3
+
+    def test_deterministic(self):
+        a = make_classification(num_samples=10, seed=7)
+        b = make_classification(num_samples=10, seed=7)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = make_classification(num_samples=10, seed=1)
+        b = make_classification(num_samples=10, seed=2)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_split(self):
+        d = make_classification(num_samples=50)
+        train, test = d.split(0.8)
+        assert len(train) == 40 and len(test) == 10
+
+    def test_split_validation(self):
+        with pytest.raises(ValueError):
+            make_classification(num_samples=10).split(1.5)
+
+    def test_batches(self):
+        d = make_classification(num_samples=25)
+        batches = list(d.batches(10))
+        assert [len(b[1]) for b in batches] == [10, 10, 5]
+
+    def test_labels_locally_decodable(self):
+        """The class signal must be local: a single quadrant should carry
+        enough orientation information to separate classes (this is the
+        property FDSP depends on)."""
+        d = make_classification(num_samples=60, num_classes=2, image_size=32, noise=0.05)
+        # Gradient-direction statistic on one 16x16 quadrant.
+        patch = d.images[:, 0, :16, :16]
+        gy = np.abs(np.diff(patch, axis=1)).mean(axis=(1, 2))
+        gx = np.abs(np.diff(patch, axis=2)).mean(axis=(1, 2))
+        stat = gy / (gx + 1e-6)
+        m0 = stat[d.labels == 0].mean()
+        m1 = stat[d.labels == 1].mean()
+        assert abs(m0 - m1) > 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_classification(num_samples=2, num_classes=5)
+
+
+class TestSegmentation:
+    def test_shapes(self):
+        d = make_segmentation(num_samples=10, num_classes=3, image_size=24)
+        assert d.images.shape == (10, 3, 24, 24)
+        assert d.masks.shape == (10, 24, 24)
+        assert set(np.unique(d.masks)) <= {0, 1, 2}
+
+    def test_foreground_present(self):
+        d = make_segmentation(num_samples=10, image_size=24)
+        assert all((d.masks[i] > 0).any() for i in range(10))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_segmentation(num_classes=1)
+
+    def test_split(self):
+        train, test = make_segmentation(num_samples=10).split(0.8)
+        assert len(train) == 8 and len(test) == 2
+
+
+class TestDetection:
+    def test_target_layout(self):
+        d = make_detection(num_samples=5, num_classes=3, image_size=48, grid_stride=8)
+        assert d.targets.shape == (5, 8, 6, 6)
+        obj = d.targets[:, 4]
+        assert obj.max() == 1.0
+        # Objectness cells carry exactly one class.
+        cls_sum = d.targets[:, 5:].sum(axis=1)
+        np.testing.assert_array_equal((cls_sum > 0), (obj > 0.5))
+
+    def test_offsets_in_unit_range(self):
+        d = make_detection(num_samples=5)
+        obj = d.targets[:, 4] > 0.5
+        assert d.targets[:, 0][obj].min() >= 0 and d.targets[:, 0][obj].max() <= 1
+
+    def test_boxes_match_cells(self):
+        d = make_detection(num_samples=3, grid_stride=8)
+        for i, boxes in enumerate(d.boxes[:3]):
+            for b in boxes:
+                gx, gy = int(b["cx"] // 8), int(b["cy"] // 8)
+                assert d.targets[i, 4, gy, gx] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_detection(image_size=50, grid_stride=8)
+
+
+class TestText:
+    def test_shapes(self):
+        d = make_text_classification(num_samples=12, num_classes=3, vocab=10, length=64)
+        assert d.encoded.shape == (12, 10, 64)
+        assert d.indices.shape == (12, 64)
+        # One-hot: each position sums to 1.
+        np.testing.assert_allclose(d.encoded.sum(axis=1), 1.0)
+
+    def test_motif_planted(self):
+        d = make_text_classification(num_samples=20, num_classes=2, vocab=8, length=64, seed=3)
+        # Samples of the same class share a frequent 6-gram (the motif).
+        cls0 = d.indices[d.labels == 0]
+        if len(cls0) >= 2:
+            grams0 = {tuple(cls0[0, i : i + 6]) for i in range(64 - 6)}
+            grams1 = {tuple(cls0[1, i : i + 6]) for i in range(64 - 6)}
+            assert grams0 & grams1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_text_classification(length=4, motif_length=6)

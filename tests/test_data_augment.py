@@ -1,0 +1,70 @@
+"""Tests for the augmentation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.data import augment_batch, random_horizontal_flip, random_translate
+
+RNG = np.random.default_rng(73)
+
+
+class TestFlip:
+    def test_p_zero_identity(self):
+        x = RNG.normal(size=(4, 3, 8, 8)).astype(np.float32)
+        np.testing.assert_array_equal(random_horizontal_flip(x, np.random.default_rng(0), p=0.0), x)
+
+    def test_p_one_flips_all(self):
+        x = RNG.normal(size=(4, 3, 8, 8)).astype(np.float32)
+        out = random_horizontal_flip(x, np.random.default_rng(0), p=1.0)
+        np.testing.assert_array_equal(out, x[:, :, :, ::-1])
+
+    def test_double_flip_identity(self):
+        x = RNG.normal(size=(2, 1, 6, 6)).astype(np.float32)
+        rng = np.random.default_rng(0)
+        once = random_horizontal_flip(x, rng, p=1.0)
+        twice = random_horizontal_flip(once, rng, p=1.0)
+        np.testing.assert_array_equal(twice, x)
+
+    def test_does_not_mutate_input(self):
+        x = RNG.normal(size=(4, 1, 4, 4)).astype(np.float32)
+        before = x.copy()
+        random_horizontal_flip(x, np.random.default_rng(1), p=1.0)
+        np.testing.assert_array_equal(x, before)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_horizontal_flip(np.zeros((1, 1, 2, 2)), np.random.default_rng(0), p=2.0)
+
+
+class TestTranslate:
+    def test_zero_shift_identity(self):
+        x = RNG.normal(size=(3, 2, 8, 8)).astype(np.float32)
+        np.testing.assert_array_equal(random_translate(x, np.random.default_rng(0), max_shift=0), x)
+
+    def test_mass_preserved_or_clipped(self):
+        """Shifting only moves or drops pixels — never invents energy."""
+        x = np.abs(RNG.normal(size=(8, 1, 10, 10))).astype(np.float32)
+        out = random_translate(x, np.random.default_rng(2), max_shift=3)
+        assert out.sum() <= x.sum() + 1e-4
+
+    def test_shape_preserved(self):
+        x = RNG.normal(size=(2, 3, 12, 12)).astype(np.float32)
+        assert random_translate(x, np.random.default_rng(0), max_shift=2).shape == x.shape
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_translate(np.zeros((1, 1, 4, 4)), np.random.default_rng(0), max_shift=-1)
+
+
+class TestAugmentBatch:
+    def test_composition_runs(self):
+        x = RNG.normal(size=(6, 3, 16, 16)).astype(np.float32)
+        out = augment_batch(x, np.random.default_rng(5))
+        assert out.shape == x.shape
+        assert not np.array_equal(out, x)  # something changed
+
+    def test_deterministic_with_seeded_rng(self):
+        x = RNG.normal(size=(6, 3, 16, 16)).astype(np.float32)
+        a = augment_batch(x, np.random.default_rng(7))
+        b = augment_batch(x, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,44 @@
+"""Tests for the global-structure negative-control dataset."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_global_structure
+
+
+class TestGlobalStructure:
+    def test_shapes_and_balance(self):
+        d = make_global_structure(num_samples=100, image_size=32, seed=1)
+        assert d.images.shape == (100, 3, 32, 32)
+        assert d.num_classes == 2
+        # Roughly balanced labels.
+        assert 0.3 < d.labels.mean() < 0.7
+
+    def test_deterministic(self):
+        a = make_global_structure(num_samples=10, seed=4)
+        b = make_global_structure(num_samples=10, seed=4)
+        np.testing.assert_array_equal(a.images, b.images)
+
+    def test_blob_geometry_encodes_label(self):
+        """Class 1 images have bright mass in both halves; class 0 in one."""
+        d = make_global_structure(num_samples=60, image_size=32, noise=0.05, seed=2)
+        half = 16
+        top_mass = d.images[:, :, :half].max(axis=(1, 2, 3))
+        bottom_mass = d.images[:, :, half:].max(axis=(1, 2, 3))
+        both_halves = (top_mass > 1.0) & (bottom_mass > 1.0)
+        # Opposite-half samples light up both halves; same-half mostly don't.
+        assert both_halves[d.labels == 1].mean() > 0.9
+        assert both_halves[d.labels == 0].mean() < 0.6
+
+    def test_patch_statistics_uninformative(self):
+        """No single small patch separates the classes (the point of the
+        dataset): patch intensity histograms match across labels."""
+        d = make_global_structure(num_samples=200, image_size=32, noise=0.05, seed=3)
+        patch = d.images[:, 0, :8, :8].mean(axis=(1, 2))
+        m0, m1 = patch[d.labels == 0].mean(), patch[d.labels == 1].mean()
+        s = patch.std() + 1e-9
+        assert abs(m0 - m1) / s < 0.4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_global_structure(image_size=16, blob_size=10)

@@ -1,0 +1,37 @@
+"""Smoke-run the fast examples as subprocesses so they cannot rot."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stdout}\n{result.stderr}"
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "interior pixels: 0.00e+00" in out  # exactness contract holds
+        assert "paper Table 2" in out
+
+    def test_edge_cluster_simulation(self):
+        out = run_example("edge_cluster_simulation.py")
+        assert "speedups" in out
+        assert "12" in out  # the rebalanced allocation appears
+
+    def test_process_cluster_demo(self):
+        out = run_example("process_cluster_demo.py")
+        assert "matches_local=True" in out
+        assert "zero_filled" in out

@@ -1,0 +1,149 @@
+"""Smoke + shape tests for the per-figure experiment modules.
+
+Each test runs a reduced configuration and asserts the *claims* the paper
+makes for that table/figure (trends, orderings, factors), not absolute
+milliseconds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentReport,
+    build_adcnn_system,
+    fig03_layer_profile,
+    fig11_table3_latency,
+    fig12_pruning,
+    fig13_scalability,
+    fig14_comparison,
+    fig15_adaptivity,
+    sec31_partition_costs,
+)
+
+
+class TestReportFormatting:
+    def test_empty(self):
+        assert "(no rows)" in ExperimentReport("x").format_table()
+
+    def test_columns_aligned_and_notes(self):
+        r = ExperimentReport("t")
+        r.add(a=1, b="xy")
+        r.add(a=2.5, b=None)
+        r.note("hello")
+        out = r.format_table()
+        assert "== t ==" in out and "note: hello" in out and "-" in out
+
+    def test_column_accessor(self):
+        r = ExperimentReport("t")
+        r.add(a=1)
+        r.add(a=2)
+        assert r.column("a") == [1, 2]
+
+
+class TestBuildSystem:
+    def test_prefix_kinds(self):
+        sys_system = build_adcnn_system("vgg16", num_nodes=2)
+        sys_paper = build_adcnn_system("vgg16", num_nodes=2, prefix_kind="paper")
+        assert sys_paper.workload.rest_macs > sys_system.workload.rest_macs
+
+    def test_bad_prefix_kind(self):
+        with pytest.raises(ValueError):
+            build_adcnn_system("vgg16", prefix_kind="bogus")
+
+
+class TestFig03:
+    def test_claims(self):
+        report = fig03_layer_profile.run(models=("vgg16", "fcn"))
+        vgg = [r for r in report.rows if r["model"] == "vgg16"]
+        times = [r["exec_ms"] for r in vgg]
+        # Peak right after block 1, decline toward the end.
+        assert np.argmax(times) in (1, 2, 3)
+        assert times[-1] < max(times) / 5
+        # FC block is < 2% of total.
+        assert vgg[-1]["share_pct"] < 2.0
+
+
+class TestFig11Table3:
+    def test_adcnn_beats_single_device_on_compute_heavy_models(self):
+        report = fig11_table3_latency.run(models=("vgg16", "resnet34"), num_images=10)
+        for row in report.rows:
+            assert row["speedup_vs_single"] > 3.0
+
+    def test_breakdown_shapes(self):
+        report = fig11_table3_latency.run_breakdown(num_images=10)
+        rows = {r["scheme"]: r for r in report.rows}
+        assert rows["Single-device"]["transmission_ms"] == 0.0
+        assert rows["Remote cloud"]["transmission_ms"] > rows["Remote cloud"]["compute_ms"]
+        assert rows["ADCNN"]["transmission_ms"] < rows["Remote cloud"]["transmission_ms"]
+        assert rows["ADCNN"]["compute_ms"] < rows["Single-device"]["compute_ms"] / 4
+
+
+class TestFig12:
+    def test_pruning_helps_more_on_slow_link(self):
+        report = fig12_pruning.run(models=("vgg16", "charcnn"), num_images=8)
+        by_link: dict = {}
+        for r in report.rows:
+            by_link.setdefault(r["link"], []).append(r["reduction_pct"])
+        assert np.mean(by_link["12.66Mbps"]) > np.mean(by_link["87.72Mbps"])
+        assert all(v > -1.0 for v in by_link["87.72Mbps"])  # pruning never hurts
+
+
+class TestFig13:
+    def test_speedup_grows_sublinearly(self):
+        report = fig13_scalability.run(node_counts=(2, 4, 8), num_images=10)
+        rows = [r for r in report.rows if r["nodes"] != "S"]
+        speedups = [r["speedup"] for r in rows]
+        assert speedups[0] < speedups[1] < speedups[2]
+        # Diminishing returns: 8 nodes < 4x the 2-node speedup.
+        assert speedups[2] < speedups[0] * 4
+
+    def test_energy_and_memory_fall(self):
+        report = fig13_scalability.run(node_counts=(2, 8), num_images=10)
+        rows = [r for r in report.rows if r["nodes"] != "S"]
+        assert rows[-1]["energy_j_per_inference"] < rows[0]["energy_j_per_inference"]
+        assert rows[-1]["memory_mb"] <= rows[0]["memory_mb"]
+
+    def test_paper_anchor_points(self):
+        """Paper: 1.8x at 2 nodes, 6.2x at 8 nodes (we accept +-35%)."""
+        report = fig13_scalability.run(node_counts=(2, 8), num_images=10)
+        rows = {r["nodes"]: r for r in report.rows if r["nodes"] != "S"}
+        assert rows[2]["speedup"] == pytest.approx(1.8, rel=0.35)
+        assert rows[8]["speedup"] == pytest.approx(6.2, rel=0.35)
+
+
+class TestFig14:
+    def test_adcnn_wins_everywhere(self):
+        report = fig14_comparison.run(models=("vgg16", "resnet34"), num_images=10)
+        for row in report.rows:
+            assert row["adcnn_ms"] < row["neurosurgeon_ms"]
+            assert row["adcnn_ms"] < row["aofl_ms"]
+
+    def test_neurosurgeon_transmission_dominated(self):
+        report = fig14_comparison.run(models=("vgg16",), num_images=10)
+        assert report.rows[0]["ns_tx_pct"] > 50.0
+
+
+class TestFig15:
+    def test_reallocation_and_latency_shape(self):
+        report = fig15_adaptivity.run(num_images=40, throttle_after_images=15)
+        first_alloc = [int(v) for v in report.rows[0]["alloc"].split()]
+        last_alloc = [int(v) for v in report.rows[-1]["alloc"].split()]
+        assert first_alloc == [8] * 8
+        assert sum(last_alloc) == 64
+        assert min(last_alloc[:4]) > 8          # fast nodes gained tiles
+        assert max(last_alloc[6:]) < 6          # most-throttled lost most
+        lat = report.column("latency_ms")
+        assert max(lat[15:]) > lat[2] * 1.2     # spike
+        assert lat[-1] < max(lat[15:])          # recovery
+
+
+class TestSec31:
+    def test_paper_arithmetic(self):
+        report = sec31_partition_costs.run()
+        chan = report.rows[0]
+        assert chan["mbits"] == pytest.approx(51.38, rel=0.01)
+        assert chan["vs_input"] == pytest.approx(11, rel=0.06)
+        fdsp = next(r for r in report.rows if r["scheme"].startswith("FDSP"))
+        assert fdsp["mbits"] == 0.0
+        fcn = report.rows[-1]
+        assert fcn["vs_input"] > 1.0

@@ -1,0 +1,71 @@
+"""Tests for the extension experiments, §2.3 locality, and the CLI runner."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ext_failure, ext_grid_sweep, sec23_feature_locality
+from repro.experiments.runner import EXPERIMENTS, main
+
+
+class TestSec23Locality:
+    def test_locality_declines_with_depth(self):
+        report = sec23_feature_locality.run(base_epochs=2)
+        scores = report.column("locality")
+        assert len(scores) == 5
+        assert all(0.0 <= s <= 1.0 + 1e-6 for s in scores)
+        # Early blocks are (near-)perfectly local; depth erodes locality.
+        assert scores[0] > 0.99
+        assert scores[-1] <= scores[0]
+
+    def test_locality_scores_shape(self):
+        from repro.experiments.sec23_feature_locality import locality_scores
+        from repro.models import vgg_mini
+
+        model = vgg_mini(num_classes=3, input_size=48, base_width=4).eval()
+        rng = np.random.default_rng(0)
+        scores = locality_scores(model, rng.normal(size=(4, 3, 48, 48)).astype(np.float32))
+        assert len(scores) == len(model.blocks)
+
+
+class TestExtFailure:
+    def test_dead_node_drained(self):
+        report = ext_failure.run(num_images=30, fail_after_images=10)
+        assert report.rows[-1]["dead_node_tiles"] == 0
+        assert report.rows[0]["dead_node_tiles"] == 8
+
+    def test_latency_cost_bounded(self):
+        """Losing 1 of 8 nodes should cost roughly 8/7, not catastrophe."""
+        report = ext_failure.run(num_images=30, fail_after_images=10)
+        before = np.mean([r["latency_ms"] for r in report.rows[2:10]])
+        after = np.mean([r["latency_ms"] for r in report.rows[-5:]])
+        assert after < before * 1.5
+
+
+class TestExtGridSweep:
+    def test_monotone_then_overheads(self):
+        report = ext_grid_sweep.run(tile_counts=(8, 64, 256), num_images=8)
+        lat = report.column("latency_ms")
+        # 64 tiles beats both the coarse and the ultra-fine grid.
+        assert lat[1] < lat[0]
+        assert lat[1] < lat[2]
+
+
+class TestRunnerCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig13", "fig15", "table2", "ext-failure"):
+            assert name in out
+
+    def test_unknown(self, capsys):
+        assert main(["nope"]) == 2
+
+    def test_fast_run(self, capsys):
+        assert main(["sec31", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "51.38" in out
+
+    def test_registry_covers_every_paper_artifact(self):
+        for name in ("fig03", "fig10", "table1", "table2", "fig11", "table3",
+                      "fig12", "fig13", "fig14", "fig15", "sec31", "sec23"):
+            assert name in EXPERIMENTS

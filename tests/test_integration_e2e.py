@@ -1,0 +1,96 @@
+"""End-to-end integration: train -> retrain -> deploy on both backends.
+
+These tests tie the whole pipeline together the way a user would: Algorithm
+1 produces a partitioned, compressed model; the process cluster serves it
+with *identical* predictions; the DES reproduces the deployment's timing
+behaviour deterministically.
+"""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.compression import CompressionPipeline
+from repro.data import make_classification
+from repro.models import vgg_mini
+from repro.nn import Tensor
+from repro.nn.losses import cross_entropy
+from repro.runtime import ProcessCluster, ProcessClusterConfig
+from repro.training import TrainConfig, evaluate_classification, progressive_retrain, train_epochs
+
+
+@pytest.fixture(scope="module")
+def retrained():
+    """Train + progressively retrain once for the whole module."""
+    data = make_classification(num_samples=96, num_classes=3, image_size=24, seed=9)
+    train, test = data.split()
+    model = vgg_mini(num_classes=3, input_size=24, base_width=6, separable_prefix=2, seed=9)
+    cfg = TrainConfig(lr=0.05, batch_size=16)
+    train_epochs(model, train.images, train.labels, cross_entropy, epochs=5, config=cfg)
+    res = progressive_retrain(
+        model,
+        "2x2",
+        train.images,
+        train.labels,
+        cross_entropy,
+        lambda m: evaluate_classification(m, test.images, test.labels),
+        max_epochs_per_stage=4,
+        config=cfg,
+    )
+    return res, test
+
+
+class TestTrainedModelDeployment:
+    def test_retraining_preserved_accuracy(self, retrained):
+        res, test = retrained
+        assert res.final_metric >= res.baseline_metric - 0.1
+
+    def test_distributed_serving_matches_local(self, retrained):
+        """The process cluster must serve the retrained model with exactly
+        the predictions the training graph produced."""
+        res, test = retrained
+        fdsp = res.model
+        fdsp.eval()
+        pipeline = CompressionPipeline(lower=res.bounds.lower, upper=res.bounds.upper, bits=4)
+        cfg = ProcessClusterConfig(num_workers=2, t_limit=30.0)
+        with ProcessCluster(fdsp.model, fdsp.grid, pipeline=pipeline, config=cfg) as cluster:
+            for i in range(3):
+                x = test.images[i : i + 1]
+                local = fdsp(Tensor(x)).data
+                remote = cluster.infer(x).output
+                np.testing.assert_allclose(remote, local, atol=1e-4)
+
+    def test_distributed_accuracy_matches_local(self, retrained):
+        res, test = retrained
+        fdsp = res.model
+        fdsp.eval()
+        pipeline = CompressionPipeline(lower=res.bounds.lower, upper=res.bounds.upper, bits=4)
+        cfg = ProcessClusterConfig(num_workers=2, t_limit=30.0)
+        n = 12
+        with ProcessCluster(fdsp.model, fdsp.grid, pipeline=pipeline, config=cfg) as cluster:
+            preds = [int(cluster.infer(test.images[i : i + 1]).output.argmax()) for i in range(n)]
+        local_acc = evaluate_classification(fdsp, test.images[:n], test.labels[:n])
+        dist_acc = float(np.mean(np.array(preds) == test.labels[:n]))
+        assert dist_acc == pytest.approx(local_acc, abs=1e-9)
+
+
+class TestDESDeterminism:
+    def test_identical_runs_identical_records(self):
+        """The DES must be fully deterministic run to run."""
+        from repro.experiments import build_adcnn_system
+
+        a = build_adcnn_system("vgg16", num_nodes=4)
+        b = build_adcnn_system("vgg16", num_nodes=4)
+        ra = a.run(8)
+        rb = b.run(8)
+        for x, y in zip(ra, rb):
+            assert x.latency == y.latency
+            np.testing.assert_array_equal(x.allocation, y.allocation)
+
+    def test_rerun_same_system_resets_state(self):
+        from repro.experiments import build_adcnn_system
+
+        system = build_adcnn_system("vgg16", num_nodes=4)
+        first = [r.latency for r in system.run(6)]
+        second = [r.latency for r in system.run(6)]
+        assert first == second

@@ -1,0 +1,61 @@
+"""Tests for full-architecture models at reduced width (paper topology)."""
+
+import numpy as np
+import pytest
+
+from repro.models import create_model, resnet, vgg16
+from repro.nn import Tensor
+from repro.partition import FDSPModel, TileGrid
+
+RNG = np.random.default_rng(79)
+
+
+class TestFullVGG16:
+    @pytest.fixture(scope="class")
+    def model(self):
+        # Full 13-block topology at 1/16 width, 64px input: runnable on CPU.
+        return vgg16(num_classes=10, input_size=64, width_mult=1 / 16, seed=0).eval()
+
+    def test_structure(self, model):
+        assert model.num_blocks() == 13
+        assert model.separable_prefix == 7
+        assert model.separable_spatial_reduction() == 8  # pools at blocks 2,4,7
+
+    def test_forward(self, model):
+        out = model(Tensor(RNG.normal(size=(1, 3, 64, 64)).astype(np.float32)))
+        assert out.shape == (1, 10)
+
+    def test_fdsp_partition_paper_prefix(self, model):
+        """The paper's 7-block prefix partitions cleanly at 2x2 on 64px
+        (tile 32 divisible by reduction 8)."""
+        fdsp = FDSPModel(model, TileGrid(2, 2))
+        fdsp.eval()
+        out = fdsp(Tensor(RNG.normal(size=(1, 3, 64, 64)).astype(np.float32)))
+        assert out.shape == (1, 10)
+
+
+class TestFullResNet34:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return resnet(stage_blocks=[3, 4, 6, 3], num_classes=10, input_size=64,
+                      width_mult=1 / 16, separable_prefix=12, seed=0).eval()
+
+    def test_structure(self, model):
+        assert model.num_blocks() == 17  # stem + 16 residual blocks
+        assert model.separable_prefix == 12
+
+    def test_forward(self, model):
+        out = model(Tensor(RNG.normal(size=(1, 3, 64, 64)).astype(np.float32)))
+        assert out.shape == (1, 10)
+
+    def test_split_equals_whole(self, model):
+        x = Tensor(RNG.normal(size=(1, 3, 64, 64)).astype(np.float32))
+        np.testing.assert_allclose(model(x).data, model.forward_split(x).data, atol=1e-4)
+
+
+class TestRegistryFullModels:
+    def test_resnet18_builder(self):
+        model = create_model("resnet18", num_classes=5, input_size=64, width_mult=1 / 16)
+        out = model.eval()(Tensor(RNG.normal(size=(1, 3, 64, 64)).astype(np.float32)))
+        assert out.shape == (1, 5)
+        assert model.separable_prefix == 6

@@ -1,0 +1,45 @@
+"""Tests for the naive spatial-partitioning latency baseline."""
+
+import pytest
+
+from repro.baselines import naive_spatial_latency, single_device_latency
+from repro.models import get_spec
+from repro.partition import TileGrid
+
+
+class TestNaiveSpatialLatency:
+    def test_beats_single_device(self):
+        """Distributing conv compute helps even with halo barriers."""
+        spec = get_spec("vgg16")
+        naive = naive_spatial_latency(spec, TileGrid(2, 4))
+        single = single_device_latency(spec)
+        assert naive.total_s < single.total_s
+
+    def test_exchange_cost_positive(self):
+        res = naive_spatial_latency(get_spec("vgg16"), TileGrid(2, 4))
+        assert res.exchange_s > 0 and res.num_exchanges >= 10
+
+    def test_finer_grid_more_exchange(self):
+        spec = get_spec("vgg16")
+        coarse = naive_spatial_latency(spec, TileGrid(2, 2))
+        fine = naive_spatial_latency(spec, TileGrid(4, 4))
+        assert fine.exchange_s > coarse.exchange_s
+
+    def test_breakdown_sums(self):
+        res = naive_spatial_latency(get_spec("vgg16"), TileGrid(2, 4))
+        parts = res.distribute_s + res.compute_s + res.exchange_s + res.gather_s + res.tail_s
+        assert res.total_s == pytest.approx(parts)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            naive_spatial_latency(get_spec("charcnn"), TileGrid(2, 2))
+
+    def test_adcnn_still_wins(self):
+        """FDSP removes every per-layer exchange; ADCNN must be faster."""
+        from repro.experiments import build_adcnn_system
+
+        system = build_adcnn_system("vgg16", num_nodes=8)
+        system.run(10)
+        adcnn = system.mean_latency(skip=2)
+        naive = naive_spatial_latency(get_spec("vgg16"), TileGrid(2, 4))
+        assert adcnn < naive.total_s

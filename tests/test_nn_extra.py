@@ -1,0 +1,112 @@
+"""Tests for the later nn additions: global max pool, upsampling, misc."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+import repro.nn.functional as F
+from repro.nn import Tensor
+
+from gradcheck import check_grad
+
+RNG = np.random.default_rng(53)
+
+
+class TestGlobalMaxPool1d:
+    def test_values(self):
+        x = Tensor(np.array([[[1.0, 5.0, 2.0], [7.0, 0.0, -1.0]]]))
+        out = F.global_max_pool1d(x)
+        np.testing.assert_allclose(out.data, [[5.0, 7.0]])
+
+    def test_grad_routes_to_max(self):
+        x = Tensor(np.array([[[1.0, 5.0, 2.0]]]), requires_grad=True)
+        F.global_max_pool1d(x).sum().backward()
+        np.testing.assert_allclose(x.grad, [[[0.0, 1.0, 0.0]]])
+
+    def test_gradcheck(self):
+        x = RNG.normal(size=(2, 3, 8))
+        # Perturb away from ties.
+        x += np.arange(8) * 0.01
+        check_grad(lambda t: F.global_max_pool1d(t).sum(), x)
+
+    def test_module(self):
+        out = nn.GlobalMaxPool1d()(Tensor(RNG.normal(size=(4, 6, 20))))
+        assert out.shape == (4, 6)
+
+
+class TestNearestUpsample2d:
+    def test_values(self):
+        x = Tensor(np.array([[[[1.0, 2.0], [3.0, 4.0]]]]))
+        out = F.nearest_upsample2d(x, 2)
+        expected = np.array([[[[1, 1, 2, 2], [1, 1, 2, 2], [3, 3, 4, 4], [3, 3, 4, 4]]]], dtype=float)
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_scale_one_identity(self):
+        x = Tensor(RNG.normal(size=(1, 2, 3, 3)))
+        assert F.nearest_upsample2d(x, 1) is x
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            F.nearest_upsample2d(Tensor(np.zeros((1, 1, 2, 2))), 0)
+
+    def test_grad_sums_block(self):
+        check_grad(lambda t: (F.nearest_upsample2d(t, 2) ** 2).sum(), RNG.normal(size=(1, 2, 3, 3)))
+
+    def test_upsample_downsample_roundtrip(self):
+        """avg_pool(upsample(x)) == x for nearest-neighbour upsampling."""
+        x = Tensor(RNG.normal(size=(1, 2, 4, 4)))
+        up = F.nearest_upsample2d(x, 3)
+        down = F.avg_pool2d(up, 3)
+        np.testing.assert_allclose(down.data, x.data, atol=1e-6)
+
+
+class TestConv1dStride:
+    def test_strided_shapes(self):
+        conv = nn.Conv1d(2, 4, 3, stride=2, padding=1)
+        out = conv(Tensor(RNG.normal(size=(1, 2, 16))))
+        assert out.shape == (1, 4, 8)
+
+    def test_strided_grad(self):
+        w = Tensor(RNG.normal(size=(2, 2, 3)))
+        check_grad(lambda t: F.conv1d(t, w, stride=2, padding=1).sum(), RNG.normal(size=(1, 2, 12)))
+
+
+class TestFDSPWithResidual:
+    def test_interior_exact_for_residual_stack(self):
+        """FDSP's interior contract must hold through shortcut blocks."""
+        from repro.models.blocks import LayerBlock, ResidualBlock
+        from repro.partition import TileGrid, fdsp_forward, interior_mask, receptive_border
+
+        stack = nn.Sequential(
+            LayerBlock(3, 8, 3, rng=np.random.default_rng(0)),
+            ResidualBlock(8, 8, rng=np.random.default_rng(1)),
+        )
+        stack.eval()
+        x = RNG.normal(size=(1, 3, 24, 24)).astype(np.float32)
+        full = stack(Tensor(x)).data
+        parted = fdsp_forward(stack, x, TileGrid(2, 2)).data
+        border = receptive_border(stack)
+        mask = interior_mask(TileGrid(2, 2), full.shape[2:], border)
+        assert mask.any()
+        np.testing.assert_allclose(parted[:, :, mask], full[:, :, mask], atol=1e-4)
+
+
+class TestConvLinearity:
+    def test_conv_is_linear_in_input(self):
+        """conv(a + b) == conv(a) + conv(b) (bias-free) — a property the
+        im2col implementation must preserve exactly."""
+        w = Tensor(RNG.normal(size=(4, 3, 3, 3)).astype(np.float32))
+        a = RNG.normal(size=(1, 3, 10, 10)).astype(np.float32)
+        b = RNG.normal(size=(1, 3, 10, 10)).astype(np.float32)
+        lhs = F.conv2d(Tensor(a + b), w, padding=1).data
+        rhs = F.conv2d(Tensor(a), w, padding=1).data + F.conv2d(Tensor(b), w, padding=1).data
+        np.testing.assert_allclose(lhs, rhs, atol=1e-4)
+
+    def test_conv_translation_equivariance(self):
+        """Shifting the input shifts the output (away from borders)."""
+        w = Tensor(RNG.normal(size=(2, 1, 3, 3)).astype(np.float32))
+        x = RNG.normal(size=(1, 1, 12, 12)).astype(np.float32)
+        shifted = np.roll(x, shift=2, axis=3)
+        out = F.conv2d(Tensor(x), w, padding=1).data
+        out_shifted = F.conv2d(Tensor(shifted), w, padding=1).data
+        np.testing.assert_allclose(out_shifted[:, :, :, 5:9], np.roll(out, 2, axis=3)[:, :, :, 5:9], atol=1e-4)

@@ -1,0 +1,177 @@
+"""Tests for optimizers and loss functions."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn import Parameter, Tensor
+from repro.nn.losses import bce_with_logits, cross_entropy, mse_loss, pixel_cross_entropy, yolo_loss
+from repro.nn.optim import SGD, Adam, StepLR
+
+RNG = np.random.default_rng(3)
+
+
+def quadratic_params():
+    """A single parameter with loss ||p - target||^2."""
+    p = Parameter(np.array([5.0, -3.0], dtype=np.float32))
+    target = np.array([1.0, 2.0], dtype=np.float32)
+    return p, target
+
+
+def loss_of(p, target):
+    diff = p - Tensor(target)
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p, target = quadratic_params()
+        opt = SGD([p], lr=0.1, momentum=0.0)
+        for _ in range(100):
+            opt.zero_grad()
+            loss_of(p, target).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-3)
+
+    def test_momentum_faster_than_plain(self):
+        losses = {}
+        for momentum in (0.0, 0.9):
+            p, target = quadratic_params()
+            opt = SGD([p], lr=0.02, momentum=momentum)
+            for _ in range(20):
+                opt.zero_grad()
+                loss_of(p, target).backward()
+                opt.step()
+            losses[momentum] = float(loss_of(p, target).data)
+        assert losses[0.9] < losses[0.0]
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([10.0]))
+        opt = SGD([p], lr=0.1, momentum=0.0, weight_decay=0.5)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()  # zero data gradient; only decay acts
+        opt.step()
+        assert abs(p.data[0]) < 10.0
+
+    def test_skips_params_without_grad(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=0.1).step()  # must not crash
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=0.0)
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p, target = quadratic_params()
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            opt.zero_grad()
+            loss_of(p, target).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-2)
+
+    def test_bias_correction_first_step(self):
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.1)
+        opt.zero_grad()
+        (p * 2.0).sum().backward()
+        opt.step()
+        # After bias correction the first step has magnitude ~lr.
+        assert p.data[0] == pytest.approx(1.0 - 0.1, abs=1e-3)
+
+
+class TestStepLR:
+    def test_decays_on_schedule(self):
+        opt = SGD([Parameter(np.ones(1))], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert opt.lr == 1.0
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_rejects_bad_step(self):
+        opt = SGD([Parameter(np.ones(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self):
+        logits = RNG.normal(size=(4, 5))
+        y = np.array([0, 2, 4, 1])
+        loss = cross_entropy(Tensor(logits), y)
+        p = np.exp(logits - logits.max(axis=1, keepdims=True))
+        p /= p.sum(axis=1, keepdims=True)
+        ref = -np.log(p[np.arange(4), y]).mean()
+        assert loss.item() == pytest.approx(ref, abs=1e-5)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.full((2, 3), -20.0)
+        logits[0, 1] = logits[1, 2] = 20.0
+        loss = cross_entropy(Tensor(logits), np.array([1, 2]))
+        assert loss.item() < 1e-3
+
+    def test_gradient_is_softmax_minus_onehot(self):
+        logits = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+        y = np.array([1, 0, 3])
+        cross_entropy(logits, y).backward()
+        p = np.exp(logits.data - logits.data.max(axis=1, keepdims=True))
+        p /= p.sum(axis=1, keepdims=True)
+        onehot = np.zeros((3, 4))
+        onehot[np.arange(3), y] = 1
+        np.testing.assert_allclose(logits.grad, (p - onehot) / 3, atol=1e-5)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.zeros(3, dtype=int))
+
+    def test_numerical_stability_large_logits(self):
+        logits = Tensor(np.array([[1e4, 0.0], [0.0, 1e4]]))
+        loss = cross_entropy(logits, np.array([0, 1]))
+        assert np.isfinite(loss.item())
+
+
+class TestOtherLosses:
+    def test_mse(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        assert mse_loss(pred, np.array([0.0, 0.0])).item() == pytest.approx(2.5)
+
+    def test_pixel_ce_matches_flattened_ce(self):
+        logits = RNG.normal(size=(2, 3, 4, 4))
+        targets = RNG.integers(0, 3, size=(2, 4, 4))
+        loss = pixel_cross_entropy(Tensor(logits), targets)
+        flat_logits = logits.transpose(0, 2, 3, 1).reshape(-1, 3)
+        ref = cross_entropy(Tensor(flat_logits), targets.reshape(-1))
+        assert loss.item() == pytest.approx(ref.item(), abs=1e-5)
+
+    def test_pixel_ce_shape_validation(self):
+        with pytest.raises(ValueError):
+            pixel_cross_entropy(Tensor(np.zeros((1, 2, 3, 3))), np.zeros((1, 4, 4), dtype=int))
+
+    def test_bce_with_logits(self):
+        logits = Tensor(np.array([0.0, 10.0, -10.0]))
+        targets = np.array([0.5, 1.0, 0.0])
+        loss = bce_with_logits(logits, targets)
+        assert loss.item() == pytest.approx(np.log(2) / 3, abs=1e-3)
+
+    def test_yolo_loss_runs_and_decreases(self):
+        rng = np.random.default_rng(0)
+        target = np.zeros((2, 5 + 3, 4, 4), dtype=np.float32)
+        target[:, 4, 1, 1] = 1.0  # one object
+        target[:, 5, 1, 1] = 1.0  # class 0
+        target[:, 0:4, 1, 1] = 0.5
+        pred = Tensor(rng.normal(size=(2, 8, 4, 4)), requires_grad=True)
+        loss = yolo_loss(pred, target, num_classes=3)
+        loss.backward()
+        assert np.isfinite(loss.item()) and pred.grad is not None
+
+    def test_yolo_loss_shape_validation(self):
+        with pytest.raises(ValueError):
+            yolo_loss(Tensor(np.zeros((1, 8, 4, 4))), np.zeros((1, 8, 2, 2)), num_classes=3)

@@ -1,0 +1,120 @@
+"""Hypothesis property tests on the autograd engine and conv kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import signal
+
+import repro.nn.functional as F
+from repro.nn import Tensor
+
+
+@st.composite
+def conv_case(draw):
+    n = draw(st.integers(1, 2))
+    c = draw(st.integers(1, 3))
+    o = draw(st.integers(1, 3))
+    k = draw(st.sampled_from([1, 3, 5]))
+    stride = draw(st.integers(1, 2))
+    padding = draw(st.integers(0, 2))
+    h = draw(st.integers(k, k + 6))
+    w = draw(st.integers(k, k + 6))
+    seed = draw(st.integers(0, 2**16))
+    return n, c, o, k, stride, padding, h, w, seed
+
+
+class TestConvProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(case=conv_case())
+    def test_matches_scipy_reference(self, case):
+        """conv2d equals direct scipy correlation for arbitrary geometry."""
+        n, c, o, k, stride, padding, h, w, seed = case
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, c, h, w))
+        wgt = rng.normal(size=(o, c, k, k))
+        out = F.conv2d(Tensor(x), Tensor(wgt), stride=stride, padding=padding).data
+        xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        for i in range(n):
+            for j in range(o):
+                acc = sum(signal.correlate2d(xp[i, ch], wgt[j, ch], mode="valid") for ch in range(c))
+                np.testing.assert_allclose(out[i, j], acc[::stride, ::stride], atol=1e-6)
+
+    @settings(max_examples=20, deadline=None)
+    @given(case=conv_case())
+    def test_gradient_shapes(self, case):
+        """Backward always produces gradients matching parameter shapes."""
+        n, c, o, k, stride, padding, h, w, seed = case
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.normal(size=(n, c, h, w)), requires_grad=True)
+        wgt = Tensor(rng.normal(size=(o, c, k, k)), requires_grad=True)
+        b = Tensor(rng.normal(size=(o,)), requires_grad=True)
+        F.conv2d(x, wgt, b, stride=stride, padding=padding).sum().backward()
+        assert x.grad.shape == x.shape
+        assert wgt.grad.shape == wgt.shape
+        assert b.grad.shape == b.shape
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        scale=st.floats(-3.0, 3.0),
+        seed=st.integers(0, 1000),
+    )
+    def test_conv_homogeneity(self, scale, seed):
+        """conv(s*x) == s*conv(x) (no bias)."""
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(1, 2, 8, 8)).astype(np.float64)
+        w = Tensor(rng.normal(size=(3, 2, 3, 3)))
+        lhs = F.conv2d(Tensor(scale * x), w, padding=1).data
+        rhs = scale * F.conv2d(Tensor(x), w, padding=1).data
+        np.testing.assert_allclose(lhs, rhs, atol=1e-8)
+
+
+class TestAutogradProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        depth=st.integers(1, 6),
+    )
+    def test_chain_rule_on_random_elementwise_chains(self, seed, depth):
+        """Random chains of smooth unary ops gradcheck numerically."""
+        rng = np.random.default_rng(seed)
+        ops = rng.choice(["tanh", "sigmoid", "exp_s", "mul2", "add1"], size=depth)
+
+        def apply_chain(t: Tensor) -> Tensor:
+            for op in ops:
+                if op == "tanh":
+                    t = t.tanh()
+                elif op == "sigmoid":
+                    t = t.sigmoid()
+                elif op == "exp_s":
+                    t = (t * 0.3).exp()
+                elif op == "mul2":
+                    t = t * 2.0
+                else:
+                    t = t + 1.0
+            return t.sum()
+
+        x = rng.normal(scale=0.5, size=(4,))
+        t = Tensor(x.astype(np.float64), requires_grad=True)
+        apply_chain(t).backward()
+        analytic = t.grad.copy()
+        eps = 1e-5
+        for i in range(x.size):
+            xp, xm = x.copy(), x.copy()
+            xp[i] += eps
+            xm[i] -= eps
+            hi = float(apply_chain(Tensor(xp)).data)
+            lo = float(apply_chain(Tensor(xm)).data)
+            assert analytic[i] == pytest.approx((hi - lo) / (2 * eps), rel=2e-3, abs=2e-5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_sum_of_grads_equals_grad_of_sum(self, seed):
+        """Linearity of the backward pass over graph reuse."""
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.normal(size=(5,)), requires_grad=True)
+        (x.tanh().sum() + x.tanh().sum()).backward()
+        double = x.grad.copy()
+        x.zero_grad()
+        (x.tanh().sum()).backward()
+        np.testing.assert_allclose(double, 2 * x.grad, atol=1e-6)

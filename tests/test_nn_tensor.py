@@ -1,0 +1,241 @@
+"""Unit tests for the autograd tensor core."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter, Tensor, no_grad
+from repro.nn.tensor import is_grad_enabled
+
+from gradcheck import check_grad
+
+RNG = np.random.default_rng(42)
+
+
+class TestBasics:
+    def test_construction_casts_to_float32(self):
+        t = Tensor([1, 2, 3])
+        assert t.dtype == np.float32
+
+    def test_float64_preserved(self):
+        t = Tensor(np.zeros(3, dtype=np.float64))
+        assert t.dtype == np.float64
+
+    def test_item_and_numpy(self):
+        t = Tensor([[3.5]])
+        assert t.item() == 3.5
+        assert t.numpy() is t.data
+
+    def test_detach_cuts_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = (a * 2).detach()
+        assert not b.requires_grad
+        c = (b * 3).sum()
+        c.backward()
+        assert a.grad is None
+
+    def test_parameter_requires_grad(self):
+        p = Parameter(np.ones(3))
+        assert p.requires_grad
+
+    def test_backward_requires_scalar(self):
+        t = Tensor(np.ones(4), requires_grad=True)
+        with pytest.raises(ValueError):
+            t.backward()
+
+    def test_no_grad_context(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            a = Tensor([1.0], requires_grad=True)
+            b = a * 2
+            assert not b.requires_grad
+        assert is_grad_enabled()
+
+
+class TestArithmeticGradients:
+    def test_add(self):
+        check_grad(lambda t: (t + t * 2).sum(), RNG.normal(size=(3, 4)))
+
+    def test_add_broadcast(self):
+        other = Tensor(RNG.normal(size=(1, 4)))
+        check_grad(lambda t: (t + other).sum(), RNG.normal(size=(3, 4)))
+
+    def test_mul(self):
+        other = Tensor(RNG.normal(size=(3, 4)))
+        check_grad(lambda t: (t * other).sum(), RNG.normal(size=(3, 4)))
+
+    def test_sub_and_neg(self):
+        check_grad(lambda t: (-(t - 3.0)).sum(), RNG.normal(size=(5,)))
+
+    def test_div(self):
+        other = Tensor(RNG.uniform(1.0, 2.0, size=(3, 4)))
+        check_grad(lambda t: (t / other).sum(), RNG.normal(size=(3, 4)))
+
+    def test_rdiv(self):
+        check_grad(lambda t: (1.0 / t).sum(), RNG.uniform(1.0, 2.0, size=(4,)))
+
+    def test_pow(self):
+        check_grad(lambda t: (t**3).sum(), RNG.uniform(0.5, 1.5, size=(4,)))
+
+    def test_matmul(self):
+        other = Tensor(RNG.normal(size=(4, 2)))
+        check_grad(lambda t: (t @ other).sum(), RNG.normal(size=(3, 4)))
+
+    def test_matmul_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            Tensor(np.ones((2, 2, 2))) @ Tensor(np.ones((2, 2)))
+
+    def test_grad_accumulates_across_uses(self):
+        a = Tensor([2.0], requires_grad=True)
+        out = (a * 3 + a * 4).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, [7.0])
+
+
+class TestShapeOps:
+    def test_reshape(self):
+        check_grad(lambda t: (t.reshape(6) * Tensor(np.arange(6.0))).sum(), RNG.normal(size=(2, 3)))
+
+    def test_flatten_from(self):
+        t = Tensor(np.ones((2, 3, 4)))
+        assert t.flatten_from(1).shape == (2, 12)
+
+    def test_transpose(self):
+        const = Tensor(RNG.normal(size=(4, 3)))
+        check_grad(lambda t: (t.transpose((1, 0)) * const).sum(), RNG.normal(size=(3, 4)))
+
+    def test_getitem(self):
+        check_grad(lambda t: t[1:3].sum(), RNG.normal(size=(5, 2)))
+
+    def test_concatenate(self):
+        a = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        out = Tensor.concatenate([a, b], axis=0).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+        np.testing.assert_allclose(b.grad, np.ones((2, 3)))
+
+
+class TestReductions:
+    def test_sum_axis(self):
+        check_grad(lambda t: (t.sum(axis=0) ** 2).sum(), RNG.normal(size=(3, 4)))
+
+    def test_sum_keepdims(self):
+        check_grad(lambda t: (t.sum(axis=1, keepdims=True) * t).sum(), RNG.normal(size=(3, 4)))
+
+    def test_mean(self):
+        check_grad(lambda t: t.mean(), RNG.normal(size=(3, 4)))
+
+    def test_mean_tuple_axis(self):
+        check_grad(lambda t: (t.mean(axis=(0, 2)) ** 2).sum(), RNG.normal(size=(2, 3, 4)))
+
+    def test_max(self):
+        x = np.arange(12.0).reshape(3, 4)  # unique values: no tie-splitting
+        check_grad(lambda t: t.max(axis=1).sum(), x)
+
+    def test_max_value(self):
+        t = Tensor([[1.0, 5.0], [3.0, 2.0]])
+        np.testing.assert_allclose(t.max(axis=1).data, [5.0, 3.0])
+
+
+class TestNonlinearities:
+    def test_exp(self):
+        check_grad(lambda t: t.exp().sum(), RNG.normal(size=(4,)))
+
+    def test_log(self):
+        check_grad(lambda t: t.log().sum(), RNG.uniform(0.5, 2.0, size=(4,)))
+
+    def test_sqrt(self):
+        check_grad(lambda t: t.sqrt().sum(), RNG.uniform(0.5, 2.0, size=(4,)))
+
+    def test_tanh(self):
+        check_grad(lambda t: t.tanh().sum(), RNG.normal(size=(4,)))
+
+    def test_sigmoid(self):
+        check_grad(lambda t: t.sigmoid().sum(), RNG.normal(size=(4,)))
+
+    def test_relu_forward(self):
+        t = Tensor([-1.0, 0.0, 2.0])
+        np.testing.assert_allclose(t.relu().data, [0.0, 0.0, 2.0])
+
+    def test_relu_grad(self):
+        x = RNG.normal(size=(10,))
+        x[np.abs(x) < 0.1] = 0.5  # avoid the kink
+        check_grad(lambda t: t.relu().sum(), x)
+
+
+class TestClippedReLU:
+    """Paper §4.1 — ReLU_[a,b]."""
+
+    def test_piecewise_values(self):
+        t = Tensor([-1.0, 0.1, 0.5, 1.5, 3.0])
+        out = t.clipped_relu(0.2, 2.0)
+        np.testing.assert_allclose(out.data, [0.0, 0.0, 0.3, 1.3, 1.8], atol=1e-6)
+
+    def test_output_bounded(self):
+        t = Tensor(RNG.normal(scale=5.0, size=(100,)))
+        out = t.clipped_relu(0.5, 2.5).data
+        assert out.min() >= 0.0 and out.max() <= 2.0
+
+    def test_grad_inside_only(self):
+        x = np.array([-1.0, 1.0, 5.0])
+        t = Tensor(x, requires_grad=True)
+        t.clipped_relu(0.0, 2.0).sum().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0, 0.0])
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0]).clipped_relu(2.0, 1.0)
+
+    def test_paper_figure6_example(self):
+        """Figure 6 applies ReLU_(0.2, 2) and keeps values in [0, 1.8]."""
+        ofmap = Tensor(RNG.uniform(-1, 4, size=(4, 4)))
+        out = ofmap.clipped_relu(0.2, 2.0).data
+        assert out.max() <= 1.8 + 1e-6
+
+
+class TestQuantizeSTE:
+    def test_values_on_grid(self):
+        t = Tensor(RNG.uniform(0, 1.5, size=(50,)))
+        step = 0.1
+        q = t.quantize_ste(step, 16).data
+        np.testing.assert_allclose(q / step, np.rint(q / step), atol=1e-5)
+
+    def test_clamps_to_levels(self):
+        t = Tensor([10.0])
+        q = t.quantize_ste(0.1, 16).data
+        np.testing.assert_allclose(q, [1.5])
+
+    def test_straight_through_gradient(self):
+        t = Tensor(RNG.uniform(0, 1, size=(5,)), requires_grad=True)
+        t.quantize_ste(0.1, 16).sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones(5))
+
+    def test_invalid_step(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0]).quantize_ste(0.0, 16)
+
+
+class TestGraphMechanics:
+    def test_diamond_graph(self):
+        a = Tensor([3.0], requires_grad=True)
+        b = a * 2
+        c = a * 5
+        out = (b + c).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, [7.0])
+
+    def test_deep_chain_iterative_toposort(self):
+        # Would overflow a recursive topo-sort.
+        t = Tensor([1.0], requires_grad=True)
+        x = t
+        for _ in range(5000):
+            x = x + 0.0
+        x.sum().backward()
+        np.testing.assert_allclose(t.grad, [1.0])
+
+    def test_backward_with_explicit_grad(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        out = t * 2
+        out.backward(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(t.grad, [2.0, 4.0, 6.0])

@@ -1,0 +1,132 @@
+"""Tests for nn utilities (clipping, summaries), new activations, AlexNet
+spec, and simulator run analysis."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.models import get_spec, vgg_mini
+from repro.nn import Parameter, Tensor
+from repro.nn.utils import clip_grad_norm, count_parameters, model_summary
+from repro.simulator import render_timeline, stage_breakdown
+
+from gradcheck import check_grad
+
+RNG = np.random.default_rng(67)
+
+
+class TestLeakyReLU:
+    def test_values(self):
+        out = nn.LeakyReLU(0.1)(Tensor(np.array([-2.0, 0.0, 3.0])))
+        np.testing.assert_allclose(out.data, [-0.2, 0.0, 3.0])
+
+    def test_grad(self):
+        x = RNG.normal(size=(10,))
+        x[np.abs(x) < 0.1] = 0.5
+        check_grad(lambda t: t.leaky_relu(0.1).sum(), x)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nn.LeakyReLU(-0.1)
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        out = nn.Softmax(axis=1)(Tensor(RNG.normal(size=(4, 7))))
+        np.testing.assert_allclose(out.data.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_stable_with_large_logits(self):
+        out = nn.Softmax(axis=1)(Tensor(np.array([[1e4, 0.0]])))
+        assert np.isfinite(out.data).all()
+
+    def test_grad_flows(self):
+        x = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        (nn.Softmax(axis=1)(x)[0, 0] * 1.0).sum().backward()
+        assert x.grad is not None
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.ones(4) * 0.1
+        norm = clip_grad_norm([p], max_norm=10.0)
+        assert norm == pytest.approx(0.2)
+        np.testing.assert_allclose(p.grad, 0.1)
+
+    def test_clips_above_threshold(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.ones(4) * 10.0
+        clip_grad_norm([p], max_norm=1.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-5)
+
+    def test_skips_none_grads(self):
+        p = Parameter(np.zeros(3))
+        assert clip_grad_norm([p], max_norm=1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([], max_norm=0.0)
+
+
+class TestModelSummary:
+    def test_counts_and_layers(self):
+        model = vgg_mini(num_classes=3, input_size=24, base_width=4)
+        text = model_summary(model)
+        assert "Conv2d" in text and "TOTAL" in text
+        assert f"{count_parameters(model):,}" in text
+
+    def test_output_shapes_recorded(self):
+        model = vgg_mini(num_classes=3, input_size=24, base_width=4)
+        text = model_summary(model, input_shape=(3, 24, 24))
+        assert "(1, 3)" in text  # final logits shape
+
+    def test_forward_restored_after_summary(self):
+        model = vgg_mini(num_classes=3, input_size=24, base_width=4).eval()
+        x = Tensor(RNG.normal(size=(1, 3, 24, 24)))
+        before = model(x).data
+        model_summary(model, input_shape=(3, 24, 24))
+        np.testing.assert_allclose(model(x).data, before, atol=1e-6)
+
+
+class TestAlexNetSpec:
+    def test_macs_magnitude(self):
+        """AlexNet is ~0.7 GMACs at 224."""
+        spec = get_spec("alexnet")
+        assert 0.4e9 < spec.total_macs() < 1.5e9
+
+    def test_block_structure(self):
+        spec = get_spec("alexnet")
+        assert len(spec.blocks) == 6  # 5 conv + FC
+        assert spec.separable_prefix == 2  # §2.3: layers 1-2 are local
+
+
+class TestRunAnalysis:
+    def _records(self):
+        from repro.experiments import build_adcnn_system
+
+        system = build_adcnn_system("vgg16", num_nodes=4)
+        return system.run(6)
+
+    def test_stage_breakdown_sums_to_latency(self):
+        records = self._records()
+        bd = stage_breakdown(records, skip=1)
+        mean_latency = float(np.mean([r.latency for r in records[1:]]))
+        assert bd.total_s == pytest.approx(mean_latency, rel=1e-6)
+
+    def test_breakdown_requires_records(self):
+        with pytest.raises(ValueError):
+            stage_breakdown([])
+
+    def test_timeline_renders(self):
+        records = self._records()
+        text = render_timeline(records, width=40)
+        assert "img  0" in text
+        assert "d" in text and "c" in text and "r" in text
+
+    def test_timeline_empty(self):
+        assert render_timeline([]) == "(no records)"
+
+    def test_timeline_truncates(self):
+        records = self._records()
+        text = render_timeline(records, max_rows=2)
+        assert "more" in text

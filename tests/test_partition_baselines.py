@@ -1,0 +1,131 @@
+"""Tests for the traditional partitioning strategies of §3.1."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.models import get_spec, vgg_mini
+from repro.nn import Tensor
+from repro.partition import (
+    HaloExchangeForward,
+    TileGrid,
+    channel_partition_traffic,
+    channel_traffic_per_block,
+    enumerate_split_points,
+    halo_elements_per_layer,
+    naive_spatial_traffic,
+)
+
+RNG = np.random.default_rng(17)
+
+
+class TestChannelPartition:
+    def test_paper_vgg16_block1_estimate(self):
+        """§3.1: VGG16 block-1 ofmap with 2 devices -> 51.38 Mbits, 11x the
+        input image."""
+        spec = get_spec("vgg16")
+        per_block = channel_traffic_per_block(spec, 2)
+        bits = per_block[0]["per_device_sent"] * 32
+        assert bits == pytest.approx(51.38e6, rel=0.01)
+        input_bits = spec.input_elements() * 32
+        assert bits / input_bits == pytest.approx(11, rel=0.05)
+
+    def test_traffic_grows_with_devices(self):
+        spec = get_spec("vgg16")
+        assert channel_partition_traffic(spec, 4) > channel_partition_traffic(spec, 2)
+
+    def test_fc_blocks_excluded(self):
+        per_block = channel_traffic_per_block(get_spec("vgg16"), 2)
+        assert per_block[-1]["allgather_elements"] == 0
+
+    def test_requires_two_devices(self):
+        with pytest.raises(ValueError):
+            channel_traffic_per_block(get_spec("vgg16"), 1)
+
+
+class TestHaloAccounting:
+    def test_zero_halo_for_fc(self):
+        per = halo_elements_per_layer(get_spec("vgg16"), TileGrid(2, 2))
+        assert per[-1]["halo_elements"] == 0
+
+    def test_halo_much_smaller_than_channel_traffic(self):
+        """§3.1: spatial partitioning exchanges far less than channel
+        partitioning (only the halo ring, not whole feature maps)."""
+        spec = get_spec("vgg16")
+        halo = naive_spatial_traffic(spec, TileGrid(2, 2), num_blocks=7)
+        chan = channel_partition_traffic(spec, 4, num_blocks=7)
+        assert halo < chan / 10
+
+    def test_finer_grid_more_halo(self):
+        spec = get_spec("vgg16")
+        assert naive_spatial_traffic(spec, TileGrid(4, 4), num_blocks=4) > naive_spatial_traffic(
+            spec, TileGrid(2, 2), num_blocks=4
+        )
+
+    def test_rejects_1d_spec(self):
+        with pytest.raises(ValueError):
+            halo_elements_per_layer(get_spec("charcnn"), TileGrid(2, 2))
+
+    def test_ring_clipped_at_image_boundary(self):
+        """Corner tiles receive a smaller (clipped) ring than center tiles."""
+        from repro.partition.halo import _tile_halo_elements
+
+        # 4x4 grid on 16x16: corner tiles have 2 in-image sides, center 4.
+        total = _tile_halo_elements(TileGrid(4, 4), 16, 16, channels=1, halo=1)
+        # Full (unclipped) ring for a 4x4 tile with halo 1 is 6*6-16=20.
+        assert total < 16 * 20
+
+
+class TestHaloExchangeForward:
+    def test_exact_equivalence(self):
+        """Naive spatial partition with halo exchange must be bit-identical
+        to unpartitioned execution."""
+        model = vgg_mini(input_size=24).eval()
+        stack = model.separable_part()
+        runner = HaloExchangeForward(stack, TileGrid(2, 2))
+        x = RNG.normal(size=(1, 3, 24, 24)).astype(np.float32)
+        ref = stack(Tensor(x)).data
+        np.testing.assert_allclose(runner(x), ref, atol=1e-6)
+
+    def test_traffic_accounted(self):
+        model = vgg_mini(input_size=24).eval()
+        runner = HaloExchangeForward(model.separable_part(), TileGrid(2, 2))
+        runner(RNG.normal(size=(1, 3, 24, 24)).astype(np.float32))
+        assert runner.exchanged_elements > 0
+
+    def test_traffic_resets_between_calls(self):
+        model = vgg_mini(input_size=24).eval()
+        runner = HaloExchangeForward(model.separable_part(), TileGrid(2, 2))
+        x = RNG.normal(size=(1, 3, 24, 24)).astype(np.float32)
+        runner(x)
+        first = runner.exchanged_elements
+        runner(x)
+        assert runner.exchanged_elements == first
+
+
+class TestLayerwiseSplit:
+    def test_enumerates_all_points(self):
+        spec = get_spec("vgg16")
+        points = enumerate_split_points(spec)
+        assert len(points) == len(spec.blocks) + 1
+
+    def test_edge_plus_cloud_is_total(self):
+        spec = get_spec("vgg16")
+        total = spec.total_macs()
+        for p in enumerate_split_points(spec):
+            assert p.edge_macs + p.cloud_macs == total
+
+    def test_split_zero_transfers_input(self):
+        spec = get_spec("vgg16")
+        assert enumerate_split_points(spec)[0].transfer_elements == spec.input_elements()
+
+    def test_full_edge_transfers_nothing(self):
+        spec = get_spec("vgg16")
+        assert enumerate_split_points(spec)[-1].transfer_elements == 0
+
+    def test_early_splits_transfer_more_than_input(self):
+        """§7.4: early-layer ofmaps are large — the reason Neurosurgeon's
+        early cuts pay a big communication cost."""
+        spec = get_spec("vgg16")
+        points = enumerate_split_points(spec)
+        assert points[1].transfer_elements > spec.input_elements()

@@ -1,0 +1,205 @@
+"""Tests for FDSP — the paper's core partitioning contribution (§3.2).
+
+The central correctness contract: per-tile zero-padded execution equals
+unpartitioned execution on every pixel further than ``receptive_border``
+from a tile edge, and *only* the border band may differ.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.nn as nn
+from repro.models import charcnn_mini, vgg_mini
+from repro.models.blocks import LayerBlock, ResidualBlock
+from repro.nn import Tensor
+from repro.partition import (
+    FDSPModel,
+    SegmentGrid,
+    TileGrid,
+    fdsp_forward,
+    interior_mask,
+    receptive_border,
+)
+
+RNG = np.random.default_rng(13)
+
+
+def make_stack(num_blocks=2, channels=4, pool_at=(), seed=0):
+    rng = np.random.default_rng(seed)
+    blocks = []
+    in_ch = 3
+    for i in range(num_blocks):
+        blocks.append(LayerBlock(in_ch, channels, 3, pool=2 if i in pool_at else None, rng=rng))
+        in_ch = channels
+    stack = nn.Sequential(*blocks)
+    stack.eval()
+    return stack
+
+
+class TestReceptiveBorder:
+    def test_single_conv3(self):
+        assert receptive_border(make_stack(1)) == 1
+
+    def test_two_conv3(self):
+        assert receptive_border(make_stack(2)) == 2
+
+    def test_pool_shrinks_border(self):
+        # conv3 (b=1), pool2 (b=ceil(1/2)=1), conv3 (b=2)
+        assert receptive_border(make_stack(2, pool_at=(0,))) == 2
+
+    def test_conv_then_pool(self):
+        # conv3, conv3 (b=2), pool at the end: ceil(2/2) = 1
+        assert receptive_border(make_stack(2, pool_at=(1,))) == 1
+
+    def test_residual_block(self):
+        stack = nn.Sequential(ResidualBlock(4, 4))
+        assert receptive_border(stack) == 2  # two 3x3 convs
+
+    def test_unknown_block_raises(self):
+        with pytest.raises(TypeError):
+            receptive_border(nn.Sequential(nn.Linear(3, 3)))
+
+
+class TestInteriorMask:
+    def test_mask_shape_and_border(self):
+        mask = interior_mask(TileGrid(2, 2), (8, 8), border=1)
+        assert mask.shape == (8, 8)
+        tile = mask[:4, :4]
+        assert tile[0].sum() == 0 and tile[:, 0].sum() == 0  # border row/col False
+        assert tile[1:3, 1:3].all()
+
+    def test_zero_border_all_true(self):
+        assert interior_mask(TileGrid(2, 2), (8, 8), border=0).all()
+
+    def test_border_too_wide_all_false(self):
+        assert not interior_mask(TileGrid(4, 4), (8, 8), border=1).any()
+
+    def test_1d_mask(self):
+        mask = interior_mask(SegmentGrid(4), (16,), border=1)
+        assert mask.shape == (16,)
+        assert mask.sum() == 4 * 2  # each 4-long segment keeps middle 2
+
+
+class TestFDSPEquivalence:
+    @pytest.mark.parametrize("grid", [TileGrid(2, 2), TileGrid(2, 4), TileGrid(4, 4)])
+    def test_interior_exact(self, grid):
+        """FDSP equals unpartitioned execution on all interior pixels."""
+        stack = make_stack(2, pool_at=(0,))
+        x = RNG.normal(size=(1, 3, 16, 16)).astype(np.float32)
+        full = stack(Tensor(x)).data
+        parted = fdsp_forward(stack, x, grid).data
+        border = receptive_border(stack)
+        mask = interior_mask(grid, full.shape[2:], border)
+        np.testing.assert_allclose(parted[:, :, mask], full[:, :, mask], atol=1e-5)
+
+    def test_border_actually_differs(self):
+        """Zero-padding must perturb the border band (otherwise the
+        retraining story of §5 would be vacuous)."""
+        stack = make_stack(2)
+        x = RNG.normal(size=(1, 3, 16, 16)).astype(np.float32)
+        full = stack(Tensor(x)).data
+        parted = fdsp_forward(stack, x, TileGrid(2, 2)).data
+        assert not np.allclose(parted, full, atol=1e-3)
+
+    def test_output_shape_preserved(self):
+        stack = make_stack(2, pool_at=(0,))
+        out = fdsp_forward(stack, RNG.normal(size=(2, 3, 16, 16)), TileGrid(2, 2))
+        assert out.shape == (2, 4, 8, 8)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        rows=st.integers(1, 3),
+        cols=st.integers(1, 3),
+        num_blocks=st.integers(1, 3),
+        seed=st.integers(0, 100),
+    )
+    def test_interior_exact_property(self, rows, cols, num_blocks, seed):
+        """Property: random stacks, random grids — interior always exact."""
+        grid = TileGrid(rows, cols)
+        stack = make_stack(num_blocks, channels=3, seed=seed)
+        rng = np.random.default_rng(seed)
+        h = rows * cols * 4
+        x = rng.normal(size=(1, 3, h, h)).astype(np.float32)
+        full = stack(Tensor(x)).data
+        parted = fdsp_forward(stack, x, grid).data
+        mask = interior_mask(grid, full.shape[2:], receptive_border(stack))
+        if mask.any():
+            np.testing.assert_allclose(parted[:, :, mask], full[:, :, mask], atol=1e-4)
+
+    def test_1x1_grid_is_identity(self):
+        stack = make_stack(2)
+        x = RNG.normal(size=(1, 3, 12, 12)).astype(np.float32)
+        np.testing.assert_allclose(
+            fdsp_forward(stack, x, TileGrid(1, 1)).data, stack(Tensor(x)).data, atol=1e-6
+        )
+
+    def test_1d_segments(self):
+        model = charcnn_mini(vocab=8, length=64).eval()
+        stack = model.separable_part()
+        x = RNG.normal(size=(1, 8, 64)).astype(np.float32)
+        full = stack(Tensor(x)).data
+        parted = fdsp_forward(stack, x, SegmentGrid(4)).data
+        border = receptive_border(stack)
+        mask = interior_mask(SegmentGrid(4), (full.shape[2],), border)
+        if mask.any():
+            np.testing.assert_allclose(parted[:, :, mask], full[:, :, mask], atol=1e-4)
+
+
+class TestFDSPModel:
+    def test_forward_shape(self):
+        model = vgg_mini(num_classes=4, input_size=48).eval()
+        fdsp = FDSPModel(model, "4x4")
+        fdsp.eval()
+        out = fdsp(Tensor(RNG.normal(size=(2, 3, 48, 48))))
+        assert out.shape == (2, 4)
+
+    def test_grid_validation_runs(self):
+        model = vgg_mini(input_size=48)  # separable reduction 2, tile 6
+        with pytest.raises(ValueError):
+            FDSPModel(model, TileGrid(16, 16))  # tile 3 not divisible by 2
+
+    def test_compression_stages(self):
+        model = vgg_mini(num_classes=4, input_size=48).eval()
+        clip = nn.ClippedReLU(0.1, 2.0)
+        quant = nn.QuantizeSTE(bits=4, max_value=clip.output_range)
+        fdsp = FDSPModel(model, "2x2", clipped_relu=clip, quantizer=quant)
+        fdsp.eval()
+        assert fdsp.has_compression
+        sep = fdsp.separable_output(Tensor(RNG.normal(size=(1, 3, 48, 48))))
+        # Output must be on the 4-bit grid within [0, b-a].
+        assert sep.data.min() >= 0 and sep.data.max() <= clip.output_range + 1e-6
+        steps = sep.data / quant.step
+        np.testing.assert_allclose(steps, np.rint(steps), atol=1e-4)
+
+    def test_gradient_reaches_separable_weights(self):
+        """The Figure 7(b) training graph must backprop into the separable
+        conv weights through split/clip/quantize."""
+        model = vgg_mini(num_classes=4, input_size=48)
+        clip = nn.ClippedReLU(0.0, 4.0)
+        quant = nn.QuantizeSTE(bits=4, max_value=4.0)
+        fdsp = FDSPModel(model, "2x2", clipped_relu=clip, quantizer=quant)
+        x = Tensor(RNG.normal(size=(2, 3, 48, 48)))
+        loss = nn.losses.cross_entropy(fdsp(x), np.array([0, 1]))
+        loss.backward()
+        first_conv = model.blocks[0].conv.weight
+        assert first_conv.grad is not None and np.abs(first_conv.grad).sum() > 0
+
+    def test_parameters_shared_with_wrapped_model(self):
+        model = vgg_mini()
+        fdsp = FDSPModel(model, "2x2")
+        assert set(id(p) for p in model.parameters()) <= set(id(p) for p in fdsp.parameters())
+
+    def test_no_compression_by_default(self):
+        assert not FDSPModel(vgg_mini(), "2x2").has_compression
+
+    def test_charcnn_string_grid(self):
+        model = charcnn_mini(vocab=16, length=128).eval()
+        fdsp = FDSPModel(model, "2x2")  # -> 4 segments
+        assert isinstance(fdsp.grid, SegmentGrid) and fdsp.grid.num_segments == 4
+        from repro.models import encode_text
+
+        x = Tensor(encode_text(RNG.integers(0, 16, size=(1, 128)), 16))
+        fdsp.eval()
+        assert fdsp(x).shape == (1, 4)

@@ -1,0 +1,148 @@
+"""Tests for tile-grid geometry and split/reassemble round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import charcnn_mini, vgg_mini
+from repro.nn import Tensor
+from repro.partition import (
+    PARTITION_OPTIONS,
+    SegmentGrid,
+    TileGrid,
+    grid_for_model,
+    reassemble_array,
+    reassemble_tensor,
+    split_array,
+    split_tensor,
+)
+
+RNG = np.random.default_rng(5)
+
+
+class TestTileGrid:
+    def test_parse(self):
+        g = TileGrid.parse("4x8")
+        assert (g.rows, g.cols) == (4, 8) and g.num_tiles == 32
+
+    def test_parse_invalid(self):
+        with pytest.raises(ValueError):
+            TileGrid.parse("4by8")
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            TileGrid(0, 2)
+
+    def test_paper_partition_options(self):
+        assert set(PARTITION_OPTIONS) == {"2x2", "3x3", "4x4", "4x8", "8x8"}
+        assert PARTITION_OPTIONS["8x8"] == (8, 8)
+
+    def test_validate_divisible(self):
+        assert TileGrid(4, 8).validate(48, 48) == (12, 6)
+
+    def test_validate_rejects_non_divisible(self):
+        with pytest.raises(ValueError):
+            TileGrid(5, 5).validate(48, 48)
+
+    def test_validate_rejects_pool_misalignment(self):
+        with pytest.raises(ValueError):
+            TileGrid(8, 8).validate(48, 48, spatial_reduction=4)  # tile 6x6, 6 % 4 != 0
+
+    def test_tile_index_roundtrip(self):
+        g = TileGrid(3, 4)
+        for tid in range(g.num_tiles):
+            r, c = g.tile_index(tid)
+            assert r * 4 + c == tid
+
+    def test_tile_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            TileGrid(2, 2).tile_index(4)
+
+    def test_neighbors_corner_and_center(self):
+        g = TileGrid(3, 3)
+        assert sorted(g.neighbors(0)) == [1, 3]
+        assert sorted(g.neighbors(4)) == [1, 3, 5, 7]
+
+    def test_slices_cover_image_disjointly(self):
+        g = TileGrid(4, 8)
+        cover = np.zeros((48, 48), dtype=int)
+        for rs, cs in g.tile_slices(48, 48):
+            cover[rs, cs] += 1
+        assert (cover == 1).all()
+
+
+class TestSegmentGrid:
+    def test_from_grid_maps_to_product(self):
+        assert SegmentGrid.from_grid(TileGrid(4, 8)).num_segments == 32
+
+    def test_validate(self):
+        assert SegmentGrid(8).validate(128) == 16
+        with pytest.raises(ValueError):
+            SegmentGrid(7).validate(128)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            SegmentGrid(0)
+
+    def test_grid_for_model_dispatch(self):
+        assert isinstance(grid_for_model(vgg_mini(), "4x4"), TileGrid)
+        assert isinstance(grid_for_model(charcnn_mini(), "4x4"), SegmentGrid)
+
+
+class TestSplitReassemble:
+    @pytest.mark.parametrize("spec", ["2x2", "3x3", "4x4", "4x8", "8x8"])
+    def test_array_roundtrip(self, spec):
+        g = TileGrid.parse(spec)
+        x = RNG.normal(size=(2, 3, 24, 24))
+        np.testing.assert_array_equal(reassemble_array(split_array(x, g), g), x)
+
+    def test_array_roundtrip_1d(self):
+        g = SegmentGrid(8)
+        x = RNG.normal(size=(2, 4, 64))
+        np.testing.assert_array_equal(reassemble_array(split_array(x, g), g), x)
+
+    def test_tensor_roundtrip(self):
+        g = TileGrid(2, 3)
+        x = Tensor(RNG.normal(size=(1, 2, 6, 6)))
+        out = reassemble_tensor(split_tensor(x, g), g)
+        np.testing.assert_array_equal(out.data, x.data)
+
+    def test_tensor_roundtrip_gradient(self):
+        """Gradient must flow through split + reassemble unchanged."""
+        g = TileGrid(2, 2)
+        x = Tensor(RNG.normal(size=(1, 1, 4, 4)), requires_grad=True)
+        reassemble_tensor(split_tensor(x, g), g).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((1, 1, 4, 4)))
+
+    def test_reassemble_wrong_count(self):
+        g = TileGrid(2, 2)
+        with pytest.raises(ValueError):
+            reassemble_array([np.zeros((1, 1, 2, 2))] * 3, g)
+
+    def test_tiles_are_views(self):
+        """split_array must not copy (HPC guide: views, not copies)."""
+        x = RNG.normal(size=(1, 1, 8, 8))
+        tiles = split_array(x, TileGrid(2, 2))
+        assert tiles[0].base is x
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=st.integers(1, 4),
+        cols=st.integers(1, 4),
+        mult=st.integers(1, 3),
+        channels=st.integers(1, 3),
+    )
+    def test_roundtrip_property(self, rows, cols, mult, channels):
+        g = TileGrid(rows, cols)
+        h, w = rows * mult * 2, cols * mult * 2
+        x = RNG.normal(size=(1, channels, h, w))
+        np.testing.assert_array_equal(reassemble_array(split_array(x, g), g), x)
+
+    def test_row_major_order(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        tiles = split_array(x, TileGrid(2, 2))
+        assert tiles[0][0, 0, 0, 0] == 0.0
+        assert tiles[1][0, 0, 0, 0] == 2.0
+        assert tiles[2][0, 0, 0, 0] == 8.0
+        assert tiles[3][0, 0, 0, 0] == 10.0

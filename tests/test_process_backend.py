@@ -1,0 +1,169 @@
+"""Integration tests for the process-emulated edge cluster.
+
+Conv nodes are real forked processes doing real NumPy inference; these
+tests validate the Figure-8 protocol end to end: correctness vs local
+execution, deadline zero-fill, node death, and load adaptation.
+"""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.compression import CompressionPipeline
+from repro.models import vgg_mini
+from repro.nn import Tensor
+from repro.partition import FDSPModel, TileGrid
+from repro.runtime import ProcessCluster, ProcessClusterConfig, TileTask
+
+RNG = np.random.default_rng(31)
+
+
+def small_model():
+    # Tiny and fast: 24x24 input, 6 channels.
+    return vgg_mini(num_classes=3, input_size=24, base_width=6, separable_prefix=2).eval()
+
+
+class TestProtocol:
+    def test_matches_local_fdsp_execution(self):
+        """Distributed output must equal the local FDSP forward exactly."""
+        model = small_model()
+        grid = TileGrid(2, 2)
+        x = RNG.normal(size=(1, 3, 24, 24)).astype(np.float32)
+        local = FDSPModel(model, grid)
+        local.eval()
+        expected = local(Tensor(x)).data
+        with ProcessCluster(model, grid, config=ProcessClusterConfig(num_workers=2)) as cluster:
+            outcome = cluster.infer(x)
+        np.testing.assert_allclose(outcome.output, expected, atol=1e-5)
+        assert outcome.zero_filled_tiles == []
+
+    def test_compressed_path_matches_training_graph(self):
+        """With the §4 pipeline on the wire, the distributed output must
+        equal the Figure-7(b) graph (clip + quantize) computed locally."""
+        model = small_model()
+        grid = TileGrid(2, 2)
+        clip = nn.ClippedReLU(0.0, 4.0)
+        quant = nn.QuantizeSTE(bits=4, max_value=4.0)
+        local = FDSPModel(model, grid, clipped_relu=clip, quantizer=quant)
+        local.eval()
+        pipeline = CompressionPipeline(lower=0.0, upper=4.0, bits=4)
+        x = RNG.normal(size=(1, 3, 24, 24)).astype(np.float32)
+        expected = local(Tensor(x)).data
+        with ProcessCluster(model, grid, pipeline=pipeline, config=ProcessClusterConfig(num_workers=2)) as cluster:
+            outcome = cluster.infer(x)
+        np.testing.assert_allclose(outcome.output, expected, atol=1e-4)
+
+    def test_multiple_images_sequential(self):
+        model = small_model()
+        with ProcessCluster(model, TileGrid(2, 2), config=ProcessClusterConfig(num_workers=2)) as cluster:
+            for _ in range(3):
+                out = cluster.infer(RNG.normal(size=(1, 3, 24, 24)).astype(np.float32))
+                assert out.output.shape == (1, 3)
+                assert out.allocation.sum() == 4
+
+    def test_allocation_covers_all_tiles(self):
+        model = small_model()
+        with ProcessCluster(model, TileGrid(2, 2), config=ProcessClusterConfig(num_workers=3)) as cluster:
+            out = cluster.infer(RNG.normal(size=(1, 3, 24, 24)).astype(np.float32))
+            assert out.allocation.sum() == 4
+            assert out.received_per_worker.sum() == 4
+
+
+class TestFaultTolerance:
+    def test_straggler_zero_filled(self):
+        """A worker slowed past T_L loses its tiles to zero-fill, and the
+        inference still completes with a sane output."""
+        model = small_model()
+        cfg = ProcessClusterConfig(num_workers=2, t_limit=1.0, delay_per_tile=(0.0, 5.0))
+        with ProcessCluster(model, TileGrid(2, 2), config=cfg) as cluster:
+            out = cluster.infer(RNG.normal(size=(1, 3, 24, 24)).astype(np.float32))
+        assert len(out.zero_filled_tiles) > 0
+        assert np.isfinite(out.output).all()
+
+    def test_straggler_loses_future_share(self):
+        """Algorithm 2: the slow worker's s_k decays after a missed deadline."""
+        model = small_model()
+        cfg = ProcessClusterConfig(num_workers=2, t_limit=1.0, delay_per_tile=(0.0, 5.0), gamma=0.9)
+        with ProcessCluster(model, TileGrid(2, 2), config=cfg) as cluster:
+            cluster.infer(RNG.normal(size=(1, 3, 24, 24)).astype(np.float32))
+            rates = cluster.worker_rates
+        assert rates[1] < rates[0]
+
+    def test_killed_worker_inference_completes(self):
+        """Fail-stop a Conv node: the system zero-fills and keeps going."""
+        model = small_model()
+        cfg = ProcessClusterConfig(num_workers=2, t_limit=2.0)
+        with ProcessCluster(model, TileGrid(2, 2), config=cfg) as cluster:
+            cluster.infer(RNG.normal(size=(1, 3, 24, 24)).astype(np.float32))  # warm
+            cluster.kill_worker(1)
+            out = cluster.infer(RNG.normal(size=(1, 3, 24, 24)).astype(np.float32))
+        assert len(out.zero_filled_tiles) > 0
+        assert np.isfinite(out.output).all()
+
+
+class TestRateCredits:
+    """The n_k computation shared conceptually with the DES backend."""
+
+    def test_full_delivery_credits_rate(self):
+        from repro.runtime.process_backend import _rate_credits
+
+        received = np.array([4, 4])
+        alloc = np.array([4, 4])
+        busy = np.array([0.5, 1.0])  # worker 0 twice as fast
+        credits = _rate_credits(received, alloc, busy, window=1.0, num_tiles=8)
+        assert credits[0] == pytest.approx(2 * credits[1])
+
+    def test_missed_deadline_raw_count(self):
+        from repro.runtime.process_backend import _rate_credits
+
+        received = np.array([4, 1])
+        alloc = np.array([4, 4])
+        busy = np.array([0.5, 1.0])
+        credits = _rate_credits(received, alloc, busy, window=1.0, num_tiles=8)
+        assert credits[1] == 1.0  # paper rule: count within the window
+
+    def test_zero_received_zero_credit(self):
+        from repro.runtime.process_backend import _rate_credits
+
+        credits = _rate_credits(np.array([3, 0]), np.array([3, 3]), np.array([0.3, 0.0]), 1.0, 6)
+        assert credits[1] == 0.0
+
+    def test_credit_capped_at_tiles(self):
+        from repro.runtime.process_backend import _rate_credits
+
+        credits = _rate_credits(np.array([4]), np.array([4]), np.array([1e-6]), 10.0, 8)
+        assert credits[0] == 8.0
+
+
+class TestLifecycleAndValidation:
+    def test_infer_before_start_raises(self):
+        cluster = ProcessCluster(small_model(), TileGrid(2, 2))
+        with pytest.raises(RuntimeError):
+            cluster.infer(np.zeros((1, 3, 24, 24), dtype=np.float32))
+
+    def test_double_start_raises(self):
+        cluster = ProcessCluster(small_model(), TileGrid(2, 2))
+        try:
+            cluster.start()
+            with pytest.raises(RuntimeError):
+                cluster.start()
+        finally:
+            cluster.stop()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ProcessClusterConfig(num_workers=0)
+        with pytest.raises(ValueError):
+            ProcessClusterConfig(t_limit=0.0)
+        with pytest.raises(ValueError):
+            ProcessClusterConfig(num_workers=2, delay_per_tile=(0.1,))
+
+    def test_tile_task_validation(self):
+        with pytest.raises(ValueError):
+            TileTask(-1, 0, np.zeros((1, 1, 2, 2)))
+
+    def test_unbatched_input_accepted(self):
+        model = small_model()
+        with ProcessCluster(model, TileGrid(2, 2), config=ProcessClusterConfig(num_workers=1)) as cluster:
+            out = cluster.infer(RNG.normal(size=(3, 24, 24)).astype(np.float32))
+        assert out.output.shape == (1, 3)

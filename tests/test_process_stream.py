@@ -1,0 +1,71 @@
+"""Tests for the pipelined streaming mode of the process backend."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.models import vgg_mini
+from repro.nn import Tensor
+from repro.partition import FDSPModel, TileGrid
+from repro.runtime import ProcessCluster, ProcessClusterConfig
+
+RNG = np.random.default_rng(71)
+
+
+def small_model():
+    return vgg_mini(num_classes=3, input_size=24, base_width=6, separable_prefix=2).eval()
+
+
+class TestInferStream:
+    def test_matches_sequential_outputs(self):
+        """Pipelining must not change any prediction."""
+        model = small_model()
+        grid = TileGrid(2, 2)
+        images = [RNG.normal(size=(1, 3, 24, 24)).astype(np.float32) for _ in range(4)]
+        local = FDSPModel(model, grid)
+        local.eval()
+        with ProcessCluster(model, grid, config=ProcessClusterConfig(num_workers=2)) as cluster:
+            outcomes = cluster.infer_stream(images, pipeline_depth=2)
+        assert len(outcomes) == 4
+        for img, out in zip(images, outcomes):
+            np.testing.assert_allclose(out.output, local(Tensor(img)).data, atol=1e-5)
+            assert out.zero_filled_tiles == []
+
+    def test_results_in_input_order(self):
+        model = small_model()
+        images = [np.full((1, 3, 24, 24), float(i), dtype=np.float32) for i in range(3)]
+        local = FDSPModel(model, TileGrid(2, 2))
+        local.eval()
+        with ProcessCluster(model, TileGrid(2, 2), config=ProcessClusterConfig(num_workers=2)) as cluster:
+            outcomes = cluster.infer_stream(images)
+        for img, out in zip(images, outcomes):
+            np.testing.assert_allclose(out.output, local(Tensor(img)).data, atol=1e-5)
+
+    def test_pipelining_improves_wall_time_with_sleepy_workers(self):
+        """With sleep-dominated workers, depth-2 overlap beats depth-1."""
+        model = small_model()
+        cfg = ProcessClusterConfig(num_workers=2, t_limit=30.0, delay_per_tile=(0.05, 0.05))
+        images = [RNG.normal(size=(1, 3, 24, 24)).astype(np.float32) for _ in range(4)]
+        times = {}
+        for depth in (1, 2):
+            with ProcessCluster(model, TileGrid(2, 2), config=cfg) as cluster:
+                start = time.perf_counter()
+                cluster.infer_stream(images, pipeline_depth=depth)
+                times[depth] = time.perf_counter() - start
+        assert times[2] < times[1] * 1.05  # at worst equal; usually faster
+
+    def test_validation(self):
+        model = small_model()
+        cluster = ProcessCluster(model, TileGrid(2, 2))
+        with pytest.raises(RuntimeError):
+            cluster.infer_stream([np.zeros((1, 3, 24, 24), np.float32)])
+        with ProcessCluster(model, TileGrid(2, 2), config=ProcessClusterConfig(num_workers=1)) as c:
+            with pytest.raises(ValueError):
+                c.infer_stream([np.zeros((1, 3, 24, 24), np.float32)], pipeline_depth=0)
+
+    def test_unbatched_inputs(self):
+        model = small_model()
+        with ProcessCluster(model, TileGrid(2, 2), config=ProcessClusterConfig(num_workers=1)) as cluster:
+            outcomes = cluster.infer_stream([RNG.normal(size=(3, 24, 24)).astype(np.float32)])
+        assert outcomes[0].output.shape == (1, 3)

@@ -1,0 +1,152 @@
+"""Tests for device/link/energy/memory models and block profiling."""
+
+import numpy as np
+import pytest
+
+from repro.models import get_spec
+from repro.profiling import (
+    CLOUD_V100,
+    EDGE_TO_CLOUD,
+    RASPBERRY_PI_3B,
+    RASPBERRY_PI_ENERGY,
+    WIFI_LAN,
+    DeviceProfile,
+    EnergyModel,
+    LinkProfile,
+    central_node_memory_bytes,
+    conv_node_memory_bytes,
+    profile_blocks,
+    rest_macs,
+    separable_macs,
+    single_device_memory_bytes,
+    tile_macs,
+)
+
+
+class TestDeviceProfile:
+    def test_rpi_calibration_table3(self):
+        """RPi profile must land VGG16 near Table 3's 1586.53 ms."""
+        total = get_spec("vgg16").total_macs()
+        assert RASPBERRY_PI_3B.compute_time(total) == pytest.approx(1.587, rel=0.02)
+
+    def test_cloud_calibration_table3(self):
+        """V100 profile must land VGG16 near Table 3's 98.94 ms."""
+        total = get_spec("vgg16").total_macs()
+        assert CLOUD_V100.compute_time(total) == pytest.approx(0.099, rel=0.05)
+
+    def test_scaled(self):
+        half = RASPBERRY_PI_3B.scaled(0.5)
+        assert half.macs_per_second == RASPBERRY_PI_3B.macs_per_second / 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceProfile("x", macs_per_second=0)
+        with pytest.raises(ValueError):
+            RASPBERRY_PI_3B.scaled(0)
+        with pytest.raises(ValueError):
+            RASPBERRY_PI_3B.compute_time(-1)
+
+
+class TestLinkProfile:
+    def test_wifi_image_transfer(self):
+        """A 224x224x3 float image over 87.72 Mbps ~ 55 ms + overhead."""
+        bits = 224 * 224 * 3 * 32
+        t = WIFI_LAN.transfer_time(bits)
+        assert t == pytest.approx(bits / 87.72e6, abs=0.005)
+
+    def test_cloud_roundtrip_calibration(self):
+        """Input up + (small) result down should approximate Table 3's
+        502.21 ms transmission for the remote-cloud scheme."""
+        input_bits = 224 * 224 * 3 * 32
+        t = EDGE_TO_CLOUD.transfer_time(input_bits) + EDGE_TO_CLOUD.transfer_time(1000 * 32)
+        assert t == pytest.approx(0.502, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkProfile("x", bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            WIFI_LAN.transfer_time(-5)
+
+
+class TestBlockProfiles:
+    def test_figure3_shape_vgg16(self):
+        """Figure 3: exec time peaks at block 2, early blocks dominate."""
+        profiles = profile_blocks(get_spec("vgg16"))
+        times = [p.exec_time_s for p in profiles]
+        assert np.argmax(times) == 1
+        assert sum(times[:4]) / sum(times) > 0.3
+
+    def test_figure3_ifmap_shrinks(self):
+        profiles = profile_blocks(get_spec("resnet18"))
+        assert profiles[1].ifmap_elements > profiles[-1].ifmap_elements * 5
+
+    def test_ifmap_bits(self):
+        p = profile_blocks(get_spec("vgg16"))[0]
+        assert p.ifmap_bits == p.ifmap_elements * 32
+
+    def test_faster_device_smaller_times(self):
+        spec = get_spec("vgg16")
+        rpi = profile_blocks(spec, RASPBERRY_PI_3B)
+        v100 = profile_blocks(spec, CLOUD_V100)
+        assert all(a.exec_time_s > b.exec_time_s for a, b in zip(rpi, v100))
+
+
+class TestWorkloadSplits:
+    def test_separable_plus_rest_is_total(self):
+        spec = get_spec("vgg16")
+        assert separable_macs(spec) + rest_macs(spec) == spec.total_macs()
+
+    def test_tile_macs_even_split(self):
+        spec = get_spec("vgg16")
+        assert tile_macs(spec, 64) == pytest.approx(separable_macs(spec) / 64)
+
+    def test_tile_macs_validation(self):
+        with pytest.raises(ValueError):
+            tile_macs(get_spec("vgg16"), 0)
+
+
+class TestEnergyModel:
+    def test_busy_beats_idle(self):
+        e = RASPBERRY_PI_ENERGY
+        assert e.energy_joules(10, 10) > e.energy_joules(0, 10)
+
+    def test_mixed_window(self):
+        e = EnergyModel(active_watts=5.0, idle_watts=1.0)
+        assert e.energy_joules(2, 10) == pytest.approx(5 * 2 + 1 * 8)
+
+    def test_per_inference(self):
+        e = EnergyModel(5.0, 1.0)
+        assert e.energy_per_inference(2, 10, 4) == pytest.approx((10 + 8) / 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyModel(active_watts=1.0, idle_watts=2.0)
+        with pytest.raises(ValueError):
+            RASPBERRY_PI_ENERGY.energy_joules(5, 2)
+        with pytest.raises(ValueError):
+            RASPBERRY_PI_ENERGY.energy_per_inference(1, 2, 0)
+
+
+class TestMemoryModel:
+    def test_fewer_tiles_less_memory(self):
+        """Figure 13 (right): per-node memory shrinks with cluster size."""
+        spec = get_spec("vgg16")
+        m8 = conv_node_memory_bytes(spec, tiles_assigned=8, num_tiles_total=64)
+        m32 = conv_node_memory_bytes(spec, tiles_assigned=32, num_tiles_total=64)
+        assert m8 < m32
+
+    def test_conv_node_below_single_device(self):
+        spec = get_spec("vgg16")
+        conv = conv_node_memory_bytes(spec, 8, 64)
+        assert conv < single_device_memory_bytes(spec)
+
+    def test_single_device_vgg16_magnitude(self):
+        """Full VGG16 is ~138M params -> >500 MB at fp32."""
+        assert single_device_memory_bytes(get_spec("vgg16")) > 500e6
+
+    def test_central_node_positive(self):
+        assert central_node_memory_bytes(get_spec("vgg16")) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            conv_node_memory_bytes(get_spec("vgg16"), 10, 5)

@@ -1,0 +1,140 @@
+"""Cross-cutting property-based tests (hypothesis) on system invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import get_spec
+from repro.profiling import RASPBERRY_PI_3B, DeviceProfile, LinkProfile
+from repro.runtime import ADCNNConfig, ADCNNSystem, ADCNNWorkload
+from repro.simulator import CpuSchedule, SimNode
+
+SPEC = get_spec("vgg16")
+
+
+def build_system(num_nodes: int, num_tiles: int, factors=None, link_bw=87.72e6):
+    workload = ADCNNWorkload.from_spec(SPEC, num_tiles=num_tiles, separable_prefix=13,
+                                       compression_ratio=0.032)
+    factors = factors or [1.0] * num_nodes
+    nodes = [SimNode(f"n{i}", RASPBERRY_PI_3B.scaled(f)) for i, f in enumerate(factors)]
+    return ADCNNSystem(
+        workload,
+        nodes,
+        SimNode("c", RASPBERRY_PI_3B),
+        link=LinkProfile("l", link_bw, 2e-4),
+        config=ADCNNConfig(pipeline_depth=1),
+    )
+
+
+class TestSystemInvariants:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        num_nodes=st.integers(2, 6),
+        num_tiles=st.sampled_from([16, 32, 64]),
+        num_images=st.integers(2, 6),
+    )
+    def test_tile_conservation(self, num_nodes, num_tiles, num_images):
+        """Every image's allocation sums to the tile count; received +
+        zero-filled = allocated."""
+        system = build_system(num_nodes, num_tiles)
+        for rec in system.run(num_images):
+            assert rec.allocation.sum() == num_tiles
+            assert rec.received.sum() + rec.zero_filled_tiles == num_tiles
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        num_nodes=st.integers(2, 5),
+        num_images=st.integers(2, 5),
+    )
+    def test_causality(self, num_nodes, num_images):
+        """dispatch <= dispatch_done <= trigger <= completion per image."""
+        system = build_system(num_nodes, 32)
+        for rec in system.run(num_images):
+            assert rec.dispatch_start <= rec.dispatch_done <= rec.trigger_time <= rec.completion
+
+    @settings(max_examples=8, deadline=None)
+    @given(factors=st.lists(st.floats(0.2, 2.0), min_size=2, max_size=5))
+    def test_heterogeneous_bits_conservation(self, factors):
+        """Medium bit accounting equals the workload's exact volume."""
+        system = build_system(len(factors), 32, factors=factors)
+        n = 3
+        system.run(n)
+        total_zero_filled = sum(r.zero_filled_tiles for r in system.records)
+        if total_zero_filled == 0:
+            wl = system.workload
+            expected = n * (wl.input_bits + wl.output_bits)
+            assert system.total_transferred_bits() == pytest.approx(expected, rel=1e-6)
+
+    @settings(max_examples=8, deadline=None)
+    @given(bw=st.floats(5e6, 500e6))
+    def test_faster_link_never_slower(self, bw):
+        """Latency is monotone in link bandwidth (same everything else)."""
+        slow = build_system(4, 32, link_bw=bw)
+        fast = build_system(4, 32, link_bw=bw * 2)
+        slow.run(4)
+        fast.run(4)
+        assert fast.mean_latency() <= slow.mean_latency() * 1.001
+
+    def test_utilization_bounds(self):
+        system = build_system(4, 32)
+        system.run(5)
+        util = system.node_utilization()
+        assert (util >= 0).all() and (util <= 1.0 + 1e-9).all()
+
+    def test_homogeneous_high_utilization(self):
+        """§6.3: 'nearly perfect utilization' on a balanced cluster."""
+        system = build_system(8, 64)
+        system.run(10)
+        util = system.node_utilization()
+        assert util.mean() > 0.5
+        assert util.std() < 0.05  # balanced
+
+
+class TestWorkloadProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        num_tiles=st.sampled_from([4, 16, 64, 256]),
+        prefix=st.integers(1, 13),
+        ratio=st.floats(0.01, 1.0),
+    )
+    def test_conservation(self, num_tiles, prefix, ratio):
+        wl = ADCNNWorkload.from_spec(SPEC, num_tiles=num_tiles, separable_prefix=prefix,
+                                     compression_ratio=ratio)
+        assert wl.separable_macs + wl.rest_macs == pytest.approx(SPEC.total_macs(), rel=1e-9)
+        assert wl.input_bits == pytest.approx(SPEC.input_elements() * 32, rel=1e-9)
+        assert wl.tile_output_bits >= 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(prefix=st.integers(1, 13))
+    def test_deeper_prefix_less_rest(self, prefix):
+        shallow = ADCNNWorkload.from_spec(SPEC, 64, separable_prefix=prefix)
+        if prefix < 13:
+            deeper = ADCNNWorkload.from_spec(SPEC, 64, separable_prefix=prefix + 1)
+            assert deeper.rest_macs <= shallow.rest_macs
+
+
+class TestDeviceProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(macs=st.floats(0, 1e12), factor=st.floats(0.1, 10))
+    def test_scaling_inverse(self, macs, factor):
+        base = DeviceProfile("d", 1e9)
+        scaled = base.scaled(factor)
+        base_t = base.compute_time(macs) - base.invocation_overhead_s
+        scaled_t = scaled.compute_time(macs) - scaled.invocation_overhead_s
+        assert scaled_t * factor == pytest.approx(base_t, rel=1e-9, abs=1e-12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        changes=st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0.05, 1.0)), min_size=0, max_size=4
+        ).map(lambda c: tuple(sorted(c)))
+    )
+    def test_throttled_never_faster(self, changes):
+        """Any CPU schedule with factors <= 1 can only delay completion."""
+        plain = SimNode("a", DeviceProfile("d", 1e9))
+        throttled = SimNode("b", DeviceProfile("d", 1e9), cpu_schedule=CpuSchedule(changes))
+        work = 5e9
+        t_plain = plain.submit(0.0, work)
+        t_throttled = throttled.submit(0.0, work)
+        assert t_throttled >= t_plain - 1e-9

@@ -1,0 +1,101 @@
+"""Edge-case tests for the DES runtime: storage caps, medium queue, misc."""
+
+import numpy as np
+import pytest
+
+from repro.models import get_spec
+from repro.profiling import (
+    MODEL_EFFICIENCY,
+    RASPBERRY_PI_3B,
+    LinkProfile,
+    profile_for_model,
+)
+from repro.runtime import ADCNNConfig, ADCNNSystem, ADCNNWorkload, MediumQueue
+from repro.simulator import SimNode, Simulator
+
+
+def vgg_workload(num_tiles=32):
+    return ADCNNWorkload.from_spec(get_spec("vgg16"), num_tiles=num_tiles, separable_prefix=13,
+                                   compression_ratio=0.032)
+
+
+class TestStorageConstraint:
+    def test_storage_caps_allocation(self):
+        """Eq. (1): a node with tiny storage receives few tiles even when
+        it is fast."""
+        wl = vgg_workload(num_tiles=32)
+        tiny = wl.tile_input_bits * 2.5  # room for 2 tiles
+        nodes = [
+            SimNode("big", RASPBERRY_PI_3B),
+            SimNode("small", RASPBERRY_PI_3B, storage_bits=tiny),
+        ]
+        system = ADCNNSystem(wl, nodes, SimNode("c", RASPBERRY_PI_3B),
+                             config=ADCNNConfig(pipeline_depth=1))
+        recs = system.run(4)
+        for r in recs:
+            assert r.allocation[1] <= 2
+            assert r.allocation.sum() == 32
+
+
+class TestMediumQueue:
+    def test_fifo_ordering(self):
+        sim = Simulator()
+        mq = MediumQueue(sim, LinkProfile("l", bandwidth_bps=1e6))
+        arrivals = []
+        mq.request(1e6, lambda t: arrivals.append(("a", t)))
+        mq.request(1e6, lambda t: arrivals.append(("b", t)))
+        sim.run()
+        assert arrivals[0][0] == "a" and arrivals[1][0] == "b"
+        assert arrivals[1][1] == pytest.approx(arrivals[0][1] + 1.0)
+
+    def test_negative_bits_rejected(self):
+        mq = MediumQueue(Simulator(), LinkProfile("l", 1e6))
+        with pytest.raises(ValueError):
+            mq.request(-1.0, lambda t: None)
+
+    def test_idle_restart(self):
+        """The queue must restart cleanly after draining."""
+        sim = Simulator()
+        mq = MediumQueue(sim, LinkProfile("l", bandwidth_bps=1e6))
+        times = []
+        mq.request(1e6, lambda t: times.append(t))
+        sim.run()
+        sim.schedule_at(5.0, lambda: mq.request(1e6, lambda t: times.append(t)))
+        sim.run()
+        assert times[1] == pytest.approx(6.0)
+
+    def test_bits_accumulated(self):
+        sim = Simulator()
+        mq = MediumQueue(sim, LinkProfile("l", 1e6))
+        mq.request(100.0, lambda t: None)
+        mq.request(200.0, lambda t: None)
+        sim.run()
+        assert mq.transferred_bits == 300.0
+
+
+class TestDeeperPipelines:
+    def test_depth_three_throughput(self):
+        wl = vgg_workload()
+        per_image = {}
+        for depth in (1, 3):
+            nodes = [SimNode(f"n{i}", RASPBERRY_PI_3B) for i in range(4)]
+            system = ADCNNSystem(wl, nodes, SimNode("c", RASPBERRY_PI_3B),
+                                 config=ADCNNConfig(pipeline_depth=depth))
+            system.run(10)
+            per_image[depth] = system.makespan() / 10
+        assert per_image[3] <= per_image[1]
+
+
+class TestModelEfficiency:
+    def test_known_families(self):
+        assert MODEL_EFFICIENCY["resnet34"] < MODEL_EFFICIENCY["vgg16"]
+
+    def test_profile_for_model_scales(self):
+        resnet_dev = profile_for_model(RASPBERRY_PI_3B, "resnet34")
+        assert resnet_dev.macs_per_second == pytest.approx(
+            RASPBERRY_PI_3B.macs_per_second * MODEL_EFFICIENCY["resnet34"]
+        )
+
+    def test_unknown_model_identity(self):
+        dev = profile_for_model(RASPBERRY_PI_3B, "unknown-model")
+        assert dev.macs_per_second == RASPBERRY_PI_3B.macs_per_second

@@ -1,0 +1,201 @@
+"""Tests for the discrete-event simulator substrate."""
+
+import math
+
+import pytest
+
+from repro.profiling import DeviceProfile, LinkProfile
+from repro.simulator import CpuSchedule, Link, Medium, SimNode, Simulator
+
+
+def make_node(rate=1e9, **kw) -> SimNode:
+    return SimNode("n", DeviceProfile("dev", macs_per_second=rate), **kw)
+
+
+class TestSimulatorCore:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, lambda: log.append("b"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(3.0, lambda: log.append("c"))
+        sim.run()
+        assert log == ["a", "b", "c"] and sim.now == 3.0
+
+    def test_equal_times_fifo(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.schedule(1.0, lambda i=i: log.append(i))
+        sim.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(("first", sim.now))
+            sim.schedule(0.5, lambda: log.append(("second", sim.now)))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert log == [("first", 1.0), ("second", 1.5)]
+
+    def test_run_until(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(5.0, lambda: log.append(5))
+        sim.run(until=2.0)
+        assert log == [1] and sim.now == 2.0
+        sim.run()
+        assert log == [1, 5]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_event_cancellation(self):
+        sim = Simulator()
+        log = []
+        ev = sim.schedule(1.0, lambda: log.append("x"))
+        ev.cancel()
+        sim.run()
+        assert log == []
+
+    def test_stop_mid_run(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: (log.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: log.append(2))
+        sim.run()
+        assert log == [(1, None)] or log == [1]  # stop prevents event 2
+        assert 2 not in log
+
+    def test_livelock_guard(self):
+        sim = Simulator()
+
+        def respawn():
+            sim.schedule(0.0, respawn)
+
+        sim.schedule(0.0, respawn)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=100)
+
+
+class TestCpuSchedule:
+    def test_default_full_speed(self):
+        s = CpuSchedule()
+        assert s.factor_at(0.0) == 1.0 and s.factor_at(100.0) == 1.0
+
+    def test_piecewise(self):
+        s = CpuSchedule(((10.0, 0.45), (20.0, 1.0)))
+        assert s.factor_at(5) == 1.0
+        assert s.factor_at(10) == 0.45
+        assert s.factor_at(15) == 0.45
+        assert s.factor_at(25) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CpuSchedule(((10.0, 0.5), (5.0, 1.0)))
+        with pytest.raises(ValueError):
+            CpuSchedule(((1.0, -0.1),))
+
+
+class TestSimNode:
+    def test_constant_rate(self):
+        node = make_node(rate=1e9)
+        # 1e9 MACs at 1 GMAC/s = 1 s.
+        assert node.submit(0.0, 1e9) == pytest.approx(1.0, abs=1e-6)
+
+    def test_fifo_queueing(self):
+        node = make_node(rate=1e9)
+        t1 = node.submit(0.0, 1e9)
+        t2 = node.submit(0.0, 1e9)  # arrives while busy
+        assert t2 == pytest.approx(t1 + 1.0, abs=1e-6)
+
+    def test_throttle_slows_work(self):
+        """§7.3: cpulimit to 45% mid-computation stretches completion."""
+        sched = CpuSchedule(((0.5, 0.5),))
+        node = SimNode("n", DeviceProfile("d", 1e9), cpu_schedule=sched)
+        # 1e9 MACs: 0.5 s at full speed does half; remaining 0.5e9 at 0.5e9/s = 1 s.
+        assert node.submit(0.0, 1e9) == pytest.approx(1.5, abs=1e-6)
+
+    def test_work_after_throttle_lift(self):
+        sched = CpuSchedule(((0.0, 0.5), (1.0, 1.0)))
+        node = SimNode("n", DeviceProfile("d", 1e9), cpu_schedule=sched)
+        # 1e9 MACs: 1 s at half rate does 0.5e9, rest at full = 0.5 s.
+        assert node.submit(0.0, 1e9) == pytest.approx(1.5, abs=1e-6)
+
+    def test_failed_node_never_finishes(self):
+        node = make_node(rate=1e9, fail_time=0.5)
+        assert math.isinf(node.submit(0.0, 1e9))
+
+    def test_zero_rate_throttle_without_recovery(self):
+        node = SimNode("n", DeviceProfile("d", 1e9), cpu_schedule=CpuSchedule(((0.0, 0.0),)))
+        assert math.isinf(node.submit(0.0, 1e9))
+
+    def test_rate_at(self):
+        node = SimNode("n", DeviceProfile("d", 2e9), cpu_schedule=CpuSchedule(((1.0, 0.25),)), fail_time=5.0)
+        assert node.rate_at(0.0) == 2e9
+        assert node.rate_at(2.0) == 0.5e9
+        assert node.rate_at(6.0) == 0.0
+
+    def test_busy_time_accounting(self):
+        node = make_node(rate=1e9)
+        node.submit(0.0, 1e9)
+        node.submit(5.0, 2e9)
+        assert node.total_busy_time() == pytest.approx(3.0, abs=1e-3)
+        assert node.total_busy_time(until=6.0) == pytest.approx(2.0, abs=1e-3)
+
+    def test_reset(self):
+        node = make_node()
+        node.submit(0.0, 1e9)
+        node.reset()
+        assert node.total_busy_time() == 0.0
+        assert node.submit(0.0, 1e9) == pytest.approx(1.0, abs=1e-6)
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            make_node().submit(0.0, -1.0)
+
+
+class TestNetwork:
+    def test_link_transfer_time(self):
+        link = Link(LinkProfile("l", bandwidth_bps=1e6))
+        assert link.transfer(0.0, 1e6) == pytest.approx(1.0)
+
+    def test_link_fifo(self):
+        link = Link(LinkProfile("l", bandwidth_bps=1e6))
+        t1 = link.transfer(0.0, 1e6)
+        t2 = link.transfer(0.0, 1e6)
+        assert t2 == pytest.approx(t1 + 1.0)
+
+    def test_medium_shared_contention(self):
+        """Two links on one medium serialize — the WiFi model."""
+        medium = Medium(LinkProfile("wifi", bandwidth_bps=1e6))
+        a = Link(LinkProfile("a", 1e9), medium=medium)
+        b = Link(LinkProfile("b", 1e9), medium=medium)
+        t1 = a.transfer(0.0, 1e6)
+        t2 = b.transfer(0.0, 1e6)
+        assert t1 == pytest.approx(1.0) and t2 == pytest.approx(2.0)
+
+    def test_bits_accounted(self):
+        medium = Medium(LinkProfile("wifi", bandwidth_bps=1e6))
+        medium.transfer(0.0, 500.0)
+        medium.transfer(0.0, 700.0)
+        assert medium.transferred_bits == 1200.0
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Link(LinkProfile("l", 1e6)).transfer(0.0, -1.0)
+
+    def test_overhead_added(self):
+        link = Link(LinkProfile("l", bandwidth_bps=1e6, per_message_overhead_s=0.1))
+        assert link.transfer(0.0, 1e6) == pytest.approx(1.1)

@@ -1,0 +1,26 @@
+"""Tests for the trace recorder."""
+
+from repro.simulator import TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_record_and_filter(self):
+        tr = TraceRecorder()
+        tr.record(0.1, "dispatch", image=0)
+        tr.record(0.2, "result", image=0, node=1)
+        tr.record(0.3, "dispatch", image=1)
+        assert len(tr) == 3
+        dispatches = tr.of_kind("dispatch")
+        assert [e["image"] for e in dispatches] == [0, 1]
+
+    def test_fields_preserved(self):
+        tr = TraceRecorder()
+        tr.record(1.5, "trigger", image=2, zero_filled=3)
+        e = tr.events[0]
+        assert e["time"] == 1.5 and e["kind"] == "trigger" and e["zero_filled"] == 3
+
+    def test_clear(self):
+        tr = TraceRecorder()
+        tr.record(0.0, "x")
+        tr.clear()
+        assert len(tr) == 0

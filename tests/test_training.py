@@ -1,0 +1,190 @@
+"""Tests for training loops, bound search, and progressive retraining."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.data import make_classification
+from repro.models import vgg_mini
+from repro.nn.losses import cross_entropy
+from repro.training import (
+    TrainConfig,
+    evaluate_classification,
+    evaluate_detection_cells,
+    evaluate_segmentation,
+    oneshot_retrain,
+    progressive_retrain,
+    search_clip_bounds,
+    train_epochs,
+    train_until_recovered,
+)
+
+RNG = np.random.default_rng(47)
+CFG = TrainConfig(lr=0.05, batch_size=16)
+
+
+def trained_mini(seed=0):
+    """A small converged classifier shared by the retraining tests."""
+    data = make_classification(num_samples=96, num_classes=3, image_size=24, seed=seed)
+    train, test = data.split()
+    model = vgg_mini(num_classes=3, input_size=24, base_width=6, separable_prefix=2, seed=seed)
+    train_epochs(model, train.images, train.labels, cross_entropy, epochs=5, config=CFG)
+    return model, train, test
+
+
+class TestTrainLoop:
+    def test_loss_decreases(self):
+        data = make_classification(num_samples=64, num_classes=3, image_size=24, seed=2)
+        model = vgg_mini(num_classes=3, input_size=24, base_width=6)
+        hist = train_epochs(model, data.images, data.labels, cross_entropy, epochs=3, config=CFG)
+        assert hist.epoch_losses[-1] < hist.epoch_losses[0]
+
+    def test_zero_epochs_noop(self):
+        data = make_classification(num_samples=16, num_classes=2, image_size=24)
+        model = vgg_mini(num_classes=2, input_size=24, base_width=4)
+        before = model.state_dict()
+        train_epochs(model, data.images, data.labels, cross_entropy, epochs=0, config=CFG)
+        after = model.state_dict()
+        np.testing.assert_array_equal(before["blocks.0.conv.weight"], after["blocks.0.conv.weight"])
+
+    def test_negative_epochs_rejected(self):
+        model = vgg_mini(num_classes=2, input_size=24, base_width=4)
+        with pytest.raises(ValueError):
+            train_epochs(model, np.zeros((4, 3, 24, 24), np.float32), np.zeros(4, int), cross_entropy, epochs=-1)
+
+    def test_model_left_in_eval_mode(self):
+        data = make_classification(num_samples=16, num_classes=2, image_size=24)
+        model = vgg_mini(num_classes=2, input_size=24, base_width=4)
+        train_epochs(model, data.images, data.labels, cross_entropy, epochs=1, config=CFG)
+        assert not model.training
+
+
+class TestMetrics:
+    def test_classification_accuracy_perfect_and_chance(self):
+        model, train, test = trained_mini()
+        acc = evaluate_classification(model, test.images, test.labels)
+        assert acc > 0.8  # the synthetic task is easy by design
+
+    def test_segmentation_metrics_bounds(self):
+        from repro.data import make_segmentation
+        from repro.models import fcn_mini
+
+        d = make_segmentation(num_samples=8, num_classes=3, image_size=24)
+        model = fcn_mini(num_classes=3, input_size=24, base_width=4).eval()
+        pix, miou = evaluate_segmentation(model, d.images, d.masks)
+        assert 0.0 <= pix <= 1.0 and 0.0 <= miou <= 1.0
+
+    def test_detection_f1_bounds(self):
+        from repro.data import make_detection
+        from repro.models import yolo_mini
+
+        d = make_detection(num_samples=6, num_classes=3, image_size=24, grid_stride=8)
+        model = yolo_mini(num_classes=3, input_size=24, base_width=4).eval()
+        f1 = evaluate_detection_cells(model, d.images, d.targets)
+        assert 0.0 <= f1 <= 1.0
+
+
+class TestTrainUntilRecovered:
+    def test_stops_immediately_if_already_recovered(self):
+        model, train, test = trained_mini()
+        eval_fn = lambda m: evaluate_classification(m, test.images, test.labels)
+        epochs, metric = train_until_recovered(
+            model, train.images, train.labels, cross_entropy, eval_fn, target_metric=0.0, max_epochs=5, config=CFG
+        )
+        assert epochs == 0
+
+    def test_respects_max_epochs(self):
+        model, train, test = trained_mini()
+        eval_fn = lambda m: 0.0  # never recovers
+        epochs, _ = train_until_recovered(
+            model, train.images, train.labels, cross_entropy, eval_fn, target_metric=1.0, max_epochs=2, config=CFG
+        )
+        assert epochs == 2
+
+
+class TestBoundsSearch:
+    def test_sparsity_target_met(self):
+        acts = np.maximum(RNG.normal(size=50_000), 0)
+        res = search_clip_bounds(acts, target_sparsity=0.8)
+        assert res.achieved_sparsity >= 0.75
+        assert res.upper > res.lower >= 0.0
+
+    def test_upper_covers_bulk(self):
+        acts = np.maximum(RNG.normal(size=50_000), 0)
+        res = search_clip_bounds(acts, target_sparsity=0.6)
+        assert res.upper >= np.quantile(acts, 0.95)
+
+    def test_higher_target_higher_lower_bound(self):
+        acts = np.maximum(RNG.normal(size=50_000), 0)
+        lo = search_clip_bounds(acts, target_sparsity=0.6).lower
+        hi = search_clip_bounds(acts, target_sparsity=0.9).lower
+        assert hi > lo
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            search_clip_bounds(np.zeros(0))
+        with pytest.raises(ValueError):
+            search_clip_bounds(np.ones(10), target_sparsity=1.0)
+
+
+class TestProgressiveRetraining:
+    def test_algorithm1_stages_in_order(self):
+        model, train, test = trained_mini()
+        res = progressive_retrain(
+            model,
+            "2x2",
+            train.images,
+            train.labels,
+            cross_entropy,
+            lambda m: evaluate_classification(m, test.images, test.labels),
+            max_epochs_per_stage=2,
+            config=CFG,
+        )
+        assert [s.name for s in res.stages] == ["FDSP", "Clipped ReLU", "Quantization"]
+        assert res.total_epochs <= 6
+
+    def test_accuracy_recovered_within_margin(self):
+        """Figure 10: retrained accuracy within ~1% of the original."""
+        model, train, test = trained_mini()
+        res = progressive_retrain(
+            model,
+            "2x2",
+            train.images,
+            train.labels,
+            cross_entropy,
+            lambda m: evaluate_classification(m, test.images, test.labels),
+            recover_margin=0.02,
+            max_epochs_per_stage=4,
+            config=CFG,
+        )
+        assert res.final_metric >= res.baseline_metric - 0.05
+
+    def test_final_model_has_compression(self):
+        model, train, test = trained_mini()
+        res = progressive_retrain(
+            model,
+            "2x2",
+            train.images,
+            train.labels,
+            cross_entropy,
+            lambda m: evaluate_classification(m, test.images, test.labels),
+            max_epochs_per_stage=1,
+            config=CFG,
+        )
+        assert res.model.has_compression
+        assert res.bounds is not None and res.bounds.upper > res.bounds.lower
+
+    def test_oneshot_ablation_runs(self):
+        model, train, test = trained_mini(seed=3)
+        res = oneshot_retrain(
+            model,
+            "2x2",
+            train.images,
+            train.labels,
+            cross_entropy,
+            lambda m: evaluate_classification(m, test.images, test.labels),
+            max_epochs=2,
+            config=CFG,
+        )
+        assert res.stages[0].name == "all-at-once"
+        assert res.model.has_compression

@@ -1,0 +1,94 @@
+"""Tests for zero-fill robustness evaluation and batch partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.models import get_spec, vgg_mini
+from repro.nn import Tensor
+from repro.partition import FDSPModel, TileGrid, batch_partition_metrics
+from repro.runtime import accuracy_under_tile_loss, forward_with_missing_tiles
+
+RNG = np.random.default_rng(59)
+
+
+def make_fdsp():
+    model = vgg_mini(num_classes=3, input_size=24, base_width=6, separable_prefix=2).eval()
+    return FDSPModel(model, TileGrid(2, 2))
+
+
+class TestForwardWithMissingTiles:
+    def test_no_missing_equals_normal(self):
+        fdsp = make_fdsp()
+        fdsp.eval()
+        x = RNG.normal(size=(2, 3, 24, 24)).astype(np.float32)
+        normal = fdsp(Tensor(x)).data
+        out = forward_with_missing_tiles(fdsp, x, []).data
+        np.testing.assert_allclose(out, normal, atol=1e-5)
+
+    def test_missing_changes_output(self):
+        fdsp = make_fdsp()
+        x = RNG.normal(size=(1, 3, 24, 24)).astype(np.float32)
+        normal = forward_with_missing_tiles(fdsp, x, []).data
+        degraded = forward_with_missing_tiles(fdsp, x, [0, 1]).data
+        assert not np.allclose(normal, degraded, atol=1e-5)
+
+    def test_all_missing_is_zero_input_to_rest(self):
+        fdsp = make_fdsp()
+        x = RNG.normal(size=(1, 3, 24, 24)).astype(np.float32)
+        out_all_missing = forward_with_missing_tiles(fdsp, x, range(4)).data
+        zeros = forward_with_missing_tiles(fdsp, np.zeros_like(x) * np.nan, range(4)).data
+        np.testing.assert_allclose(out_all_missing, zeros, atol=1e-5)
+
+    def test_invalid_tile_id(self):
+        fdsp = make_fdsp()
+        with pytest.raises(ValueError):
+            forward_with_missing_tiles(fdsp, np.zeros((1, 3, 24, 24), np.float32), [99])
+
+
+class TestAccuracyUnderTileLoss:
+    def test_zero_loss_equals_full_accuracy(self):
+        fdsp = make_fdsp()
+        x = RNG.normal(size=(12, 3, 24, 24)).astype(np.float32)
+        y = RNG.integers(0, 3, size=12)
+        base = accuracy_under_tile_loss(fdsp, x, y, 0.0)
+        assert 0.0 <= base <= 1.0
+
+    def test_full_loss_near_chance(self):
+        """With every tile zero-filled the model sees no input signal, so
+        predictions collapse to a constant class."""
+        fdsp = make_fdsp()
+        x = RNG.normal(size=(30, 3, 24, 24)).astype(np.float32)
+        y = RNG.integers(0, 3, size=30)
+        acc = accuracy_under_tile_loss(fdsp, x, y, 1.0)
+        assert acc <= 0.7  # one class's base rate, not real accuracy
+
+    def test_validation(self):
+        fdsp = make_fdsp()
+        with pytest.raises(ValueError):
+            accuracy_under_tile_loss(fdsp, np.zeros((1, 3, 24, 24), np.float32), np.zeros(1, int), 1.5)
+
+
+class TestBatchPartitioning:
+    def test_latency_equals_single_device(self):
+        """§3.1: batch partitioning does not reduce per-image latency."""
+        spec = get_spec("vgg16")
+        one = batch_partition_metrics(spec, 1)
+        eight = batch_partition_metrics(spec, 8)
+        assert eight.per_image_latency_s == pytest.approx(one.per_image_latency_s)
+
+    def test_throughput_scales_until_link_bound(self):
+        spec = get_spec("vgg16")
+        t1 = batch_partition_metrics(spec, 1).throughput_images_per_s
+        t4 = batch_partition_metrics(spec, 4).throughput_images_per_s
+        assert t4 > t1 * 2
+
+    def test_link_becomes_bottleneck(self):
+        """With enough devices the shared link caps throughput."""
+        spec = get_spec("vgg16")
+        t32 = batch_partition_metrics(spec, 32).throughput_images_per_s
+        t64 = batch_partition_metrics(spec, 64).throughput_images_per_s
+        assert t64 == pytest.approx(t32)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            batch_partition_metrics(get_spec("vgg16"), 0)
