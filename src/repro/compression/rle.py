@@ -48,7 +48,8 @@ class RLEStream:
         max_run = 2**self.run_bits
         for is_zero, payload in self.runs:
             if is_zero:
-                # Runs were split at encode time; each costs flag + counter.
+                # rle_encode splits runs at 2**run_bits, so this ceil is 1
+                # per entry; it stays exact for hand-built streams too.
                 n_tokens = -(-int(payload) // max_run)
                 bits += n_tokens * (1 + self.run_bits)
             else:
@@ -60,12 +61,16 @@ def rle_encode(levels: np.ndarray, value_bits: int = 4, run_bits: int = 8) -> RL
     """Encode an integer level array (any shape) into an :class:`RLEStream`."""
     if value_bits < 1 or run_bits < 1:
         raise ValueError("value_bits and run_bits must be >= 1")
+    if value_bits > 16:
+        # Literal stretches are stored as uint16; more bits would truncate.
+        raise ValueError(f"value_bits > 16 unsupported (got {value_bits})")
     levels = np.asarray(levels)
     if levels.size and levels.min() < 0:
         raise ValueError("RLE input must be non-negative level indices")
     if levels.size and levels.max() >= 2**value_bits:
         raise ValueError(f"level {int(levels.max())} does not fit in {value_bits} bits")
     flat = levels.reshape(-1)
+    max_run = 2**run_bits
     runs: list[tuple[bool, object]] = []
     if flat.size:
         zero = flat == 0
@@ -75,7 +80,13 @@ def rle_encode(levels: np.ndarray, value_bits: int = 4, run_bits: int = 8) -> RL
         ends = np.concatenate((change, [flat.size]))
         for s, e in zip(starts, ends):
             if zero[s]:
-                runs.append((True, int(e - s)))
+                # Split at the counter capacity: one token encodes at most
+                # 2**run_bits zeros, so a longer run becomes several tokens.
+                n = int(e - s)
+                while n > 0:
+                    chunk = min(n, max_run)
+                    runs.append((True, chunk))
+                    n -= chunk
             else:
                 runs.append((False, flat[s:e].astype(np.uint16)))
     return RLEStream(tuple(levels.shape), tuple(runs), value_bits, run_bits)

@@ -96,13 +96,21 @@ def make_rpi_cluster(
     model_name: str = "vgg16",
     schedules: Sequence[CpuSchedule] | None = None,
     fail_times: Sequence[float | None] | None = None,
+    recover_times: Sequence[float | None] | None = None,
 ) -> list[SimNode]:
     """Identical RPi Conv nodes (per-model efficiency-corrected profile)."""
     device = profile_for_model(RASPBERRY_PI_3B, model_name)
     schedules = schedules or [CpuSchedule()] * num_nodes
     fail_times = fail_times or [None] * num_nodes
+    recover_times = recover_times or [None] * num_nodes
     return [
-        SimNode(f"conv{i + 1}", device, cpu_schedule=schedules[i], fail_time=fail_times[i])
+        SimNode(
+            f"conv{i + 1}",
+            device,
+            cpu_schedule=schedules[i],
+            fail_time=fail_times[i],
+            recover_time=recover_times[i],
+        )
         for i in range(num_nodes)
     ]
 
@@ -115,6 +123,7 @@ def build_adcnn_system(
     config: ADCNNConfig | None = None,
     schedules: Sequence[CpuSchedule] | None = None,
     fail_times: Sequence[float | None] | None = None,
+    recover_times: Sequence[float | None] | None = None,
     prefix_kind: str = "system",
 ) -> ADCNNSystem:
     """The standard §7.2 testbed: N RPi Conv nodes + 1 RPi Central node.
@@ -134,5 +143,11 @@ def build_adcnn_system(
         input_bits_override=cfg.get("input_bits_override"),
     )
     central = SimNode("central", profile_for_model(RASPBERRY_PI_3B, model_name))
-    nodes = make_rpi_cluster(num_nodes, model_name, schedules=schedules, fail_times=fail_times)
+    nodes = make_rpi_cluster(
+        num_nodes,
+        model_name,
+        schedules=schedules,
+        fail_times=fail_times,
+        recover_times=recover_times,
+    )
     return ADCNNSystem(workload, nodes, central, link=link, config=config or ADCNNConfig(pipeline_depth=1))

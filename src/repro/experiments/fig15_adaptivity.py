@@ -5,6 +5,13 @@ Reproduces §7.3: VGG16 with 8x8 partition on 8 Conv nodes; mid-run, nodes
 under test: allocation shifts from 8 tiles/node to ~12,12,12,12,5,5,3,3;
 latency spikes at the degradation and settles back below the spike
 (241 -> 392 -> 351 ms in the paper).
+
+Beyond the paper, ``run`` accepts a kill/recover schedule (fail-stop one
+node mid-run, optionally revive it) exercising the supervision layer in
+the DES backend — re-dispatch keeps zero-fill at 0 and recovery probes let
+the revived node re-earn share — and ``run_process`` drives the same
+schedule through the real multiprocessing backend (restart policy +
+probes).
 """
 
 from __future__ import annotations
@@ -16,15 +23,21 @@ from repro.simulator import CpuSchedule
 
 from .common import ExperimentReport, build_adcnn_system
 
-__all__ = ["run"]
+__all__ = ["run", "run_process"]
 
 
-def run(num_images: int = 50, throttle_after_images: int = 25) -> ExperimentReport:
+def run(
+    num_images: int = 50,
+    throttle_after_images: int = 25,
+    kill_node: int | None = None,
+    kill_at_image: int | None = None,
+    recover_at_image: int | None = None,
+) -> ExperimentReport:
     report = ExperimentReport("Figure 15 — tile reallocation under node performance degradation")
     # Estimate when image `throttle_after_images` is in flight, then build
     # schedules that throttle at that simulated time.
     probe = build_adcnn_system("vgg16", num_nodes=8)
-    probe_records = probe.run(max(throttle_after_images, 2))
+    probe_records = probe.run(max(throttle_after_images, kill_at_image or 2, 2))
     throttle_time = probe_records[throttle_after_images - 1].dispatch_start
 
     schedules = (
@@ -32,8 +45,29 @@ def run(num_images: int = 50, throttle_after_images: int = 25) -> ExperimentRepo
         + [CpuSchedule(((throttle_time, 0.45),))] * 2   # nodes 5-6: -55%
         + [CpuSchedule(((throttle_time, 0.24),))] * 2   # nodes 7-8: -76%
     )
+    fail_times: list[float | None] = [None] * 8
+    recover_times: list[float | None] = [None] * 8
+    config = ADCNNConfig(pipeline_depth=1)
+    if kill_node is not None:
+        if not 0 <= kill_node < 8:
+            raise ValueError("kill_node must index one of the 8 Conv nodes")
+        kill_at_image = kill_at_image if kill_at_image is not None else throttle_after_images
+        fail_times[kill_node] = probe_records[kill_at_image - 1].dispatch_start
+        if recover_at_image is not None:
+            if recover_at_image <= kill_at_image:
+                raise ValueError("recover_at_image must be after kill_at_image")
+            # The probe run is shorter than recover_at_image in general;
+            # extrapolate from its per-image cadence.
+            cadence = probe_records[-1].dispatch_start / max(len(probe_records) - 1, 1)
+            recover_times[kill_node] = cadence * recover_at_image
+        config = ADCNNConfig(pipeline_depth=1, redispatch=True, probe_interval=3)
     system = build_adcnn_system(
-        "vgg16", num_nodes=8, schedules=schedules, config=ADCNNConfig(pipeline_depth=1)
+        "vgg16",
+        num_nodes=8,
+        schedules=schedules,
+        fail_times=fail_times,
+        recover_times=recover_times,
+        config=config,
     )
     records = system.run(num_images)
     for r in records:
@@ -50,8 +84,71 @@ def run(num_images: int = 50, throttle_after_images: int = 25) -> ExperimentRepo
     report.note(f"latency before/spike/settled: {before:.0f} / {spike:.0f} / {settled:.0f} ms "
                 "(paper: 241 / 392 / 351 ms)")
     report.note(f"final allocation: {list(map(int, final_alloc))} (paper: [12,12,12,12,5,5,3,3])")
+    if kill_node is not None:
+        lost = sum(r.zero_filled_tiles for r in records)
+        report.note(
+            f"node {kill_node + 1} killed at image {kill_at_image}"
+            + (f", revived at image {recover_at_image}" if recover_at_image is not None else "")
+            + f"; tiles lost to zero-fill: {lost} (re-dispatch active)"
+        )
+    return report
+
+
+def run_process(
+    num_images: int = 10,
+    kill_at_image: int = 3,
+    kill_worker: int = 1,
+    num_workers: int = 2,
+    restart: bool = True,
+    frame_gap: float = 0.02,
+) -> ExperimentReport:
+    """The kill/recover schedule on the real multiprocessing backend.
+
+    One worker is fail-stopped after ``kill_at_image`` inferences; with
+    ``restart`` the supervision layer respawns it and a recovery probe
+    re-earns its share.  ``frame_gap`` emulates the inter-frame arrival
+    cadence of a real stream (tiny models infer in milliseconds, so without
+    a gap the run ends before the restart backoff elapses).  Run with tiny
+    models so it stays test-friendly.
+    """
+    import time
+
+    from repro.models import vgg_mini
+    from repro.runtime import ProcessCluster, ProcessClusterConfig
+
+    report = ExperimentReport("Figure 15 (process backend) — kill/recover under supervision")
+    model = vgg_mini(num_classes=3, input_size=24, base_width=6, separable_prefix=2).eval()
+    rng = np.random.default_rng(15)
+    cfg = ProcessClusterConfig(
+        num_workers=num_workers,
+        t_limit=30.0,
+        gamma=1.0,
+        redispatch=True,
+        max_restarts=1 if restart else 0,
+        restart_backoff=0.05,
+        probe_interval=1,
+    )
+    with ProcessCluster(model, "2x2", config=cfg) as cluster:
+        for i in range(num_images):
+            if i > 0 and frame_gap > 0:
+                time.sleep(frame_gap)
+            if i == kill_at_image:
+                cluster.kill_worker(kill_worker)
+            out = cluster.infer(rng.normal(size=(1, 3, 24, 24)).astype(np.float32))
+            report.add(
+                image=i,
+                alloc=" ".join(str(int(a)) for a in out.allocation),
+                zero_filled=len(out.zero_filled_tiles),
+                local_tiles=len(out.locally_computed_tiles),
+                restarts=" ".join(map(str, cluster.restart_counts)),
+            )
+        rates = cluster.worker_rates
+    report.note(f"final worker rates: {np.array2string(rates, precision=2)}")
+    report.note(f"worker {kill_worker} killed before image {kill_at_image}; "
+                + ("restart policy on" if restart else "restart policy off"))
     return report
 
 
 if __name__ == "__main__":  # pragma: no cover
     print(run().format_table())
+    print(run_process().format_table())

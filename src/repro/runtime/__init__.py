@@ -1,7 +1,7 @@
 """ADCNN runtime (§6): scheduling algorithms, DES system, process cluster."""
 
 from .deployment import ADCNNDeployment
-from .messages import Shutdown, TileResult, TileTask
+from .messages import LOCAL_WORKER, Shutdown, TileResult, TileTask, drain_queue
 from .process_backend import InferenceOutcome, ProcessCluster, ProcessClusterConfig
 from .scheduler import SchedulingError, StatisticsCollector, allocate_tiles, brute_force_allocation
 from .system import ADCNNConfig, ADCNNSystem, ImageRecord, MediumQueue
@@ -21,6 +21,8 @@ __all__ = [
     "TileTask",
     "TileResult",
     "Shutdown",
+    "LOCAL_WORKER",
+    "drain_queue",
     "ProcessCluster",
     "ProcessClusterConfig",
     "InferenceOutcome",

@@ -3,29 +3,75 @@
 Every tile carries an ``(image_id, tile_id)`` pair so the Central node can
 route results to the right image slot regardless of arrival order, and
 results echo the pair back plus the worker that produced them.
+
+Fault tolerance adds a drain/re-queue protocol on top: when the Central
+node detects a dead Conv node it *drains* the undelivered :class:`TileTask`
+messages still sitting in that node's task queue (so a restarted process
+never replays stale work) and re-queues every tile the node owned but never
+answered onto surviving nodes, reconstructed from the Central node's own
+assignment map.  ``probe`` tiles are ordinary tasks flagged so a recovered
+node can be given one unit of work to re-earn scheduling share.
 """
 
 from __future__ import annotations
 
+import queue as queue_mod
+import time
 from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
 
-__all__ = ["TileTask", "TileResult", "Shutdown"]
+__all__ = ["TileTask", "TileResult", "Shutdown", "LOCAL_WORKER", "drain_queue"]
+
+#: Sentinel worker id for tiles the Central node computed itself (graceful
+#: degradation when no Conv node can accept work).
+LOCAL_WORKER = -1
 
 
 @dataclass(frozen=True)
 class TileTask:
-    """An input tile dispatched to a Conv node."""
+    """An input tile dispatched to a Conv node.
+
+    ``probe`` marks a recovery-probe tile: a single tile handed to a node
+    whose ``s_k`` statistic has decayed to zero so it can demonstrate it is
+    healthy again.  Workers treat probes exactly like normal tasks.
+    """
 
     image_id: int
     tile_id: int
     tile: np.ndarray
+    probe: bool = False
 
     def __post_init__(self) -> None:
         if self.image_id < 0 or self.tile_id < 0:
             raise ValueError("ids must be non-negative")
+
+
+def drain_queue(q, retries: int = 2, retry_delay: float = 0.01) -> list[TileTask]:
+    """Drain undelivered messages from a dead worker's task queue.
+
+    Returns the :class:`TileTask` messages recovered (other message types
+    are discarded).  A couple of short retries absorb the multiprocessing
+    feeder-thread race where a just-put item is not yet readable.  The
+    authoritative re-dispatch set is the Central node's assignment map —
+    draining exists so a *restarted* worker on the same queue never sees
+    stale tasks.
+    """
+    drained: list[TileTask] = []
+    misses = 0
+    while misses <= retries:
+        try:
+            msg = q.get_nowait()
+        except queue_mod.Empty:
+            misses += 1
+            if misses <= retries:
+                time.sleep(retry_delay)
+            continue
+        misses = 0
+        if isinstance(msg, TileTask):
+            drained.append(msg)
+    return drained
 
 
 @dataclass(frozen=True)

@@ -10,11 +10,28 @@ death, load re-balancing) on real data — the DES backend covers timing.
 
 Workers are forked, so the separable module is inherited, not pickled.
 An optional per-worker ``delay_per_tile`` emulates slow/throttled devices.
+
+Fault tolerance (beyond the paper's zero-fill-only story):
+
+- **Supervision** — ``proc.is_alive()`` is checked in the collect loops; a
+  dead worker is detected within ``poll_interval`` seconds.
+- **Fault isolation** — every worker writes results to its *own* queue
+  (single writer per channel).  A worker terminated mid-write can wedge a
+  shared ``mp.Queue``'s writer lock for every surviving producer; with
+  per-worker channels it can only wedge its own, which dies with it.
+- **Re-dispatch** — a dead worker's task queue is drained (so a restart
+  never replays stale work) and every tile it owned but never answered is
+  re-queued onto surviving workers before the ``T_L`` deadline; with no
+  survivors the central process computes the tiles itself.
+- **Restart policy** — optionally (``max_restarts > 0``) a dead worker is
+  respawned after a capped exponential backoff.
+- **Recovery probes** — a revived worker whose ``s_k`` has decayed to ~0
+  periodically receives one probe tile so it can re-earn share
+  (:meth:`StatisticsCollector.probe_due`).
 """
 
 from __future__ import annotations
 
-import math
 import multiprocessing as mp
 import queue as queue_mod
 import time
@@ -28,8 +45,8 @@ from repro.models.blocks import PartitionableCNN
 from repro.nn import Tensor
 from repro.partition.geometry import grid_for_model, reassemble_array, split_array
 
-from .messages import Shutdown, TileResult, TileTask
-from .scheduler import StatisticsCollector, allocate_tiles
+from .messages import LOCAL_WORKER, Shutdown, TileResult, TileTask, drain_queue
+from .scheduler import SchedulingError, StatisticsCollector, allocate_tiles
 
 __all__ = ["ProcessClusterConfig", "InferenceOutcome", "ProcessCluster"]
 
@@ -92,12 +109,18 @@ def _rate_credits(
 
 @dataclass(frozen=True)
 class ProcessClusterConfig:
-    """Cluster shape and deadline policy."""
+    """Cluster shape, deadline policy, and fault-tolerance knobs."""
 
     num_workers: int = 2
     t_limit: float = 10.0          # generous default: correctness over speed
     gamma: float = 0.9
     delay_per_tile: tuple[float, ...] = ()  # per-worker artificial slowness
+    redispatch: bool = True        # re-queue a dead worker's pending tiles
+    max_restarts: int = 0          # restart policy is opt-in
+    restart_backoff: float = 0.25  # first-restart delay, doubled per restart
+    restart_backoff_cap: float = 5.0
+    probe_interval: int = 0        # images between recovery probes (0 = off)
+    poll_interval: float = 0.05    # liveness-check cadence in the collect loop
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -106,16 +129,30 @@ class ProcessClusterConfig:
             raise ValueError("t_limit must be positive")
         if self.delay_per_tile and len(self.delay_per_tile) != self.num_workers:
             raise ValueError("delay_per_tile must have one entry per worker")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts cannot be negative")
+        if self.restart_backoff < 0 or self.restart_backoff_cap < self.restart_backoff:
+            raise ValueError("need 0 <= restart_backoff <= restart_backoff_cap")
+        if self.probe_interval < 0:
+            raise ValueError("probe_interval cannot be negative")
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
 
 
 @dataclass
 class InferenceOutcome:
-    """Result of one distributed inference."""
+    """Result of one distributed inference.
+
+    ``allocation`` reflects the final tile ownership after any fault
+    re-dispatch (entry ``LOCAL_WORKER`` tiles are excluded — they appear in
+    ``locally_computed_tiles`` instead).
+    """
 
     output: np.ndarray
     allocation: np.ndarray
     received_per_worker: np.ndarray
     zero_filled_tiles: list[int] = field(default_factory=list)
+    locally_computed_tiles: list[int] = field(default_factory=list)
     wall_seconds: float = 0.0
 
 
@@ -141,31 +178,53 @@ class ProcessCluster:
         self.config = config or ProcessClusterConfig()
         self._rest = model.rest_part()
         self._rest.eval()
-        self._stats = StatisticsCollector(self.config.num_workers, gamma=self.config.gamma)
+        self._stats = StatisticsCollector(
+            self.config.num_workers,
+            gamma=self.config.gamma,
+            probe_interval=self.config.probe_interval,
+        )
         self._ctx = mp.get_context("fork")
         self._task_queues: list[mp.Queue] = []
-        self._result_queue: mp.Queue | None = None
+        self._result_queues: list[mp.Queue] = []
         self._procs: list[mp.Process] = []
+        self._separable: nn.Sequential | None = None
+        self._delays: tuple[float, ...] = ()
         self._image_counter = 0
+        self._known_dead: set[int] = set()
+        self._restart_counts: list[int] = []
+        self._restart_at: list[float | None] = []
 
     # -------------------------------------------------------------- lifecycle
     def start(self) -> "ProcessCluster":
         if self._procs:
             raise RuntimeError("cluster already started")
-        separable = self.model.separable_part()
-        self._result_queue = self._ctx.Queue()
-        delays = self.config.delay_per_tile or (0.0,) * self.config.num_workers
+        self._separable = self.model.separable_part()
+        self._separable.eval()
+        self._delays = self.config.delay_per_tile or (0.0,) * self.config.num_workers
+        self._known_dead = set()
+        self._restart_counts = [0] * self.config.num_workers
+        self._restart_at = [None] * self.config.num_workers
         for wid in range(self.config.num_workers):
-            tq = self._ctx.Queue()
-            proc = self._ctx.Process(
-                target=_worker_loop,
-                args=(wid, separable, self.pipeline, tq, self._result_queue, delays[wid]),
-                daemon=True,
-            )
-            proc.start()
-            self._task_queues.append(tq)
-            self._procs.append(proc)
+            self._task_queues.append(self._ctx.Queue())
+            self._result_queues.append(self._ctx.Queue())
+            self._procs.append(self._spawn(wid))
         return self
+
+    def _spawn(self, worker_id: int) -> mp.Process:
+        proc = self._ctx.Process(
+            target=_worker_loop,
+            args=(
+                worker_id,
+                self._separable,
+                self.pipeline,
+                self._task_queues[worker_id],
+                self._result_queues[worker_id],
+                self._delays[worker_id],
+            ),
+            daemon=True,
+        )
+        proc.start()
+        return proc
 
     def stop(self) -> None:
         for tq in self._task_queues:
@@ -180,6 +239,8 @@ class ProcessCluster:
                 proc.join(timeout=5.0)
         self._procs.clear()
         self._task_queues.clear()
+        self._result_queues.clear()
+        self._known_dead.clear()
 
     def kill_worker(self, worker_id: int) -> None:
         """Fail-stop a Conv node mid-run (fault-injection for tests)."""
@@ -192,11 +253,101 @@ class ProcessCluster:
     def __exit__(self, *exc) -> None:
         self.stop()
 
-    # -------------------------------------------------------------- inference
+    # ------------------------------------------------------------ supervision
     @property
     def worker_rates(self) -> np.ndarray:
         return self._stats.rates()
 
+    @property
+    def restart_counts(self) -> list[int]:
+        """How many times each worker has been respawned."""
+        return list(self._restart_counts)
+
+    def _alive_mask(self) -> np.ndarray:
+        return np.array([p.is_alive() for p in self._procs], dtype=bool)
+
+    def _supervise(self, inflight: dict[int, dict]) -> None:
+        """Detect dead workers, drain + re-dispatch their work, restart them.
+
+        Called from the collect loops and before every dispatch, so death is
+        noticed within ``poll_interval`` while results are pending and at
+        the latest at the next image.
+        """
+        now = time.monotonic()
+        for wid, proc in enumerate(self._procs):
+            if proc.is_alive():
+                continue
+            if wid not in self._known_dead:
+                self._known_dead.add(wid)
+                drain_queue(self._task_queues[wid])
+                if self._restart_counts[wid] < self.config.max_restarts:
+                    backoff = min(
+                        self.config.restart_backoff * (2 ** self._restart_counts[wid]),
+                        self.config.restart_backoff_cap,
+                    )
+                    self._restart_at[wid] = now + backoff
+                else:
+                    self._restart_at[wid] = None
+                if self.config.redispatch:
+                    self._redispatch_pending(wid, inflight)
+            elif self._restart_at[wid] is not None and now >= self._restart_at[wid]:
+                self._respawn(wid)
+
+    def _respawn(self, worker_id: int) -> None:
+        # A worker killed while blocked in ``task_queue.get()`` (or mid-put
+        # on its result queue) dies holding the queue's internal lock —
+        # POSIX semaphores are not robust, so a successor using the same
+        # queues would deadlock.  The restarted worker gets fresh queues;
+        # undelivered tiles are not lost because re-dispatch works off the
+        # central assignment map, never the queue contents.
+        self._task_queues[worker_id] = self._ctx.Queue()
+        self._result_queues[worker_id] = self._ctx.Queue()
+        self._procs[worker_id] = self._spawn(worker_id)
+        self._restart_counts[worker_id] += 1
+        self._restart_at[worker_id] = None
+        self._known_dead.discard(worker_id)
+
+    def _redispatch_pending(self, dead_wid: int, inflight: dict[int, dict]) -> None:
+        """Re-queue every tile ``dead_wid`` owned but never answered."""
+        for image_id, st in inflight.items():
+            pending = [
+                tid
+                for tid, owner in st["assignment"].items()
+                if owner == dead_wid and tid not in st["results"]
+            ]
+            if not pending:
+                continue
+            alive = self._alive_mask()
+            alive[dead_wid] = False
+            if not alive.any():
+                # No survivors left: the central process computes the tiles.
+                for tid in pending:
+                    st["results"][tid] = TileResult(
+                        image_id, tid, self._local_payload(st["tiles"][tid]), LOCAL_WORKER
+                    )
+                    st["assignment"][tid] = LOCAL_WORKER
+                    st["local"].append(tid)
+                continue
+            rates = np.where(alive, np.maximum(self._stats.rates(), 1e-6), 0.0)
+            extra = allocate_tiles(len(pending), rates)
+            targets: list[int] = []
+            for wid, count in enumerate(extra):
+                targets.extend([wid] * int(count))
+            for tid, new_wid in zip(pending, targets):
+                self._task_queues[new_wid].put(
+                    TileTask(image_id, tid, np.ascontiguousarray(st["tiles"][tid]))
+                )
+                st["assignment"][tid] = new_wid
+                st["allocation"][dead_wid] -= 1
+                st["allocation"][new_wid] += 1
+
+    def _local_payload(self, tile: np.ndarray):
+        """Central-node fallback: run the separable block in-process."""
+        with nn.no_grad():
+            out = self._separable(Tensor(np.ascontiguousarray(tile))).data
+        return self.pipeline.compress(out) if self.pipeline is not None else out
+
+    # -------------------------------------------------------------- inference
     def infer(self, image: np.ndarray) -> InferenceOutcome:
         """One distributed inference over the live cluster.
 
@@ -204,58 +355,7 @@ class ProcessCluster:
         collect until all results or ``T_L`` → zero-fill stragglers →
         rest layers.  Worker delivery counts feed Algorithm 2.
         """
-        if not self._procs:
-            raise RuntimeError("cluster not started — use `with ProcessCluster(...)`")
-        image = np.asarray(image, dtype=np.float32)
-        if image.ndim == len(self.model.input_shape):
-            image = image[None]
-        start_wall = time.perf_counter()
-        image_id = self._image_counter
-        self._image_counter += 1
-
-        tiles = split_array(image, self.grid)
-        allocation = allocate_tiles(len(tiles), self._stats.rates())
-        # Row-major tiles dealt out worker by worker, preserving tile ids.
-        assignments: list[int] = []
-        for wid, count in enumerate(allocation):
-            assignments.extend([wid] * count)
-        for tile_id, wid in enumerate(assignments):
-            self._task_queues[wid].put(TileTask(image_id, tile_id, np.ascontiguousarray(tiles[tile_id])))
-
-        deadline = time.monotonic() + self.config.t_limit
-        collect_start = time.monotonic()
-        results: dict[int, TileResult] = {}
-        received = np.zeros(self.config.num_workers, dtype=int)
-        busy = np.zeros(self.config.num_workers)
-        while len(results) < len(tiles):
-            timeout = deadline - time.monotonic()
-            if timeout <= 0:
-                break
-            try:
-                res: TileResult = self._result_queue.get(timeout=timeout)
-            except queue_mod.Empty:
-                break
-            if res.image_id != image_id:
-                continue  # stale result from a previous (timed-out) image
-            results[res.tile_id] = res
-            received[res.worker] += 1
-            busy[res.worker] += res.compute_seconds
-        window = max(time.monotonic() - collect_start, 1e-6)
-        self._stats.update(
-            _rate_credits(received, allocation, busy, window, len(tiles))
-        )
-
-        out_tiles, missing = self._materialize_tiles(tiles, results)
-        feature_map = reassemble_array(out_tiles, self.grid)
-        with nn.no_grad():
-            output = self._rest(Tensor(feature_map)).data
-        return InferenceOutcome(
-            output=output,
-            allocation=allocation,
-            received_per_worker=received,
-            zero_filled_tiles=missing,
-            wall_seconds=time.perf_counter() - start_wall,
-        )
+        return self.infer_stream([image], pipeline_depth=1)[0]
 
     def infer_stream(self, images, pipeline_depth: int = 2) -> list[InferenceOutcome]:
         """Pipelined inference over a sequence of images (Figure 9).
@@ -263,7 +363,8 @@ class ProcessCluster:
         Up to ``pipeline_depth`` images are in flight: the next image's
         tiles are dispatched before the current image's results finish
         collecting, overlapping Conv-node compute with Central-node work.
-        Results are returned in input order.
+        Results are returned in input order.  Dead workers are supervised
+        as described in the module docstring.
         """
         if not self._procs:
             raise RuntimeError("cluster not started — use `with ProcessCluster(...)`")
@@ -278,30 +379,52 @@ class ProcessCluster:
         next_idx = 0
 
         def dispatch(idx: int) -> None:
+            self._supervise(inflight)
             image_id = self._image_counter
             self._image_counter += 1
             tiles = split_array(images[idx], self.grid)
-            allocation = allocate_tiles(len(tiles), self._stats.rates())
-            assignments: list[int] = []
-            for wid, count in enumerate(allocation):
-                assignments.extend([wid] * count)
+            allocation, probe_workers = self._plan_allocation(len(tiles))
             start = time.perf_counter()
-            for tile_id, wid in enumerate(assignments):
-                self._task_queues[wid].put(
-                    TileTask(image_id, tile_id, np.ascontiguousarray(tiles[tile_id]))
-                )
-            inflight[image_id] = {
+            st = {
                 "idx": idx,
                 "tiles": tiles,
-                "allocation": allocation,
+                "allocation": allocation
+                if allocation is not None
+                else np.zeros(self.config.num_workers, dtype=int),
+                "assignment": {},
                 "results": {},
                 "received": np.zeros(self.config.num_workers, dtype=int),
                 "busy": np.zeros(self.config.num_workers),
+                "local": [],
                 "deadline": time.monotonic() + self.config.t_limit,
                 "collect_start": time.monotonic(),
                 "start": start,
             }
+            inflight[image_id] = st
             order.append(image_id)
+            if allocation is None:
+                # Graceful degradation: no worker can accept tiles, so the
+                # central process runs the separable block itself.
+                for tile_id, tile in enumerate(tiles):
+                    st["results"][tile_id] = TileResult(
+                        image_id, tile_id, self._local_payload(tile), LOCAL_WORKER
+                    )
+                    st["assignment"][tile_id] = LOCAL_WORKER
+                    st["local"].append(tile_id)
+                return
+            assignments: list[int] = []
+            for wid, count in enumerate(allocation):
+                assignments.extend([wid] * int(count))
+            for tile_id, wid in enumerate(assignments):
+                st["assignment"][tile_id] = wid
+                self._task_queues[wid].put(
+                    TileTask(
+                        image_id,
+                        tile_id,
+                        np.ascontiguousarray(tiles[tile_id]),
+                        probe=wid in probe_workers,
+                    )
+                )
 
         def finalize(image_id: int) -> None:
             st = inflight.pop(image_id)
@@ -318,6 +441,7 @@ class ProcessCluster:
                 allocation=st["allocation"],
                 received_per_worker=st["received"],
                 zero_filled_tiles=missing,
+                locally_computed_tiles=sorted(st["local"]),
                 wall_seconds=time.perf_counter() - st["start"],
             )
 
@@ -327,26 +451,68 @@ class ProcessCluster:
                 next_idx += 1
             oldest = order[len(outcomes)]
             st = inflight[oldest]
-            done = len(st["results"]) >= len(st["tiles"])
-            if not done:
-                timeout = st["deadline"] - time.monotonic()
-                if timeout <= 0:
-                    done = True
-                else:
-                    try:
-                        res: TileResult = self._result_queue.get(timeout=timeout)
-                    except queue_mod.Empty:
-                        done = True
-                    else:
-                        target = inflight.get(res.image_id)
-                        if target is not None:
-                            target["results"][res.tile_id] = res
-                            target["received"][res.worker] += 1
-                            target["busy"][res.worker] += res.compute_seconds
-                        done = len(st["results"]) >= len(st["tiles"])
-            if done:
+            if len(st["results"]) >= len(st["tiles"]):
                 finalize(oldest)
+                continue
+            self._supervise(inflight)
+            if len(st["results"]) >= len(st["tiles"]):
+                finalize(oldest)  # supervision filled the gap locally
+                continue
+            timeout = st["deadline"] - time.monotonic()
+            if timeout <= 0:
+                finalize(oldest)
+                continue
+            if not self._sweep_results(inflight):
+                time.sleep(min(timeout, self.config.poll_interval, 0.005))
         return [outcomes[i] for i in range(len(images))]
+
+    def _sweep_results(self, inflight: dict[int, dict]) -> bool:
+        """Drain every worker's result channel; True if anything arrived."""
+        got = False
+        for q in list(self._result_queues):
+            while True:
+                try:
+                    res: TileResult = q.get_nowait()
+                except queue_mod.Empty:
+                    break
+                got = True
+                target = inflight.get(res.image_id)
+                if target is None or res.tile_id in target["results"]:
+                    continue  # stale image or duplicate after a re-dispatch race
+                target["results"][res.tile_id] = res
+                if 0 <= res.worker < self.config.num_workers:
+                    target["received"][res.worker] += 1
+                    target["busy"][res.worker] += res.compute_seconds
+        return got
+
+    def _plan_allocation(self, num_tiles: int) -> tuple[np.ndarray | None, set[int]]:
+        """Algorithm 3 over *live* workers, plus recovery probes.
+
+        Returns ``(allocation, probe_workers)``; allocation is ``None`` when
+        no worker can accept tiles (the caller degrades to local compute
+        instead of surfacing :class:`SchedulingError`).
+        """
+        alive = self._alive_mask()
+        rates = np.where(alive, self._stats.rates(), 0.0)
+        if alive.any() and not (rates > 1e-9).any():
+            # Every survivor has fully decayed (e.g. all were stragglers or
+            # freshly restarted): restart from an even split rather than
+            # abandoning the cluster.
+            rates = np.where(alive, 1.0, 0.0)
+        try:
+            allocation = allocate_tiles(num_tiles, rates)
+        except SchedulingError:
+            return None, set()
+        probe_workers: set[int] = set()
+        for k in self._stats.probe_due(alive, allocation):
+            donor = int(np.argmax(allocation))
+            if donor == k or allocation[donor] < 2:
+                continue  # never drain the donor itself to zero
+            allocation[donor] -= 1
+            allocation[k] += 1
+            probe_workers.add(k)
+            self._stats.note_probe(k)
+        return allocation, probe_workers
 
     def _materialize_tiles(self, tiles, results) -> tuple[list[np.ndarray], list[int]]:
         """Decompress received tiles; zero-fill the rest (§6.1)."""

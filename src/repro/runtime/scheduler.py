@@ -33,17 +33,35 @@ class StatisticsCollector:
     ``initial`` seeds every node equal so the first image splits evenly
     (§7.3: "the tiles are evenly distributed to each node in the
     beginning").
+
+    The paper's EWMA is one-way for a recovered node: once ``s_k`` has
+    decayed to ~0 the node receives no tiles, so ``n_k`` stays 0 and it can
+    never re-earn share.  ``probe_interval > 0`` enables *recovery probes*:
+    every ``probe_interval`` images, an alive node that the allocator gave
+    nothing is due a single probe tile; delivering it raises ``s_k`` and the
+    node regains share organically.
     """
 
-    def __init__(self, num_nodes: int, gamma: float = 0.9, initial: float = 1.0) -> None:
+    def __init__(
+        self,
+        num_nodes: int,
+        gamma: float = 0.9,
+        initial: float = 1.0,
+        probe_interval: int = 0,
+    ) -> None:
         if num_nodes < 1:
             raise ValueError("need at least one node")
         if not 0.0 < gamma <= 1.0:
             raise ValueError(f"gamma must be in (0, 1], got {gamma}")
         if initial < 0:
             raise ValueError("initial statistic cannot be negative")
+        if probe_interval < 0:
+            raise ValueError("probe_interval cannot be negative")
         self.gamma = float(gamma)
+        self.probe_interval = int(probe_interval)
         self._s = np.full(num_nodes, float(initial))
+        self._updates = 0
+        self._last_probe = np.zeros(num_nodes, dtype=int)
 
     @property
     def num_nodes(self) -> int:
@@ -57,10 +75,31 @@ class StatisticsCollector:
         if (counts < 0).any():
             raise ValueError("negative result counts")
         self._s = (1.0 - self.gamma) * self._s + self.gamma * counts
+        self._updates += 1
 
     def rates(self) -> np.ndarray:
         """Current ``s_k`` estimates (copy)."""
         return self._s.copy()
+
+    def probe_due(self, alive, allocation) -> list[int]:
+        """Nodes owed a recovery-probe tile for the next image.
+
+        A node is due when it is alive, Algorithm 3 allocated it nothing
+        (its ``s_k`` is effectively dead), and at least ``probe_interval``
+        images have passed since its last probe.
+        """
+        if self.probe_interval <= 0:
+            return []
+        alive = np.asarray(alive, dtype=bool)
+        allocation = np.asarray(allocation)
+        if alive.shape != self._s.shape or allocation.shape != self._s.shape:
+            raise ValueError("alive/allocation must have one entry per node")
+        due = alive & (allocation == 0) & (self._updates - self._last_probe >= self.probe_interval)
+        return [int(i) for i in np.flatnonzero(due)]
+
+    def note_probe(self, node: int) -> None:
+        """Record that ``node`` was just sent a probe tile."""
+        self._last_probe[node] = self._updates
 
 
 def allocate_tiles(

@@ -60,9 +60,11 @@ class MediumQueue:
         self._busy = True
         bits, callback = self._queue.pop(0)
         duration = self.profile.transfer_time(bits)
-        self.transferred_bits += bits
 
         def complete() -> None:
+            # Bits are credited on *delivery*, not when the transfer starts,
+            # so a simulation stopped mid-transfer never overcounts.
+            self.transferred_bits += bits
             arrival = self.sim.now
             self._start_next()
             callback(arrival)
@@ -79,12 +81,16 @@ class ADCNNConfig:
     gamma: float = 0.9            # Algorithm 2 decay
     stats_initial: float = 1.0    # equal s_k at start -> even first split
     pipeline_depth: int = 2       # images in flight (Figure 9 overlapping)
+    redispatch: bool = False      # re-send a dead node's batch to survivors
+    probe_interval: int = 0       # images between recovery probes (0 = off)
 
     def __post_init__(self) -> None:
         if self.t_limit < 0 or self.deadline_slack < 1.0:
             raise ValueError("need t_limit >= 0 and deadline_slack >= 1")
         if self.pipeline_depth < 1:
             raise ValueError("pipeline depth must be >= 1")
+        if self.probe_interval < 0:
+            raise ValueError("probe_interval cannot be negative")
 
 
 @dataclass
@@ -141,7 +147,12 @@ class ADCNNSystem:
             node.reset()
         self.central.reset()
         k = len(self.nodes)
-        stats = StatisticsCollector(k, gamma=self.config.gamma, initial=self.config.stats_initial)
+        stats = StatisticsCollector(
+            k,
+            gamma=self.config.gamma,
+            initial=self.config.stats_initial,
+            probe_interval=self.config.probe_interval,
+        )
         if self.shared_medium:
             shared = MediumQueue(sim, self.link_profile)
             up = [shared] * k
@@ -171,6 +182,17 @@ class ADCNNSystem:
                 storage_bits=[n.storage_bits for n in self.nodes],
                 rng=self.rng,
             )
+            # Recovery probes: a revived node whose s_k decayed to ~0 gets
+            # one tile so it can re-earn share (the paper's EWMA alone pins
+            # a recovered node at zero forever).
+            alive_now = [n.is_alive(sim.now) for n in self.nodes]
+            for probe in stats.probe_due(alive_now, allocation):
+                donor = int(np.argmax(allocation))
+                if donor == probe or allocation[donor] < 2:
+                    continue
+                allocation[donor] -= 1
+                allocation[probe] += 1
+                stats.note_probe(probe)
             rec = ImageRecord(image_id, sim.now, allocation)
             records.append(rec)
             received.append(np.zeros(k, dtype=int))
@@ -198,8 +220,10 @@ class ADCNNSystem:
                     up[idx].request(bits, lambda t, i=idx: batch_delivered(i, t))
 
         def start_node_compute(image_id: int, node_idx: int, count: int, arrival: float) -> None:
-            node_start[image_id][node_idx] = arrival
+            if not math.isfinite(node_start[image_id][node_idx]):
+                node_start[image_id][node_idx] = arrival
             node = self.nodes[node_idx]
+            failed = 0
             for _ in range(count):
                 finish = node.submit(arrival, self.workload.tile_macs)
                 if math.isfinite(finish):
@@ -209,6 +233,35 @@ class ADCNNSystem:
                             self.workload.tile_output_bits,
                             lambda t, i=i, n=n, f=f: result_delivered(i, n, f),
                         ),
+                    )
+                else:
+                    failed += 1
+            if failed:
+                redispatch_tiles(image_id, node_idx, failed)
+
+        def redispatch_tiles(image_id: int, dead_idx: int, count: int) -> None:
+            """Fail-stop supervision: a batch bounced off a dead node is
+            re-sent to survivors (detected at delivery time — the transport
+            refuses the connection).  Without ``redispatch`` the tiles stay
+            lost and are zero-filled at the deadline, the paper's story."""
+            if not self.config.redispatch or triggered[image_id]:
+                return
+            rec = records[image_id]
+            alive = np.array(
+                [i != dead_idx and self.nodes[i].is_alive(sim.now) for i in range(k)]
+            )
+            if not alive.any():
+                return  # nobody left — deadline zero-fill will handle it
+            rates = np.where(alive, np.maximum(stats.rates(), 1e-6), 0.0)
+            extra = allocate_tiles(count, rates)
+            rec.allocation[dead_idx] -= count
+            for idx in range(k):
+                if extra[idx] > 0:
+                    rec.allocation[idx] += int(extra[idx])
+                    bits = extra[idx] * self.workload.tile_input_bits
+                    up[idx].request(
+                        bits,
+                        lambda t, i=idx, c=int(extra[idx]): start_node_compute(image_id, i, c, t),
                     )
 
         def arm_deadline(image_id: int) -> None:
@@ -258,8 +311,10 @@ class ADCNNSystem:
             # whenever the rest layers are the bottleneck stage.
             sim.schedule_at(rec.completion, lambda: (state.__setitem__("in_flight", state["in_flight"] - 1), try_dispatch()))
 
-        sim.schedule(0.0, try_dispatch)
-        sim.schedule(0.0, try_dispatch)  # fill the pipeline window
+        # Seed the full pipeline window: one dispatch per in-flight slot
+        # (try_dispatch itself dispatches at most one image per call).
+        for _ in range(self.config.pipeline_depth):
+            sim.schedule(0.0, try_dispatch)
         sim.run()
         self.records = records
         return records

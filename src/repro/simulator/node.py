@@ -49,21 +49,37 @@ class CpuSchedule:
 
 @dataclass
 class SimNode:
-    """One edge device in the simulated cluster."""
+    """One edge device in the simulated cluster.
+
+    Failure injection is fail-stop with optional recovery: the node dies at
+    ``fail_time`` (in-progress and queued work is lost) and, if
+    ``recover_time`` is set, comes back empty at that instant and accepts
+    new work again.  Recovery alone does not restore scheduling share —
+    the node's ``s_k`` has decayed, so it needs a recovery probe
+    (see :class:`repro.runtime.StatisticsCollector`).
+    """
 
     name: str
     device: DeviceProfile
     cpu_schedule: CpuSchedule = field(default_factory=CpuSchedule)
     fail_time: float | None = None
+    recover_time: float | None = None
     storage_bits: float = math.inf  # H_k in Algorithm 3
 
     def __post_init__(self) -> None:
+        if self.recover_time is not None:
+            if self.fail_time is None:
+                raise ValueError("recover_time requires fail_time")
+            if self.recover_time <= self.fail_time:
+                raise ValueError("recover_time must be after fail_time")
         self._busy_until = 0.0
         self.busy_intervals: list[tuple[float, float]] = []
 
     # ----------------------------------------------------------------- state
     def is_alive(self, t: float) -> bool:
-        return self.fail_time is None or t < self.fail_time
+        if self.fail_time is None or t < self.fail_time:
+            return True
+        return self.recover_time is not None and t >= self.recover_time
 
     def rate_at(self, t: float) -> float:
         """Effective MAC/s at time t (0 when failed)."""
@@ -89,7 +105,9 @@ class SimNode:
                 return math.inf
             rate = self.rate_at(t)
             boundary = self.cpu_schedule.next_change_after(t)
-            if self.fail_time is not None:
+            if self.fail_time is not None and self.fail_time > t:
+                # A *future* failure bounds this work; a past one is only
+                # relevant if we are in the dead window (caught above).
                 boundary = min(boundary, self.fail_time) if boundary is not None else self.fail_time
             if rate > 0:
                 finish = t + remaining / rate

@@ -122,6 +122,53 @@ class TestRLE:
         np.testing.assert_array_equal(rle_decode(stream), levels)
         assert stream.encoded_bits >= 0
 
+    def test_long_runs_split_at_counter_capacity(self):
+        """Regression: runs longer than 2**run_bits must be split into
+        several tokens at *encode* time — one counter cannot hold them."""
+        levels = np.concatenate([np.zeros(1000, dtype=int), [3], np.zeros(513, dtype=int)])
+        stream = rle_encode(levels, value_bits=4, run_bits=8)
+        assert all(int(p) <= 256 for is_zero, p in stream.runs if is_zero)
+        np.testing.assert_array_equal(rle_decode(stream), levels)
+        # Exact wire size: ceil(1000/256)=4 + ceil(513/256)=3 run tokens
+        # of (1 + 8) bits each, plus one literal of (1 + 4) bits.
+        assert stream.encoded_bits == (4 + 3) * 9 + 1 * 5
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        pieces=st.lists(
+            st.tuples(st.integers(0, 700), st.integers(1, 15)),
+            min_size=0,
+            max_size=8,
+        ),
+        run_bits=st.integers(1, 6),
+    )
+    def test_giant_run_roundtrip_property(self, pieces, run_bits):
+        """Round-trip with zero runs far beyond the counter capacity, and
+        the split invariant: every emitted run token fits its counter."""
+        chunks = []
+        for run_len, literal in pieces:
+            chunks.append(np.zeros(run_len, dtype=int))
+            chunks.append(np.array([literal]))
+        levels = np.concatenate(chunks) if chunks else np.zeros(0, dtype=int)
+        stream = rle_encode(levels, value_bits=4, run_bits=run_bits)
+        max_run = 2**run_bits
+        assert all(1 <= int(p) <= max_run for is_zero, p in stream.runs if is_zero)
+        np.testing.assert_array_equal(rle_decode(stream), levels)
+        # encoded_bits agrees with first-principles token accounting.
+        n_run_tokens = sum(-(-run_len // max_run) for run_len, _ in pieces if run_len)
+        n_literals = len(pieces)
+        assert stream.encoded_bits == n_run_tokens * (1 + run_bits) + n_literals * (1 + 4)
+
+    def test_rejects_value_bits_over_16(self):
+        """Literal payloads are uint16; wider levels would silently truncate."""
+        with pytest.raises(ValueError):
+            rle_encode(np.array([1, 0, 2]), value_bits=17)
+        # 16 bits is the documented ceiling and still round-trips.
+        levels = np.array([0, 65535, 0, 0], dtype=np.int64)
+        np.testing.assert_array_equal(
+            rle_decode(rle_encode(levels, value_bits=16)), levels
+        )
+
 
 class TestCompressionPipeline:
     def test_figure6_flow(self):

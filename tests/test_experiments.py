@@ -136,6 +136,29 @@ class TestFig15:
         assert max(lat[15:]) > lat[2] * 1.2     # spike
         assert lat[-1] < max(lat[15:])          # recovery
 
+    def test_kill_recover_schedule_des(self):
+        """The fail-stop extension: supervision keeps zero-fill near zero
+        and the revived node regains allocation share."""
+        report = fig15_adaptivity.run(
+            num_images=30, throttle_after_images=10,
+            kill_node=7, kill_at_image=5, recover_at_image=15,
+        )
+        # Re-dispatch bounds the damage: at most the in-flight image at the
+        # kill instant can lose tiles (vs. ~every post-kill image without it).
+        lossy_images = sum(1 for z in report.column("zero_filled") if z > 0)
+        assert lossy_images <= 1
+        last_alloc = [int(v) for v in report.rows[-1]["alloc"].split()]
+        assert last_alloc[7] > 0  # revived node earned share back
+
+    def test_kill_recover_schedule_process(self):
+        """Same schedule through the real multiprocessing backend."""
+        report = fig15_adaptivity.run_process(num_images=10, kill_at_image=3)
+        assert all(z == 0 for z in report.column("zero_filled"))
+        restarts = report.rows[-1]["restarts"].split()
+        assert restarts[1] == "1"  # the killed worker was respawned
+        last_alloc = [int(v) for v in report.rows[-1]["alloc"].split()]
+        assert last_alloc[1] >= 1  # and re-earned tiles via the probe
+
 
 class TestSec31:
     def test_paper_arithmetic(self):

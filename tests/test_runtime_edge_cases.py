@@ -72,6 +72,25 @@ class TestMediumQueue:
         sim.run()
         assert mq.transferred_bits == 300.0
 
+    def test_bits_credited_on_delivery_not_start(self):
+        """A simulation stopped mid-transfer must not count the in-flight
+        message: bits are credited when the transfer *completes*."""
+        sim = Simulator()
+        mq = MediumQueue(sim, LinkProfile("l", bandwidth_bps=1e6))
+        mq.request(1e6, lambda t: None)  # delivers at t=1
+        mq.request(1e6, lambda t: None)  # delivers at t=2
+        sim.run(until=1.5)
+        assert mq.transferred_bits == pytest.approx(1e6)
+        sim.run()
+        assert mq.transferred_bits == pytest.approx(2e6)
+
+    def test_bits_zero_before_first_delivery(self):
+        sim = Simulator()
+        mq = MediumQueue(sim, LinkProfile("l", bandwidth_bps=1e6))
+        mq.request(1e6, lambda t: None)
+        sim.run(until=0.5)
+        assert mq.transferred_bits == 0.0
+
 
 class TestDeeperPipelines:
     def test_depth_three_throughput(self):
@@ -84,6 +103,19 @@ class TestDeeperPipelines:
             system.run(10)
             per_image[depth] = system.makespan() / 10
         assert per_image[3] <= per_image[1]
+
+    def test_depth_four_window_fills_at_start(self):
+        """Regression: run() used to seed exactly two dispatches regardless
+        of pipeline_depth, so depths >= 3 never filled their window.  All
+        `pipeline_depth` slots must be in flight from t=0."""
+        wl = vgg_workload()
+        for depth in (3, 4):
+            nodes = [SimNode(f"n{i}", RASPBERRY_PI_3B) for i in range(4)]
+            system = ADCNNSystem(wl, nodes, SimNode("c", RASPBERRY_PI_3B),
+                                 config=ADCNNConfig(pipeline_depth=depth))
+            records = system.run(8)
+            seeded = [r for r in records if r.dispatch_start == 0.0]
+            assert len(seeded) == depth
 
 
 class TestModelEfficiency:

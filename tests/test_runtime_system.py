@@ -17,11 +17,18 @@ def vgg_workload(**kw) -> ADCNNWorkload:
     return ADCNNWorkload.from_spec(get_spec("vgg16"), **defaults)
 
 
-def make_cluster(n=8, profile=RASPBERRY_PI_3B, schedules=None, fail_times=None):
+def make_cluster(n=8, profile=RASPBERRY_PI_3B, schedules=None, fail_times=None, recover_times=None):
     schedules = schedules or [CpuSchedule()] * n
     fail_times = fail_times or [None] * n
+    recover_times = recover_times or [None] * n
     return [
-        SimNode(f"n{i}", profile, cpu_schedule=schedules[i], fail_time=fail_times[i])
+        SimNode(
+            f"n{i}",
+            profile,
+            cpu_schedule=schedules[i],
+            fail_time=fail_times[i],
+            recover_time=recover_times[i],
+        )
         for i in range(n)
     ]
 
@@ -219,3 +226,59 @@ class TestAdaptivity:
         recs = sys_.run(30)
         ratio = recs[-1].allocation[0] / recs[-1].allocation[1]
         assert 1.5 < ratio < 2.6
+
+
+class TestFaultSupervision:
+    """Opt-in supervision in the DES backend (mirrors the process backend)."""
+
+    def test_redispatch_keeps_zero_fill_at_zero(self):
+        """With re-dispatch on, a dead node's bounced batches go to the
+        survivors and no image loses tiles — unlike the default zero-fill
+        story asserted in test_failed_node_tiles_rerouted."""
+        sys_ = ADCNNSystem(
+            vgg_workload(),
+            make_cluster(4, fail_times=[None, None, None, 1.0]),
+            SimNode("c", RASPBERRY_PI_3B),
+            config=ADCNNConfig(pipeline_depth=1, redispatch=True),
+        )
+        recs = sys_.run(25)
+        assert all(r.zero_filled_tiles == 0 for r in recs)
+        assert all(r.received.sum() == 64 for r in recs)
+        # Algorithm 2 still learns the death: the corpse ends with nothing.
+        assert recs[-1].allocation[3] == 0
+        assert recs[-1].allocation.sum() == 64
+
+    def test_recovered_node_regains_share_via_probe(self):
+        """Fail-stop then revive: the EWMA alone would pin the revived
+        node's s_k at ~0 forever; a recovery probe lets it re-earn share."""
+        sys_ = ADCNNSystem(
+            vgg_workload(),
+            make_cluster(
+                4,
+                fail_times=[None, None, None, 1.0],
+                recover_times=[None, None, None, 5.0],
+            ),
+            SimNode("c", RASPBERRY_PI_3B),
+            config=ADCNNConfig(pipeline_depth=1, redispatch=True, probe_interval=3),
+        )
+        recs = sys_.run(60)
+        # The node really was routed around while dead...
+        assert any(r.allocation[3] == 0 for r in recs)
+        # ...and earned its way back after reviving.
+        assert recs[-1].allocation[3] > 0
+        assert recs[-1].zero_filled_tiles == 0
+        assert all(r.zero_filled_tiles == 0 for r in recs)
+
+    def test_no_probes_while_node_still_dead(self):
+        """Probes only target *alive* nodes: without recovery the decayed
+        node never gets another tile."""
+        sys_ = ADCNNSystem(
+            vgg_workload(),
+            make_cluster(4, fail_times=[None, None, None, 1.0]),
+            SimNode("c", RASPBERRY_PI_3B),
+            config=ADCNNConfig(pipeline_depth=1, redispatch=True, probe_interval=3),
+        )
+        recs = sys_.run(30)
+        first = next((i for i, r in enumerate(recs) if r.allocation[3] == 0), None)
+        assert first is not None  # s_3 decayed to zero at some point
+        assert all(r.allocation[3] == 0 for r in recs[first:])  # and stayed there

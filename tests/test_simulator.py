@@ -165,6 +165,29 @@ class TestSimNode:
         with pytest.raises(ValueError):
             make_node().submit(0.0, -1.0)
 
+    def test_recovered_node_accepts_work_again(self):
+        """Fail-stop with revival: work before the failure completes, work
+        spanning the dead window is lost (fail-stop), and work submitted
+        after ``recover_time`` runs normally."""
+        node = make_node(rate=1e9, fail_time=2.0, recover_time=5.0)
+        assert node.submit(0.0, 1e9) == pytest.approx(1.0, abs=1e-6)  # before
+        assert math.isinf(node.submit(1.5, 1e9))                      # spans the death
+        assert node.submit(6.0, 1e9) == pytest.approx(7.0, abs=1e-6)  # after revival
+
+    def test_is_alive_timeline(self):
+        node = make_node(rate=1e9, fail_time=2.0, recover_time=5.0)
+        assert node.is_alive(1.0)
+        assert not node.is_alive(3.0)
+        assert node.is_alive(5.0)
+        forever_dead = make_node(rate=1e9, fail_time=2.0)
+        assert not forever_dead.is_alive(100.0)
+
+    def test_recover_time_validation(self):
+        with pytest.raises(ValueError):
+            make_node(recover_time=1.0)  # recovery without a failure
+        with pytest.raises(ValueError):
+            make_node(fail_time=2.0, recover_time=1.0)  # revives before dying
+
 
 class TestNetwork:
     def test_link_transfer_time(self):
