@@ -1,0 +1,105 @@
+"""Telemetry overhead: enabled vs no-op recorder on a fig11-style stream.
+
+The claim under test is that instrumentation is cheap enough to leave on:
+mean image latency with a full :class:`TelemetryRecorder` must stay within
+3% of the :class:`NullRecorder` default.
+
+Measuring that directly as an A/B latency diff is hopeless on shared
+1-core CI hardware — run-to-run noise (CPU steal, scheduler churn between
+the central and worker processes) is ±10%, an order of magnitude above the
+effect.  So the bench decomposes the claim into two stable measurements:
+
+1. an instrumented fig11-style stream (2 workers, §4 compression) gives
+   the real mean image latency AND the exact event stream telemetry
+   recorded for it;
+2. replaying that exact event stream into a fresh recorder in a tight
+   single-threaded loop prices what recording cost — min-of-N of a pure
+   CPU loop is robust to steal (interference stretches a run, never
+   shrinks it).
+
+Everything telemetry adds to the latency path is recording calls plus a
+few clock reads, so ``replay_cost / (images * mean_latency)`` bounds the
+overhead; a 1.5x safety factor covers the handful of clock reads the
+replay does not reproduce (the replay already prices one counter update
+per event, more than the real instrumentation performs).  The raw A/B diff is still printed and
+stored in ``extra_info`` for the curious — just not asserted on.
+"""
+
+import time
+
+import numpy as np
+
+from repro.compression import CompressionPipeline
+from repro.models import vgg_mini
+from repro.runtime import ProcessCluster, ProcessClusterConfig
+from repro.telemetry import TelemetryRecorder
+
+NUM_IMAGES = 24
+REPLAY_ROUNDS = 15
+SAFETY_FACTOR = 1.5
+MAX_OVERHEAD = 0.03
+
+
+def _stream(cluster, images) -> float:
+    """Mean image wall latency over the stream (first image discarded)."""
+    outcomes = cluster.infer_stream(list(images), pipeline_depth=1)
+    return float(np.mean([o.wall_seconds for o in outcomes[1:]]))
+
+
+def _replay_seconds(events) -> float:
+    """Best-of-N time to re-record the run's exact event stream."""
+    best = float("inf")
+    for _ in range(REPLAY_ROUNDS):
+        sink = TelemetryRecorder()
+        t0 = time.perf_counter()
+        for ev in events:
+            if "duration" in ev:
+                extra = {k: v for k, v in ev.items()
+                         if k not in ("time", "kind", "duration", "node", "image_id")}
+                sink.span(ev["kind"], ev["time"], ev["duration"], node=ev.get("node"),
+                          image_id=ev.get("image_id"), **extra)
+            else:
+                extra = {k: v for k, v in ev.items() if k not in ("time", "kind")}
+                sink.record(ev["time"], ev["kind"], **extra)
+            sink.count("adcnn_replay_total")  # price one counter hit per event
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_telemetry_overhead_under_three_percent(benchmark):
+    model = vgg_mini(num_classes=3, input_size=24, base_width=6, separable_prefix=2).eval()
+    rng = np.random.default_rng(11)
+    images = rng.normal(size=(NUM_IMAGES, 1, 3, 24, 24)).astype(np.float32)
+    cfg = ProcessClusterConfig(num_workers=2, t_limit=30.0)
+    telemetry = TelemetryRecorder()
+
+    def instrumented_run():
+        with ProcessCluster(model, "2x2", pipeline=CompressionPipeline(), config=cfg) as null_cluster, \
+             ProcessCluster(model, "2x2", pipeline=CompressionPipeline(), config=cfg,
+                            telemetry=telemetry) as tel_cluster:
+            _stream(null_cluster, images[:4])  # warm both clusters up
+            _stream(tel_cluster, images[:4])
+            telemetry.clear()
+            return _stream(null_cluster, images), _stream(tel_cluster, images)
+
+    null_latency, tel_latency = benchmark.pedantic(instrumented_run, rounds=1, iterations=1)
+
+    events = telemetry.events
+    assert events, "telemetry arm recorded nothing — instrumentation is dead"
+    recording_s = _replay_seconds(events)
+    per_image_cost = recording_s * SAFETY_FACTOR / (NUM_IMAGES - 1)
+    overhead = per_image_cost / tel_latency
+    ab_diff = tel_latency / null_latency - 1.0
+
+    benchmark.extra_info["mean_latency_s"] = tel_latency
+    benchmark.extra_info["events_per_image"] = len(events) / (NUM_IMAGES - 1)
+    benchmark.extra_info["recording_cost_per_image_s"] = per_image_cost
+    benchmark.extra_info["overhead_fraction"] = overhead
+    benchmark.extra_info["ab_diff_fraction_noisy"] = ab_diff
+    print(f"\nmean latency {tel_latency * 1e3:.3f} ms/image, "
+          f"{len(events) / (NUM_IMAGES - 1):.1f} events/image costing "
+          f"{per_image_cost * 1e6:.1f} us/image (x{SAFETY_FACTOR:.1f} safety) "
+          f"-> overhead {overhead * 100:.3f}% (A/B diff {ab_diff * 100:+.2f}%, noise-dominated)")
+    assert overhead < MAX_OVERHEAD, (
+        f"telemetry recording overhead {overhead * 100:.2f}% exceeds {MAX_OVERHEAD * 100:.0f}% budget"
+    )

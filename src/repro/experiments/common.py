@@ -125,11 +125,14 @@ def build_adcnn_system(
     fail_times: Sequence[float | None] | None = None,
     recover_times: Sequence[float | None] | None = None,
     prefix_kind: str = "system",
+    telemetry=None,
 ) -> ADCNNSystem:
     """The standard §7.2 testbed: N RPi Conv nodes + 1 RPi Central node.
 
     ``prefix_kind`` selects which separable prefix the deployment uses:
     ``"system"`` (all conv blocks) or ``"paper"`` (the Figure-10 prefixes).
+    ``telemetry`` (a :class:`repro.telemetry.TelemetryRecorder`) captures
+    the run's spans/metrics; omitted = zero-cost no-op.
     """
     cfg = SYSTEM_CONFIGS[model_name]
     if prefix_kind not in ("system", "paper"):
@@ -150,4 +153,11 @@ def build_adcnn_system(
         fail_times=fail_times,
         recover_times=recover_times,
     )
-    return ADCNNSystem(workload, nodes, central, link=link, config=config or ADCNNConfig(pipeline_depth=1))
+    return ADCNNSystem(
+        workload,
+        nodes,
+        central,
+        link=link,
+        config=config or ADCNNConfig(pipeline_depth=1),
+        telemetry=telemetry,
+    )

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.runtime import ADCNNConfig
 from repro.simulator import CpuSchedule
+from repro.telemetry import TelemetryRecorder
 
 from .common import ExperimentReport, build_adcnn_system
 
@@ -61,6 +62,7 @@ def run(
             cadence = probe_records[-1].dispatch_start / max(len(probe_records) - 1, 1)
             recover_times[kill_node] = cadence * recover_at_image
         config = ADCNNConfig(pipeline_depth=1, redispatch=True, probe_interval=3)
+    telemetry = TelemetryRecorder()
     system = build_adcnn_system(
         "vgg16",
         num_nodes=8,
@@ -68,28 +70,38 @@ def run(
         fail_times=fail_times,
         recover_times=recover_times,
         config=config,
+        telemetry=telemetry,
     )
     records = system.run(num_images)
-    for r in records:
+    # Per-image latency / zero-fill come from the telemetry event stream
+    # (the ``image_done`` events both backends emit); allocation is joined
+    # in from the scheduler's records.
+    alloc_by_image = {r.image_id: r.allocation for r in records}
+    done = sorted(telemetry.of_kind("image_done"), key=lambda e: e["image_id"])
+    latencies = {}
+    for e in done:
+        latencies[e["image_id"]] = e["latency"]
         report.add(
-            image=r.image_id,
-            latency_ms=r.latency * 1000,
-            alloc=" ".join(str(int(a)) for a in r.allocation),
-            zero_filled=r.zero_filled_tiles,
+            image=e["image_id"],
+            latency_ms=e["latency"] * 1000,
+            alloc=" ".join(str(int(a)) for a in alloc_by_image[e["image_id"]]),
+            zero_filled=e["zero_filled"],
         )
-    before = float(np.mean([r.latency for r in records[2:throttle_after_images]])) * 1000
-    spike = float(max(r.latency for r in records[throttle_after_images:])) * 1000
-    settled = float(np.mean([r.latency for r in records[-5:]])) * 1000
+    series = [latencies[i] for i in sorted(latencies)]
+    before = float(np.mean(series[2:throttle_after_images])) * 1000
+    spike = float(max(series[throttle_after_images:])) * 1000
+    settled = float(np.mean(series[-5:])) * 1000
     final_alloc = records[-1].allocation
     report.note(f"latency before/spike/settled: {before:.0f} / {spike:.0f} / {settled:.0f} ms "
                 "(paper: 241 / 392 / 351 ms)")
     report.note(f"final allocation: {list(map(int, final_alloc))} (paper: [12,12,12,12,5,5,3,3])")
     if kill_node is not None:
-        lost = sum(r.zero_filled_tiles for r in records)
+        lost = telemetry.metrics.counter_total("adcnn_tiles_zero_filled_total")
+        redispatched = telemetry.metrics.counter_total("adcnn_redispatch_total")
         report.note(
             f"node {kill_node + 1} killed at image {kill_at_image}"
             + (f", revived at image {recover_at_image}" if recover_at_image is not None else "")
-            + f"; tiles lost to zero-fill: {lost} (re-dispatch active)"
+            + f"; tiles lost to zero-fill: {lost:.0f}, re-dispatched: {redispatched:.0f}"
         )
     return report
 
@@ -128,7 +140,8 @@ def run_process(
         restart_backoff=0.05,
         probe_interval=1,
     )
-    with ProcessCluster(model, "2x2", config=cfg) as cluster:
+    telemetry = TelemetryRecorder()
+    with ProcessCluster(model, "2x2", config=cfg, telemetry=telemetry) as cluster:
         for i in range(num_images):
             if i > 0 and frame_gap > 0:
                 time.sleep(frame_gap)
@@ -144,6 +157,12 @@ def run_process(
             )
         rates = cluster.worker_rates
     report.note(f"final worker rates: {np.array2string(rates, precision=2)}")
+    report.note(
+        "telemetry: "
+        f"redispatched={telemetry.metrics.counter_total('adcnn_redispatch_total'):.0f}, "
+        f"restarts={telemetry.metrics.counter_total('adcnn_worker_restarts_total'):.0f}, "
+        f"local tiles={telemetry.metrics.counter_total('adcnn_tiles_local_total'):.0f}"
+    )
     report.note(f"worker {kill_worker} killed before image {kill_at_image}; "
                 + ("restart policy on" if restart else "restart policy off"))
     return report

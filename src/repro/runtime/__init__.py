@@ -3,7 +3,7 @@
 from .deployment import ADCNNDeployment
 from .messages import LOCAL_WORKER, Shutdown, TileResult, TileTask, drain_queue
 from .process_backend import InferenceOutcome, ProcessCluster, ProcessClusterConfig
-from .scheduler import SchedulingError, StatisticsCollector, allocate_tiles, brute_force_allocation
+from .scheduler import SchedulingError, StatisticsCollector, allocate_tiles
 from .system import ADCNNConfig, ADCNNSystem, ImageRecord, MediumQueue
 from .workload import ADCNNWorkload
 from .zero_fill import accuracy_under_tile_loss, forward_with_missing_tiles
@@ -11,7 +11,6 @@ from .zero_fill import accuracy_under_tile_loss, forward_with_missing_tiles
 __all__ = [
     "StatisticsCollector",
     "allocate_tiles",
-    "brute_force_allocation",
     "SchedulingError",
     "ADCNNWorkload",
     "ADCNNConfig",

@@ -80,6 +80,16 @@ class TileResult:
 
     ``payload`` is a :class:`repro.compression.CompressedTensor` when the §4
     pipeline is enabled, otherwise a raw ndarray.
+
+    Timing fields are measured worker-side and survive into the run result
+    (``InferenceOutcome``) and telemetry spans instead of being dropped:
+    ``compute_seconds`` covers dequeue → result built (delay + forward +
+    compress, the quantity Algorithm 2's rate credits use),
+    ``compress_seconds`` isolates the §4 pipeline, and
+    ``t_start``/``t_end`` are ``time.perf_counter()`` stamps
+    (CLOCK_MONOTONIC — comparable across forked processes on Linux, so the
+    Central node can place worker spans on a shared timeline).  All default
+    to 0 for results synthesized centrally (zero-fill / local fallback).
     """
 
     image_id: int
@@ -87,6 +97,9 @@ class TileResult:
     payload: Any
     worker: int
     compute_seconds: float = 0.0
+    compress_seconds: float = 0.0
+    t_start: float = 0.0
+    t_end: float = 0.0
 
 
 @dataclass(frozen=True)

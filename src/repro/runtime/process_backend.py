@@ -44,6 +44,16 @@ from repro.compression import CompressionPipeline
 from repro.models.blocks import PartitionableCNN
 from repro.nn import Tensor
 from repro.partition.geometry import grid_for_model, reassemble_array, split_array
+from repro.telemetry import (
+    STAGE_CENTRAL,
+    STAGE_COMPRESS,
+    STAGE_CONV_COMPUTE,
+    STAGE_MERGE,
+    STAGE_PARTITION,
+    STAGE_RESULT_TRANSFER,
+    STAGE_TRANSFER,
+    NullRecorder,
+)
 
 from .messages import LOCAL_WORKER, Shutdown, TileResult, TileTask, drain_queue
 from .scheduler import SchedulingError, StatisticsCollector, allocate_tiles
@@ -66,19 +76,24 @@ def _worker_loop(
         if isinstance(msg, Shutdown):
             break
         assert isinstance(msg, TileTask)
-        start = time.perf_counter()
+        t_start = time.perf_counter()
         if delay_per_tile > 0:
             time.sleep(delay_per_tile)  # emulated slow device (cpulimit stand-in)
         with nn.no_grad():
             out = separable(Tensor(msg.tile)).data
+        t_forward = time.perf_counter()
         payload = pipeline.compress(out) if pipeline is not None else out
+        t_end = time.perf_counter()
         result_queue.put(
             TileResult(
                 image_id=msg.image_id,
                 tile_id=msg.tile_id,
                 payload=payload,
                 worker=worker_id,
-                compute_seconds=time.perf_counter() - start,
+                compute_seconds=t_end - t_start,
+                compress_seconds=t_end - t_forward,
+                t_start=t_start,
+                t_end=t_end,
             )
         )
 
@@ -154,6 +169,13 @@ class InferenceOutcome:
     zero_filled_tiles: list[int] = field(default_factory=list)
     locally_computed_tiles: list[int] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: Worker-measured seconds, summed per worker over this image's tiles:
+    #: ``compute_seconds_per_worker`` is dequeue → result built (the busy
+    #: time Algorithm 2's rate credits use); ``wall_seconds_per_worker``
+    #: is the same envelope from the worker's own clock stamps.  Empty for
+    #: images where no worker replied.
+    compute_seconds_per_worker: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    wall_seconds_per_worker: np.ndarray = field(default_factory=lambda: np.zeros(0))
 
 
 class ProcessCluster:
@@ -171,11 +193,15 @@ class ProcessCluster:
         grid,
         pipeline: CompressionPipeline | None = None,
         config: ProcessClusterConfig | None = None,
+        telemetry=None,
     ) -> None:
         self.model = model
         self.grid = grid_for_model(model, grid) if isinstance(grid, str) else grid
         self.pipeline = pipeline
         self.config = config or ProcessClusterConfig()
+        #: Telemetry sink (``repro.telemetry.TelemetryRecorder``); the
+        #: default ``NullRecorder`` keeps instrumentation zero-cost.
+        self.telemetry = telemetry if telemetry is not None else NullRecorder()
         self._rest = model.rest_part()
         self._rest.eval()
         self._stats = StatisticsCollector(
@@ -279,6 +305,7 @@ class ProcessCluster:
                 continue
             if wid not in self._known_dead:
                 self._known_dead.add(wid)
+                self.telemetry.record(time.perf_counter(), "worker_dead", node=f"worker{wid}")
                 drain_queue(self._task_queues[wid])
                 if self._restart_counts[wid] < self.config.max_restarts:
                     backoff = min(
@@ -306,6 +333,8 @@ class ProcessCluster:
         self._restart_counts[worker_id] += 1
         self._restart_at[worker_id] = None
         self._known_dead.discard(worker_id)
+        self.telemetry.count("adcnn_worker_restarts_total", node=f"worker{worker_id}")
+        self.telemetry.record(time.perf_counter(), "restart", node=f"worker{worker_id}")
 
     def _redispatch_pending(self, dead_wid: int, inflight: dict[int, dict]) -> None:
         """Re-queue every tile ``dead_wid`` owned but never answered."""
@@ -330,16 +359,24 @@ class ProcessCluster:
                 continue
             rates = np.where(alive, np.maximum(self._stats.rates(), 1e-6), 0.0)
             extra = allocate_tiles(len(pending), rates)
+            self.telemetry.count("adcnn_redispatch_total", len(pending))
+            self.telemetry.record(
+                time.perf_counter(), "redispatch",
+                node=f"worker{dead_wid}", image_id=image_id, tiles=len(pending),
+            )
             targets: list[int] = []
             for wid, count in enumerate(extra):
                 targets.extend([wid] * int(count))
             for tid, new_wid in zip(pending, targets):
+                if self.telemetry.enabled:
+                    st["enqueue_ts"][tid] = time.perf_counter()
                 self._task_queues[new_wid].put(
                     TileTask(image_id, tid, np.ascontiguousarray(st["tiles"][tid]))
                 )
                 st["assignment"][tid] = new_wid
                 st["allocation"][dead_wid] -= 1
                 st["allocation"][new_wid] += 1
+                self.telemetry.count("adcnn_tiles_dispatched_total", node=f"worker{new_wid}")
 
     def _local_payload(self, tile: np.ndarray):
         """Central-node fallback: run the separable block in-process."""
@@ -378,13 +415,25 @@ class ProcessCluster:
         order: list[int] = []
         next_idx = 0
 
+        tel = self.telemetry
+
         def dispatch(idx: int) -> None:
             self._supervise(inflight)
             image_id = self._image_counter
             self._image_counter += 1
+            t_partition = time.perf_counter()
             tiles = split_array(images[idx], self.grid)
             allocation, probe_workers = self._plan_allocation(len(tiles))
             start = time.perf_counter()
+            if tel.enabled:
+                # Partition + Algorithm 3 run back to back on the Central
+                # node; one span covers the whole Input-partition block.
+                tel.span(STAGE_PARTITION, t_partition, start - t_partition,
+                         node="central", image_id=image_id)
+                tel.record(start, "dispatch", image_id=image_id,
+                           allocation=[] if allocation is None else [int(a) for a in allocation])
+                for wid, s_k in enumerate(self._stats.rates()):
+                    tel.gauge("adcnn_scheduler_share", s_k, node=f"worker{wid}")
             st = {
                 "idx": idx,
                 "tiles": tiles,
@@ -395,7 +444,9 @@ class ProcessCluster:
                 "results": {},
                 "received": np.zeros(self.config.num_workers, dtype=int),
                 "busy": np.zeros(self.config.num_workers),
+                "wall": np.zeros(self.config.num_workers),
                 "local": [],
+                "enqueue_ts": {},
                 "deadline": time.monotonic() + self.config.t_limit,
                 "collect_start": time.monotonic(),
                 "start": start,
@@ -417,6 +468,8 @@ class ProcessCluster:
                 assignments.extend([wid] * int(count))
             for tile_id, wid in enumerate(assignments):
                 st["assignment"][tile_id] = wid
+                if tel.enabled:
+                    st["enqueue_ts"][tile_id] = time.perf_counter()
                 self._task_queues[wid].put(
                     TileTask(
                         image_id,
@@ -425,6 +478,14 @@ class ProcessCluster:
                         probe=wid in probe_workers,
                     )
                 )
+            if tel.enabled:
+                for wid, count in enumerate(allocation):
+                    if count > 0:
+                        tel.count("adcnn_tiles_dispatched_total", int(count), node=f"worker{wid}")
+                # Input tiles cross the IPC "wire" uncompressed.
+                up_bits = tiles[0].nbytes * 8 * len(assignments)
+                tel.count("adcnn_bits_wire_total", up_bits, direction="up")
+                tel.count("adcnn_bits_raw_total", up_bits, direction="up")
 
         def finalize(image_id: int) -> None:
             st = inflight.pop(image_id)
@@ -432,17 +493,44 @@ class ProcessCluster:
             self._stats.update(
                 _rate_credits(st["received"], st["allocation"], st["busy"], window, len(st["tiles"]))
             )
+            t_merge = time.perf_counter()
             out_tiles, missing = self._materialize_tiles(st["tiles"], st["results"])
             feature_map = reassemble_array(out_tiles, self.grid)
+            t_rest = time.perf_counter()
             with nn.no_grad():
                 output = self._rest(Tensor(feature_map)).data
+            t_done = time.perf_counter()
+            if missing:
+                tel.count("adcnn_tiles_zero_filled_total", len(missing))
+                tel.count("adcnn_deadline_triggers_total")
+                tel.record(t_merge, "deadline", image_id=image_id, zero_filled=len(missing))
+            if st["local"]:
+                tel.count("adcnn_tiles_local_total", len(st["local"]))
+            if tel.enabled:
+                tel.span(STAGE_MERGE, t_merge, t_rest - t_merge, node="central",
+                         image_id=image_id, zero_filled=len(missing))
+                tel.span(STAGE_CENTRAL, t_rest, t_done - t_rest, node="central", image_id=image_id)
+                for res in st["results"].values():
+                    payload = res.payload
+                    if hasattr(payload, "compressed_bits") and hasattr(payload, "raw_bits"):
+                        tel.count("adcnn_bits_wire_total", payload.compressed_bits, direction="down")
+                        tel.count("adcnn_bits_raw_total", payload.raw_bits, direction="down")
+                    elif hasattr(payload, "nbytes"):
+                        tel.count("adcnn_bits_wire_total", payload.nbytes * 8, direction="down")
+                        tel.count("adcnn_bits_raw_total", payload.nbytes * 8, direction="down")
+                latency = t_done - st["start"]
+                tel.record(t_done, "image_done", image_id=image_id,
+                           latency=latency, zero_filled=len(missing))
+                tel.observe("adcnn_image_latency_seconds", latency)
             outcomes[st["idx"]] = InferenceOutcome(
                 output=output,
                 allocation=st["allocation"],
                 received_per_worker=st["received"],
                 zero_filled_tiles=missing,
                 locally_computed_tiles=sorted(st["local"]),
-                wall_seconds=time.perf_counter() - st["start"],
+                wall_seconds=t_done - st["start"],
+                compute_seconds_per_worker=st["busy"].copy(),
+                wall_seconds_per_worker=st["wall"].copy(),
             )
 
         while next_idx < len(images) or inflight:
@@ -468,6 +556,7 @@ class ProcessCluster:
 
     def _sweep_results(self, inflight: dict[int, dict]) -> bool:
         """Drain every worker's result channel; True if anything arrived."""
+        tel = self.telemetry
         got = False
         for q in list(self._result_queues):
             while True:
@@ -476,6 +565,7 @@ class ProcessCluster:
                 except queue_mod.Empty:
                     break
                 got = True
+                recv = time.perf_counter() if tel.enabled else 0.0
                 target = inflight.get(res.image_id)
                 if target is None or res.tile_id in target["results"]:
                     continue  # stale image or duplicate after a re-dispatch race
@@ -483,7 +573,32 @@ class ProcessCluster:
                 if 0 <= res.worker < self.config.num_workers:
                     target["received"][res.worker] += 1
                     target["busy"][res.worker] += res.compute_seconds
+                    if res.t_end > 0:
+                        target["wall"][res.worker] += res.t_end - res.t_start
+                    if tel.enabled and res.t_end > 0:
+                        self._record_tile_spans(res, target, recv)
         return got
+
+    def _record_tile_spans(self, res: TileResult, st: dict, recv: float) -> None:
+        """Worker-side timestamps → transfer/compute/compress/return spans.
+
+        ``perf_counter`` is CLOCK_MONOTONIC on Linux, shared across forked
+        workers, so worker stamps and central stamps sit on one timeline.
+        """
+        tel = self.telemetry
+        node = f"worker{res.worker}"
+        enqueued = st["enqueue_ts"].get(res.tile_id)
+        if enqueued is not None:
+            tel.span(STAGE_TRANSFER, enqueued, max(res.t_start - enqueued, 0.0),
+                     node=node, image_id=res.image_id, tile_id=res.tile_id)
+        forward = max(res.compute_seconds - res.compress_seconds, 0.0)
+        tel.span(STAGE_CONV_COMPUTE, res.t_start, forward,
+                 node=node, image_id=res.image_id, tile_id=res.tile_id)
+        if res.compress_seconds > 0:
+            tel.span(STAGE_COMPRESS, res.t_start + forward, res.compress_seconds,
+                     node=node, image_id=res.image_id, tile_id=res.tile_id)
+        tel.span(STAGE_RESULT_TRANSFER, res.t_end, max(recv - res.t_end, 0.0),
+                 node=node, image_id=res.image_id, tile_id=res.tile_id)
 
     def _plan_allocation(self, num_tiles: int) -> tuple[np.ndarray | None, set[int]]:
         """Algorithm 3 over *live* workers, plus recovery probes.

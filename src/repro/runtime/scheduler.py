@@ -15,12 +15,9 @@ receiving tiles, which is how ADCNN tolerates node failure.
 
 from __future__ import annotations
 
-import itertools
-import math
-
 import numpy as np
 
-__all__ = ["StatisticsCollector", "allocate_tiles", "brute_force_allocation", "SchedulingError"]
+__all__ = ["StatisticsCollector", "allocate_tiles", "SchedulingError"]
 
 
 class SchedulingError(RuntimeError):
@@ -153,18 +150,6 @@ def allocate_tiles(
     return x
 
 
-def brute_force_allocation(num_tiles: int, rates) -> np.ndarray:
-    """Exact min-max allocation by exhaustive search (tests only)."""
-    s = np.asarray(rates, dtype=float)
-    k = len(s)
-    if num_tiles > 12 or k > 4:
-        raise ValueError("brute force limited to tiny instances")
-    best, best_cost = None, math.inf
-    for combo in itertools.product(range(num_tiles + 1), repeat=k):
-        if sum(combo) != num_tiles:
-            continue
-        cost = max((c / s[i]) if s[i] > 0 else (math.inf if c else 0.0) for i, c in enumerate(combo))
-        if cost < best_cost:
-            best, best_cost = np.array(combo), cost
-    assert best is not None
-    return best
+# NOTE: the exhaustive-search oracle formerly here (``brute_force_allocation``)
+# lives in ``tests/allocation_oracle.py`` — it exists only to cross-check the
+# greedy allocator in tests and was never part of the runtime API.

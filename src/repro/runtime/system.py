@@ -28,6 +28,15 @@ import numpy as np
 from repro.profiling.latency_model import WIFI_LAN, LinkProfile
 from repro.simulator.core import Simulator
 from repro.simulator.node import SimNode
+from repro.telemetry import (
+    STAGE_CENTRAL,
+    STAGE_CONV_COMPUTE,
+    STAGE_MERGE,
+    STAGE_PARTITION,
+    STAGE_RESULT_TRANSFER,
+    STAGE_TRANSFER,
+    NullRecorder,
+)
 
 from .scheduler import StatisticsCollector, allocate_tiles
 from .workload import ADCNNWorkload
@@ -125,6 +134,7 @@ class ADCNNSystem:
         config: ADCNNConfig | None = None,
         shared_medium: bool = True,
         rng: np.random.Generator | None = None,
+        telemetry=None,
     ) -> None:
         if not conv_nodes:
             raise ValueError("need at least one Conv node")
@@ -135,6 +145,10 @@ class ADCNNSystem:
         self.config = config or ADCNNConfig()
         self.shared_medium = shared_medium
         self.rng = rng
+        #: Telemetry sink (``TelemetryRecorder``/``TraceRecorder``); events
+        #: carry *sim-time* seconds but use the same schema as the process
+        #: backend's wall-clock spans.  Defaults to the zero-cost no-op.
+        self.telemetry = telemetry if telemetry is not None else NullRecorder()
         self.records: list[ImageRecord] = []
 
     # ------------------------------------------------------------------ run
@@ -143,6 +157,9 @@ class ADCNNSystem:
         if num_images < 1:
             raise ValueError("need at least one image")
         sim = Simulator()
+        tel = self.telemetry
+        out_bits = self.workload.tile_output_bits
+        raw_out_bits = self.workload.tile_output_raw_bits or out_bits
         for node in self.nodes:
             node.reset()
         self.central.reset()
@@ -199,6 +216,21 @@ class ADCNNSystem:
             last_arrival.append(np.full(k, math.nan))
             node_start.append(np.full(k, math.nan))
             triggered.append(False)
+            if tel.enabled:
+                tel.record(sim.now, "dispatch", image_id=image_id,
+                           allocation=[int(a) for a in allocation])
+                # The Input-partition block's bookkeeping runs on the
+                # Central node; its cost is folded into the rest-layer MACs
+                # at trigger time, so the span here carries the nominal
+                # duration rather than simulated occupancy.
+                tel.span(STAGE_PARTITION, sim.now,
+                         self.workload.partition_macs / self.central.device.macs_per_second,
+                         node=self.central.name, image_id=image_id)
+                for i, s_k in enumerate(stats.rates()):
+                    tel.gauge("adcnn_scheduler_share", s_k, node=self.nodes[i].name)
+                    if allocation[i] > 0:
+                        tel.count("adcnn_tiles_dispatched_total", int(allocation[i]),
+                                  node=self.nodes[i].name)
 
             pending_batches = int((allocation > 0).sum())
             if pending_batches == 0:  # degenerate: nothing allocated
@@ -217,7 +249,18 @@ class ADCNNSystem:
             for idx in range(k):
                 if allocation[idx] > 0:
                     bits = allocation[idx] * self.workload.tile_input_bits
-                    up[idx].request(bits, lambda t, i=idx: batch_delivered(i, t))
+                    t_req = sim.now
+
+                    def on_up(t, i=idx, b=bits, t0=t_req, img=image_id):
+                        if tel.enabled:
+                            tel.span(STAGE_TRANSFER, t0, t - t0,
+                                     node=self.nodes[i].name, image_id=img, bits=b)
+                            # Input tiles ship uncompressed: raw == wire.
+                            tel.count("adcnn_bits_wire_total", b, direction="up")
+                            tel.count("adcnn_bits_raw_total", b, direction="up")
+                        batch_delivered(i, t)
+
+                    up[idx].request(bits, on_up)
 
         def start_node_compute(image_id: int, node_idx: int, count: int, arrival: float) -> None:
             if not math.isfinite(node_start[image_id][node_idx]):
@@ -227,11 +270,15 @@ class ADCNNSystem:
             for _ in range(count):
                 finish = node.submit(arrival, self.workload.tile_macs)
                 if math.isfinite(finish):
+                    if tel.enabled:
+                        busy_start, busy_end = node.busy_intervals[-1]
+                        tel.span(STAGE_CONV_COMPUTE, busy_start, busy_end - busy_start,
+                                 node=node.name, image_id=image_id)
                     sim.schedule_at(
                         finish,
                         lambda i=image_id, n=node_idx, f=finish: down[n].request(
                             self.workload.tile_output_bits,
-                            lambda t, i=i, n=n, f=f: result_delivered(i, n, f),
+                            lambda t, i=i, n=n, f=f: result_arrived(i, n, f, t),
                         ),
                     )
                 else:
@@ -252,17 +299,31 @@ class ADCNNSystem:
             )
             if not alive.any():
                 return  # nobody left — deadline zero-fill will handle it
+            tel.count("adcnn_redispatch_total", count)
+            tel.record(sim.now, "redispatch", image_id=image_id,
+                       node=self.nodes[dead_idx].name, tiles=count)
             rates = np.where(alive, np.maximum(stats.rates(), 1e-6), 0.0)
             extra = allocate_tiles(count, rates)
             rec.allocation[dead_idx] -= count
+
+            def resend(idx: int, cnt: int) -> None:
+                bits = cnt * self.workload.tile_input_bits
+                t0 = sim.now
+
+                def on_up(t, i=idx, c=cnt, b=bits, t0=t0):
+                    if tel.enabled:
+                        tel.span(STAGE_TRANSFER, t0, t - t0, node=self.nodes[i].name,
+                                 image_id=image_id, bits=b, redispatch=True)
+                        tel.count("adcnn_bits_wire_total", b, direction="up")
+                        tel.count("adcnn_bits_raw_total", b, direction="up")
+                    start_node_compute(image_id, i, c, t)
+
+                up[idx].request(bits, on_up)
+
             for idx in range(k):
                 if extra[idx] > 0:
                     rec.allocation[idx] += int(extra[idx])
-                    bits = extra[idx] * self.workload.tile_input_bits
-                    up[idx].request(
-                        bits,
-                        lambda t, i=idx, c=int(extra[idx]): start_node_compute(image_id, i, c, t),
-                    )
+                    resend(idx, int(extra[idx]))
 
         def arm_deadline(image_id: int) -> None:
             rec = records[image_id]
@@ -281,6 +342,14 @@ class ADCNNSystem:
             nominal = nominal_compute + nominal_comm
             rec.deadline = rec.dispatch_done + self.config.deadline_slack * nominal + self.config.t_limit
             sim.schedule_at(rec.deadline, lambda i=image_id: trigger(i, by_deadline=True))
+
+        def result_arrived(image_id: int, node_idx: int, compute_finish: float, arrival: float) -> None:
+            if tel.enabled:
+                tel.span(STAGE_RESULT_TRANSFER, compute_finish, arrival - compute_finish,
+                         node=self.nodes[node_idx].name, image_id=image_id, bits=out_bits)
+                tel.count("adcnn_bits_wire_total", out_bits, direction="down")
+                tel.count("adcnn_bits_raw_total", raw_out_bits, direction="down")
+            result_delivered(image_id, node_idx, compute_finish)
 
         def result_delivered(image_id: int, node_idx: int, compute_finish: float) -> None:
             if triggered[image_id]:
@@ -301,9 +370,31 @@ class ADCNNSystem:
             rec.received = received[image_id].copy()
             rec.zero_filled_tiles = int(rec.allocation.sum() - rec.received.sum())
             stats.update(self._throughput_counts(rec, last_arrival[image_id], node_start[image_id]))
+            if by_deadline:
+                tel.count("adcnn_deadline_triggers_total")
+                tel.record(sim.now, "deadline", image_id=image_id)
+            if rec.zero_filled_tiles:
+                tel.count("adcnn_tiles_zero_filled_total", rec.zero_filled_tiles)
+            if tel.enabled:
+                # Zero-fill + reassembly are instantaneous in the DES; the
+                # marker span keeps the stage set identical to the process
+                # backend's trace.
+                tel.span(STAGE_MERGE, sim.now, 0.0, node=self.central.name,
+                         image_id=image_id, zero_filled=int(rec.zero_filled_tiles))
             rec.completion = self.central.submit(
                 sim.now, self.workload.rest_macs + self.workload.partition_macs
             )
+            if tel.enabled and math.isfinite(rec.completion):
+                busy_start, busy_end = (
+                    self.central.busy_intervals[-1]
+                    if self.central.busy_intervals
+                    else (sim.now, rec.completion)
+                )
+                tel.span(STAGE_CENTRAL, busy_start, busy_end - busy_start,
+                         node=self.central.name, image_id=image_id)
+                tel.record(rec.completion, "image_done", image_id=image_id,
+                           latency=rec.latency, zero_filled=int(rec.zero_filled_tiles))
+                tel.observe("adcnn_image_latency_seconds", rec.latency)
             # The pipeline window opens when the image *completes* (not at
             # trigger): Figure 9 overlaps transfer/conv of image i+1 with
             # the rest-layer stage of image i, but an unbounded in-flight

@@ -28,6 +28,11 @@ class ADCNNWorkload:
     rest_macs: float
     partition_macs: float = 1e6  # Input-partition block bookkeeping cost
     total_macs: float = 0.0
+    #: Pre-compression size of one tile's intermediate result (bits); 0
+    #: means "unknown / uncompressed" and consumers fall back to
+    #: ``tile_output_bits``.  Telemetry uses the pair to report the
+    #: compression ratio actually achieved on the wire.
+    tile_output_raw_bits: float = 0.0
 
     def __post_init__(self) -> None:
         if self.num_tiles < 1:
@@ -42,6 +47,10 @@ class ADCNNWorkload:
     @property
     def output_bits(self) -> float:
         return self.tile_output_bits * self.num_tiles
+
+    @property
+    def output_raw_bits(self) -> float:
+        return (self.tile_output_raw_bits or self.tile_output_bits) * self.num_tiles
 
     @property
     def separable_macs(self) -> float:
@@ -89,4 +98,5 @@ class ADCNNWorkload:
             tile_macs=sep_macs / num_tiles,
             rest_macs=rest,
             total_macs=float(spec.total_macs()),
+            tile_output_raw_bits=out_elements * BITS_PER_ELEMENT / num_tiles,
         )

@@ -1,27 +1,17 @@
-"""Trace recording for simulated runs."""
+"""Trace recording for simulated runs.
+
+``TraceRecorder`` is now the unified :class:`repro.telemetry.TelemetryRecorder`
+recording on the shared event schema (dict rows with ``time``/``kind``,
+spans carrying ``duration``/``node``/``image_id``).  The historical API —
+``record(time, kind, **fields)``, ``of_kind``, ``clear``, ``len()`` — is
+unchanged; it additionally gained ``span(...)``, a metrics registry, and
+the Chrome-trace / Prometheus / JSONL exporters.  Pass one to
+:class:`repro.runtime.ADCNNSystem` (``telemetry=...``) to capture a DES
+run with the same event kinds the process backend emits.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any
+from repro.telemetry.recorder import TelemetryRecorder as TraceRecorder
 
 __all__ = ["TraceRecorder"]
-
-
-@dataclass
-class TraceRecorder:
-    """Chronological record of simulation events (dict rows)."""
-
-    events: list[dict[str, Any]] = field(default_factory=list)
-
-    def record(self, time: float, kind: str, **fields: Any) -> None:
-        self.events.append({"time": time, "kind": kind, **fields})
-
-    def of_kind(self, kind: str) -> list[dict[str, Any]]:
-        return [e for e in self.events if e["kind"] == kind]
-
-    def clear(self) -> None:
-        self.events.clear()
-
-    def __len__(self) -> int:
-        return len(self.events)

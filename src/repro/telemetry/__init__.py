@@ -1,0 +1,73 @@
+"""Observability for both ADCNN runtime backends (DESIGN.md §5c).
+
+- :class:`TelemetryRecorder` — span + event recording on one shared schema
+  (wall-clock in the process backend, sim-time in the DES) with a labeled
+  metrics registry (counters / gauges / p50-p95-p99 histograms).
+- :class:`NullRecorder` — the zero-cost default sink.
+- Exporters — Chrome trace-event JSON (open in Perfetto, one track per
+  node), Prometheus text, JSONL; ``python -m repro.telemetry.report``
+  renders a run summary from the JSONL artifact.
+"""
+
+from .export import (
+    parse_prometheus_text,
+    prometheus_text,
+    read_jsonl,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .recorder import (
+    STAGE_CENTRAL,
+    STAGE_COMPRESS,
+    STAGE_CONV_COMPUTE,
+    STAGE_MERGE,
+    STAGE_PARTITION,
+    STAGE_RESULT_TRANSFER,
+    STAGE_TRANSFER,
+    STAGES,
+    NullRecorder,
+    TelemetryRecorder,
+)
+#: Report helpers are loaded lazily so ``python -m repro.telemetry.report``
+#: does not import the module twice (once here, once as ``__main__``).
+_REPORT_EXPORTS = ("RunSummary", "StageStats", "render", "summarize")
+
+
+def __getattr__(name: str):
+    if name in _REPORT_EXPORTS:
+        from . import report
+
+        return getattr(report, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "TelemetryRecorder",
+    "NullRecorder",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "STAGES",
+    "STAGE_PARTITION",
+    "STAGE_COMPRESS",
+    "STAGE_TRANSFER",
+    "STAGE_CONV_COMPUTE",
+    "STAGE_RESULT_TRANSFER",
+    "STAGE_MERGE",
+    "STAGE_CENTRAL",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "prometheus_text",
+    "parse_prometheus_text",
+    "write_jsonl",
+    "read_jsonl",
+    "summarize",
+    "render",
+    "RunSummary",
+    "StageStats",
+]

@@ -1,0 +1,210 @@
+"""Exporters: Chrome trace-event JSON, Prometheus text, and JSONL.
+
+Chrome traces load directly in Perfetto (ui.perfetto.dev) or
+``chrome://tracing``; each ADCNN node gets its own named track (one
+``tid`` per node under a single ``pid``), spans become ``"X"`` complete
+events, instants become ``"i"`` events.  Times are re-based to the first
+event and scaled to microseconds as the format requires.
+
+The Prometheus exporter emits counters/gauges verbatim and histograms as
+summaries (``{quantile="..."}`` series plus ``_count``/``_sum``);
+:func:`parse_prometheus_text` inverts it for round-trip tests and the
+report CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Iterable
+
+from .metrics import HISTOGRAM_QUANTILES, Histogram, MetricsRegistry
+
+__all__ = [
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "prometheus_text",
+    "parse_prometheus_text",
+    "write_jsonl",
+    "read_jsonl",
+]
+
+#: Track name used for events that do not say which node they belong to.
+DEFAULT_TRACK = "central"
+
+
+# ------------------------------------------------------------- chrome trace
+def to_chrome_trace(events: Iterable[dict[str, Any]], process_name: str = "adcnn") -> dict:
+    """Convert schema events to a Chrome trace-event JSON object."""
+    events = list(events)
+    base = min((e["time"] for e in events), default=0.0)
+    tids: dict[str, int] = {}
+    rows: list[dict[str, Any]] = [
+        {"ph": "M", "name": "process_name", "pid": 0, "tid": 0, "args": {"name": process_name}},
+    ]
+    body: list[dict[str, Any]] = []
+    for ev in events:
+        node = str(ev.get("node", DEFAULT_TRACK))
+        tid = tids.get(node)
+        if tid is None:
+            tid = tids[node] = len(tids) + 1
+            rows.append({"ph": "M", "name": "thread_name", "pid": 0, "tid": tid, "args": {"name": node}})
+            rows.append({"ph": "M", "name": "thread_sort_index", "pid": 0, "tid": tid,
+                         "args": {"sort_index": tid}})
+        args = {k: v for k, v in ev.items() if k not in ("time", "kind", "duration", "node")}
+        out: dict[str, Any] = {
+            "name": ev["kind"],
+            "cat": "adcnn",
+            "pid": 0,
+            "tid": tid,
+            "ts": (ev["time"] - base) * 1e6,
+            "args": args,
+        }
+        if "duration" in ev:
+            out["ph"] = "X"
+            out["dur"] = max(float(ev["duration"]), 0.0) * 1e6
+        else:
+            out["ph"] = "i"
+            out["s"] = "t"  # thread-scoped instant
+        body.append(out)
+    return {"traceEvents": rows + body, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(obj: Any) -> list[dict[str, Any]]:
+    """Check ``obj`` against the trace-event format; return the events.
+
+    Raises :class:`ValueError` on the first violation.  Intentionally
+    strict about the fields Perfetto needs (``ph``/``ts``/``pid``/``tid``,
+    ``dur`` on complete events) and nothing more.
+    """
+    if not isinstance(obj, dict) or not isinstance(obj.get("traceEvents"), list):
+        raise ValueError("trace must be an object with a traceEvents array")
+    for i, ev in enumerate(obj["traceEvents"]):
+        if not isinstance(ev, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "M", "B", "E", "C"):
+            raise ValueError(f"traceEvents[{i}] has unsupported phase {ph!r}")
+        if "name" not in ev:
+            raise ValueError(f"traceEvents[{i}] missing name")
+        if ph == "M":
+            continue
+        for key in ("ts", "pid", "tid"):
+            if key not in ev:
+                raise ValueError(f"traceEvents[{i}] ({ph}) missing {key}")
+        if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+            raise ValueError(f"traceEvents[{i}] has invalid ts {ev['ts']!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"traceEvents[{i}] complete event needs dur >= 0")
+    return obj["traceEvents"]
+
+
+def write_chrome_trace(events: Iterable[dict[str, Any]], path) -> None:
+    with open(path, "w") as fh:
+        json.dump(to_chrome_trace(events), fh)
+
+
+# --------------------------------------------------------------- prometheus
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _render_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render a registry in the Prometheus text exposition format."""
+    by_name: dict[tuple[str, str], list[tuple[dict, Any]]] = {}
+    for kind, name, labels, metric in registry:
+        by_name.setdefault((kind, name), []).append((labels, metric))
+    lines: list[str] = []
+    for (kind, name), series in by_name.items():
+        prom_kind = "summary" if kind == "histogram" else kind
+        lines.append(f"# TYPE {name} {prom_kind}")
+        for labels, metric in series:
+            if isinstance(metric, Histogram):
+                for q in HISTOGRAM_QUANTILES:
+                    qlabels = dict(labels, quantile=repr(q) if q != int(q) else str(q))
+                    lines.append(f"{name}{_render_labels(qlabels)} {metric.quantile(q):.9g}")
+                lines.append(f"{name}_count{_render_labels(labels)} {metric.count}")
+                lines.append(f"{name}_sum{_render_labels(labels)} {metric.sum:.9g}")
+            else:
+                lines.append(f"{name}{_render_labels(labels)} {metric.value:.9g}")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)$")
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus_text(text: str) -> dict[tuple[str, frozenset], float]:
+    """Parse exposition text back into ``{(name, labels): value}``.
+
+    Good enough for round-trip testing and for the report CLI to read a
+    saved ``metrics.prom`` — not a full openmetrics parser.
+    """
+    samples: dict[tuple[str, frozenset], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"unparseable sample line: {line!r}")
+        name, _, labelstr, value = m.groups()
+        labels = frozenset(
+            (k, v.replace(r"\n", "\n").replace(r"\"", '"').replace(r"\\", "\\"))
+            for k, v in _LABEL_RE.findall(labelstr or "")
+        )
+        samples[(name, labels)] = float(value)
+    return samples
+
+
+# -------------------------------------------------------------------- jsonl
+def write_jsonl(events: Iterable[dict[str, Any]], path, metrics: MetricsRegistry | None = None) -> None:
+    """One JSON object per line: all events, then a metrics snapshot.
+
+    The single file is what ``python -m repro.telemetry.report`` consumes.
+    """
+    with open(path, "w") as fh:
+        for ev in events:
+            fh.write(json.dumps(ev, default=_json_default) + "\n")
+        if metrics is not None:
+            for row in metrics.snapshot():
+                fh.write(json.dumps(row, default=_json_default) + "\n")
+
+
+def _json_default(obj):
+    try:
+        import numpy as np
+
+        if isinstance(obj, np.integer):
+            return int(obj)
+        if isinstance(obj, np.floating):
+            return float(obj)
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+    except ImportError:  # pragma: no cover
+        pass
+    raise TypeError(f"not JSON serializable: {type(obj)!r}")
+
+
+def read_jsonl(path) -> tuple[list[dict[str, Any]], list[dict[str, Any]]]:
+    """Inverse of :func:`write_jsonl`: ``(events, metric_rows)``."""
+    events: list[dict[str, Any]] = []
+    metric_rows: list[dict[str, Any]] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            (metric_rows if row.get("kind") == "metric" else events).append(row)
+    return events, metric_rows

@@ -1,0 +1,147 @@
+"""Labeled metrics: counters, gauges, and quantile histograms.
+
+The registry is deliberately tiny — a dict keyed by (kind, name, sorted
+label pairs) — but speaks the Prometheus text exposition format on the way
+out (:func:`repro.telemetry.export.prometheus_text`) so run artifacts can
+be scraped, diffed, and re-parsed with standard tooling.
+
+Metric naming follows Prometheus conventions: counters end in ``_total``,
+units are spelled out (``_seconds``, ``_bits``), and labels carry the
+dimension (``node=...``, ``stage=...``, ``direction=...``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Quantiles every histogram reports (the paper's figures use p50/p95/p99
+#: style tail statistics for the latency breakdowns).
+HISTOGRAM_QUANTILES = (0.5, 0.95, 0.99)
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (e.g. the scheduler's current ``s_k``)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = math.nan
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Sample-keeping histogram with exact quantiles.
+
+    Runs here are small (thousands of spans), so keeping raw samples and
+    computing exact percentiles beats maintaining bucket boundaries.
+    """
+
+    __slots__ = ("samples",)
+
+    def __init__(self) -> None:
+        self.samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def sum(self) -> float:
+        return float(sum(self.samples))
+
+    def quantile(self, q: float) -> float:
+        if not self.samples:
+            return math.nan
+        return float(np.quantile(self.samples, q))
+
+
+class MetricsRegistry:
+    """All metrics of one run, addressable by name + labels.
+
+    ``counter/gauge/histogram`` create-or-return, so call sites never need
+    registration boilerplate::
+
+        reg.counter("adcnn_tiles_dispatched_total", node="conv1").inc(8)
+        reg.gauge("adcnn_scheduler_share", node="conv1").set(7.4)
+        reg.histogram("adcnn_stage_seconds", stage="conv_compute").observe(0.02)
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, str, tuple[tuple[str, str], ...]], object] = {}
+
+    def _get(self, kind: str, factory, name: str, labels: dict[str, object]):
+        key = (kind, name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = factory()
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get("counter", Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get("gauge", Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get("histogram", Histogram, name, labels)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self):
+        """Yield ``(kind, name, labels_dict, metric)`` in insertion order."""
+        for (kind, name, labels), metric in self._metrics.items():
+            yield kind, name, dict(labels), metric
+
+    def snapshot(self) -> list[dict]:
+        """Flat JSON-friendly rows (the JSONL exporter appends these after
+        the event stream so one file captures a whole run)."""
+        rows: list[dict] = []
+        for kind, name, labels, metric in self:
+            row: dict = {"kind": "metric", "metric_kind": kind, "name": name, "labels": labels}
+            if isinstance(metric, Histogram):
+                row["count"] = metric.count
+                row["sum"] = metric.sum
+                for q in HISTOGRAM_QUANTILES:
+                    row[f"p{int(q * 100)}"] = metric.quantile(q)
+            else:
+                row["value"] = metric.value
+            rows.append(row)
+        return rows
+
+    def counter_value(self, name: str, **labels) -> float:
+        """Read a counter without creating it (0.0 when absent)."""
+        key = ("counter", name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        metric = self._metrics.get(key)
+        return metric.value if isinstance(metric, Counter) else 0.0
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter across all label sets."""
+        return sum(
+            m.value
+            for (kind, n, _), m in self._metrics.items()
+            if kind == "counter" and n == name and isinstance(m, Counter)
+        )

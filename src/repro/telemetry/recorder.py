@@ -1,0 +1,179 @@
+"""Backend-agnostic span + event recording.
+
+One event schema serves both runtime backends: the process backend records
+wall-clock (``time.perf_counter`` — CLOCK_MONOTONIC, comparable across
+forked workers on Linux), the DES backend records simulated seconds.  An
+event is a flat dict with at least ``time`` (seconds) and ``kind``; *span*
+events additionally carry ``duration`` plus the ``node`` track and
+``image_id`` they belong to.  Stage kinds follow the Figure 8/9 pipeline:
+
+    partition → compress → transfer → conv_compute → result_transfer
+    → merge → central_layers
+
+Instrumentation is zero-cost when disabled: the default sink is
+:class:`NullRecorder`, whose methods are no-ops, and hot paths guard any
+extra measurement behind ``recorder.enabled``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "STAGES",
+    "STAGE_PARTITION",
+    "STAGE_COMPRESS",
+    "STAGE_TRANSFER",
+    "STAGE_CONV_COMPUTE",
+    "STAGE_RESULT_TRANSFER",
+    "STAGE_MERGE",
+    "STAGE_CENTRAL",
+    "NullRecorder",
+    "TelemetryRecorder",
+]
+
+STAGE_PARTITION = "partition"
+STAGE_COMPRESS = "compress"
+STAGE_TRANSFER = "transfer"
+STAGE_CONV_COMPUTE = "conv_compute"
+STAGE_RESULT_TRANSFER = "result_transfer"
+STAGE_MERGE = "merge"
+STAGE_CENTRAL = "central_layers"
+
+#: Pipeline stages in execution order (also the report's row order).
+STAGES = (
+    STAGE_PARTITION,
+    STAGE_COMPRESS,
+    STAGE_TRANSFER,
+    STAGE_CONV_COMPUTE,
+    STAGE_RESULT_TRANSFER,
+    STAGE_MERGE,
+    STAGE_CENTRAL,
+)
+
+
+class NullRecorder:
+    """No-op telemetry sink — the default everywhere.
+
+    Every method accepts the full recording interface and does nothing, so
+    call sites can stay unconditional for low-frequency events; per-tile
+    hot paths should additionally check :attr:`enabled` before doing any
+    extra clock reads or bookkeeping.
+    """
+
+    enabled = False
+
+    def record(self, time: float, kind: str, **fields: Any) -> None:
+        pass
+
+    def span(self, kind: str, start: float, duration: float, node: str | None = None,
+             image_id: int | None = None, **fields: Any) -> None:
+        pass
+
+    def count(self, name: str, value: float = 1.0, **labels: Any) -> None:
+        pass
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        pass
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        pass
+
+    def of_kind(self, kind: str) -> list[dict[str, Any]]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+class TelemetryRecorder:
+    """In-memory telemetry sink: chronological events + a metrics registry.
+
+    Subsumes the old ``repro.simulator.TraceRecorder`` (which is now an
+    alias): ``record(time, kind, **fields)`` appends a generic event,
+    ``span`` appends a duration-carrying stage event *and* feeds the
+    ``adcnn_stage_seconds`` histogram so per-stage breakdowns come for
+    free.  Export via :mod:`repro.telemetry.export` or the convenience
+    ``write_*`` methods.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list[dict[str, Any]] = []
+        self.metrics = MetricsRegistry()
+
+    # ------------------------------------------------------------- recording
+    def record(self, time: float, kind: str, **fields: Any) -> None:
+        """Append an instant event (no duration)."""
+        self.events.append({"time": time, "kind": kind, **fields})
+
+    def span(self, kind: str, start: float, duration: float, node: str | None = None,
+             image_id: int | None = None, **fields: Any) -> None:
+        """Append a stage span and observe its duration histogram."""
+        ev: dict[str, Any] = {"time": start, "kind": kind, "duration": duration}
+        if node is not None:
+            ev["node"] = node
+        if image_id is not None:
+            ev["image_id"] = image_id
+        if fields:
+            ev.update(fields)
+        self.events.append(ev)
+        self.metrics.histogram("adcnn_stage_seconds", stage=kind).observe(duration)
+
+    def count(self, name: str, value: float = 1.0, **labels: Any) -> None:
+        self.metrics.counter(name, **labels).inc(value)
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        self.metrics.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        self.metrics.histogram(name, **labels).observe(value)
+
+    # ----------------------------------------------------------- inspection
+    def of_kind(self, kind: str) -> list[dict[str, Any]]:
+        return [e for e in self.events if e["kind"] == kind]
+
+    def spans(self, kind: str | None = None) -> list[dict[str, Any]]:
+        """Events that carry a duration (optionally one stage only)."""
+        return [
+            e for e in self.events
+            if "duration" in e and (kind is None or e["kind"] == kind)
+        ]
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.metrics = MetricsRegistry()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -------------------------------------------------------------- exports
+    def chrome_trace(self) -> dict:
+        from .export import to_chrome_trace
+
+        return to_chrome_trace(self.events)
+
+    def prometheus(self) -> str:
+        from .export import prometheus_text
+
+        return prometheus_text(self.metrics)
+
+    def write_chrome_trace(self, path) -> None:
+        from .export import write_chrome_trace
+
+        write_chrome_trace(self.events, path)
+
+    def write_prometheus(self, path) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.prometheus())
+
+    def write_jsonl(self, path) -> None:
+        from .export import write_jsonl
+
+        write_jsonl(self.events, path, metrics=self.metrics)

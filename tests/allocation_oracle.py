@@ -1,0 +1,34 @@
+"""Exact allocation oracle for scheduler tests.
+
+``brute_force_allocation`` used to live in ``repro.runtime.scheduler`` with
+a "tests only" docstring; it is a test fixture, not runtime API, so it
+lives with the tests now.  It exhaustively searches every split of
+``num_tiles`` over the nodes and returns the min-max-cost one — the ground
+truth the greedy Algorithm 3 implementation is checked against.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+
+__all__ = ["brute_force_allocation"]
+
+
+def brute_force_allocation(num_tiles: int, rates) -> np.ndarray:
+    """Exact min-max allocation by exhaustive search (tiny instances only)."""
+    s = np.asarray(rates, dtype=float)
+    k = len(s)
+    if num_tiles > 12 or k > 4:
+        raise ValueError("brute force limited to tiny instances")
+    best, best_cost = None, math.inf
+    for combo in itertools.product(range(num_tiles + 1), repeat=k):
+        if sum(combo) != num_tiles:
+            continue
+        cost = max((c / s[i]) if s[i] > 0 else (math.inf if c else 0.0) for i, c in enumerate(combo))
+        if cost < best_cost:
+            best, best_cost = np.array(combo), cost
+    assert best is not None
+    return best

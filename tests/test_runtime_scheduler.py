@@ -5,11 +5,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from allocation_oracle import brute_force_allocation
+
 from repro.runtime import (
     SchedulingError,
     StatisticsCollector,
     allocate_tiles,
-    brute_force_allocation,
 )
 
 
