@@ -7,7 +7,13 @@ numbers to watch when optimizing the NumPy engine.
 import numpy as np
 
 import repro.nn.functional as F
-from repro.compression import CompressionPipeline, rle_decode, rle_encode
+from repro.compression import (
+    CompressionPipeline,
+    pack_levels,
+    rle_decode,
+    rle_encode,
+    unpack,
+)
 from repro.models import vgg_mini
 from repro.nn import Tensor
 from repro.partition import TileGrid, fdsp_forward
@@ -56,6 +62,25 @@ def test_rle_roundtrip(benchmark):
     levels = np.zeros(50_000, dtype=np.int64)
     levels[RNG.choice(50_000, 2500, replace=False)] = RNG.integers(1, 16, 2500)
     benchmark(lambda: rle_decode(rle_encode(levels)))
+
+
+def test_packed_encode_sparse(benchmark):
+    """Levels -> one contiguous wire buffer (the shm-transport hot path)."""
+    levels = np.zeros(200_000, dtype=np.int64)
+    levels[RNG.choice(200_000, 5000, replace=False)] = RNG.integers(1, 16, 5000)
+    benchmark(lambda: pack_levels(levels))
+
+
+def test_packed_roundtrip(benchmark):
+    levels = np.zeros(50_000, dtype=np.int64)
+    levels[RNG.choice(50_000, 2500, replace=False)] = RNG.integers(1, 16, 2500)
+    benchmark(lambda: unpack(pack_levels(levels)))
+
+
+def test_compression_pipeline_packed(benchmark):
+    pipe = CompressionPipeline(lower=0.2, upper=2.0, bits=4)
+    x = np.maximum(RNG.normal(loc=-1.0, size=(64, 24, 24)), 0).astype(np.float32)
+    benchmark(lambda: pipe.decompress(pipe.compress_packed(x)))
 
 
 def test_compression_pipeline(benchmark):

@@ -1,0 +1,135 @@
+"""A/B benchmarks for the tile transport and wire codec (ISSUE 3).
+
+Two comparisons, both asserted (so CI's perf-smoke job fails on
+regression), both also timed with pytest-benchmark for trend tracking:
+
+- **codec**: packed byte-level encode (``pack_levels``) vs the tuple-based
+  ``rle_encode`` on the same quantized activations — the packed codec must
+  not be slower, and its serialized size must be >= 5x smaller than the
+  pickled :class:`RLEStream` a result message used to carry.
+- **transport**: end-to-end ``ProcessCluster.infer`` latency on the
+  vgg_mini FDSP workload over ``transport="shm"`` vs ``"pickle"`` — shm
+  must not regress the median latency beyond noise.
+"""
+
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.compression import CompressionPipeline, pack_levels, rle_encode, unpack
+from repro.models import vgg_mini
+from repro.partition import TileGrid
+from repro.runtime import ProcessCluster, ProcessClusterConfig, TileResult
+from repro.runtime.process_backend import _shm_available
+from repro.runtime.shm_arena import ShmRef
+
+RNG = np.random.default_rng(7)
+
+needs_shm = pytest.mark.skipif(not _shm_available(), reason="POSIX shared memory unavailable")
+
+
+def activations():
+    """A realistic separable-stack output: post-ReLU, ~70% sparse."""
+    return np.maximum(RNG.normal(loc=-1.0, size=(64, 24, 24)), 0).astype(np.float32)
+
+
+def quantized_levels():
+    pipe = CompressionPipeline(bits=4)
+    return pipe.quantizer.quantize(pipe.clip(activations()))
+
+
+# ------------------------------------------------------------------- codec
+def test_packed_encode_not_slower_than_tuple(benchmark):
+    """CI gate: the packed codec must beat (or match) the tuple codec."""
+    levels = quantized_levels()
+
+    def timed(fn, repeats=20):
+        fn()
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            fn()
+        return (time.perf_counter() - t0) / repeats
+
+    t_tuple = timed(lambda: rle_encode(levels))
+    t_packed = timed(lambda: pack_levels(levels))
+    assert t_packed <= t_tuple * 1.10, (
+        f"packed encode ({t_packed * 1e3:.3f} ms) slower than "
+        f"tuple encode ({t_tuple * 1e3:.3f} ms)"
+    )
+    benchmark(lambda: pack_levels(levels))
+
+
+def test_tuple_encode_baseline(benchmark):
+    levels = quantized_levels()
+    benchmark(lambda: rle_encode(levels))
+
+
+def test_packed_decode(benchmark):
+    packed = pack_levels(quantized_levels())
+    benchmark(lambda: unpack(packed))
+
+
+def test_result_ipc_bytes_reduction():
+    """Acceptance: >= 5x fewer per-tile-result IPC bytes than the pickled
+    RLEStream payload — for the packed buffer alone AND for the shm
+    descriptor that actually rides the queue."""
+    pipe = CompressionPipeline(bits=4)
+    x = activations()
+    pickled_tuple = len(pickle.dumps(TileResult(0, 0, pipe.compress(x), 0)))
+    pt = pipe.compress_packed(x)
+    assert pickled_tuple >= 5 * pt.packed.nbytes, (
+        f"packed buffer {pt.packed.nbytes} B vs pickled stream {pickled_tuple} B"
+    )
+    ref = ShmRef(name="psm_abcdef00", nbytes=pt.packed.nbytes, kind="packed", raw_bits=pt.raw_bits)
+    pickled_descriptor = len(pickle.dumps(TileResult(0, 0, ref, 0)))
+    assert pickled_tuple >= 5 * pickled_descriptor, (
+        f"descriptor message {pickled_descriptor} B vs pickled stream {pickled_tuple} B"
+    )
+
+
+# --------------------------------------------------------------- transport
+def _infer_latency(transport: str, n_images: int = 4) -> float:
+    model = vgg_mini(num_classes=3, input_size=24, base_width=6, separable_prefix=2).eval()
+    imgs = [RNG.normal(size=(1, 3, 24, 24)).astype(np.float32) for _ in range(n_images)]
+    cfg = ProcessClusterConfig(num_workers=2, transport=transport)
+    with ProcessCluster(model, TileGrid(2, 2), CompressionPipeline(bits=4), cfg) as cluster:
+        cluster.infer(imgs[0])  # warm-up: fork, arenas, first grants
+        laps = []
+        for img in imgs:
+            t0 = time.perf_counter()
+            cluster.infer(img)
+            laps.append(time.perf_counter() - t0)
+    return float(np.median(laps))
+
+
+@needs_shm
+def test_shm_transport_no_latency_regression():
+    """Acceptance: shm transport does not regress e2e infer latency on the
+    vgg_mini FDSP workload (generous 1.5x noise bound — queue scheduling
+    on a loaded CI box is jittery)."""
+    t_pickle = _infer_latency("pickle")
+    t_shm = _infer_latency("shm")
+    assert t_shm <= t_pickle * 1.5, (
+        f"shm transport {t_shm * 1e3:.1f} ms vs pickle {t_pickle * 1e3:.1f} ms"
+    )
+
+
+@needs_shm
+def test_infer_shm(benchmark):
+    model = vgg_mini(num_classes=3, input_size=24, base_width=6, separable_prefix=2).eval()
+    img = RNG.normal(size=(1, 3, 24, 24)).astype(np.float32)
+    cfg = ProcessClusterConfig(num_workers=2, transport="shm")
+    with ProcessCluster(model, TileGrid(2, 2), CompressionPipeline(bits=4), cfg) as cluster:
+        cluster.infer(img)
+        benchmark(lambda: cluster.infer(img))
+
+
+def test_infer_pickle(benchmark):
+    model = vgg_mini(num_classes=3, input_size=24, base_width=6, separable_prefix=2).eval()
+    img = RNG.normal(size=(1, 3, 24, 24)).astype(np.float32)
+    cfg = ProcessClusterConfig(num_workers=2, transport="pickle")
+    with ProcessCluster(model, TileGrid(2, 2), CompressionPipeline(bits=4), cfg) as cluster:
+        cluster.infer(img)
+        benchmark(lambda: cluster.infer(img))

@@ -1,8 +1,16 @@
-"""Communication compression of §4: clipped ReLU + quantization + RLE."""
+"""Communication compression of §4: clipped ReLU + quantization + RLE.
 
-from .pipeline import CompressedTensor, CompressionPipeline, sparsity
+Two codecs share one token model: the tuple-based :class:`RLEStream`
+(exact accounting, easy to inspect) and the packed byte-level wire format
+in :mod:`repro.compression.wire` (one contiguous ``uint8`` buffer — what
+actually crosses a transport).  ``payload_bits`` of the packed form equals
+``encoded_bits`` of the tuple form exactly.
+"""
+
+from .pipeline import CompressedTensor, CompressionPipeline, PackedTensor, sparsity
 from .quantize import UniformQuantizer
 from .rle import RLEStream, rle_decode, rle_encode, rle_encoded_bits
+from .wire import PackedStream, max_packed_nbytes, pack_levels, pack_stream, unpack
 
 __all__ = [
     "UniformQuantizer",
@@ -10,7 +18,13 @@ __all__ = [
     "rle_encode",
     "rle_decode",
     "rle_encoded_bits",
+    "PackedStream",
+    "pack_levels",
+    "pack_stream",
+    "unpack",
+    "max_packed_nbytes",
     "CompressedTensor",
+    "PackedTensor",
     "CompressionPipeline",
     "sparsity",
 ]

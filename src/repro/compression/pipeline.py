@@ -17,8 +17,9 @@ import numpy as np
 
 from .quantize import UniformQuantizer
 from .rle import RLEStream, rle_decode, rle_encode
+from .wire import PackedStream, pack_levels, unpack
 
-__all__ = ["CompressedTensor", "CompressionPipeline", "sparsity"]
+__all__ = ["CompressedTensor", "PackedTensor", "CompressionPipeline", "sparsity"]
 
 
 def sparsity(x: np.ndarray) -> float:
@@ -60,6 +61,44 @@ class CompressedTensor:
         return self.stream.shape
 
 
+@dataclass(frozen=True)
+class PackedTensor:
+    """A compressed activation map serialized to real wire bytes.
+
+    The byte-level twin of :class:`CompressedTensor`: ``packed.buffer`` is
+    the single contiguous ``uint8`` buffer that actually crosses the
+    transport, so ``wire_bits`` is measured (``8 * nbytes``), not
+    accounted, while ``compressed_bits`` still reports the token-stream
+    size for Table 2 comparability.
+    """
+
+    packed: PackedStream
+    raw_bits: int
+
+    @property
+    def compressed_bits(self) -> int:
+        """Token-stream bits — equals the tuple codec's ``encoded_bits``."""
+        return self.packed.payload_bits
+
+    @property
+    def wire_bits(self) -> int:
+        """Actual bytes-on-the-wire size, header and padding included."""
+        return self.packed.wire_bits
+
+    @property
+    def ratio(self) -> float:
+        return self.compressed_bits / self.raw_bits if self.raw_bits else 0.0
+
+    @property
+    def wire_ratio(self) -> float:
+        """measured wire size / raw — the honest transport-level ratio."""
+        return self.wire_bits / self.raw_bits if self.raw_bits else 0.0
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.packed.shape
+
+
 class CompressionPipeline:
     """clipped ReLU + quantize + RLE, with exact bit accounting.
 
@@ -91,9 +130,37 @@ class CompressionPipeline:
         stream = rle_encode(levels, value_bits=self.quantizer.bits, run_bits=self.run_bits)
         return CompressedTensor(stream=stream, raw_bits=x.size * 32)
 
-    def decompress(self, ct: CompressedTensor) -> np.ndarray:
-        """Invert the wire encoding: RLE decode → dequantize (float32)."""
-        return self.quantizer.dequantize(rle_decode(ct.stream))
+    def compress_packed(self, x: np.ndarray) -> PackedTensor:
+        """Full pipeline straight to wire bytes: clip → quantize → pack.
+
+        Skips the tuple-based :class:`RLEStream` entirely; produces the
+        same levels (and the same ``compressed_bits``) as :meth:`compress`.
+        """
+        x = np.asarray(x, dtype=np.float32)
+        levels = self.quantizer.quantize(self.clip(x))
+        packed = pack_levels(levels, value_bits=self.quantizer.bits, run_bits=self.run_bits)
+        return PackedTensor(packed=packed, raw_bits=x.size * 32)
+
+    def decompress(self, ct) -> np.ndarray:
+        """Invert the wire encoding: decode → dequantize (float32).
+
+        Accepts a :class:`CompressedTensor`, a :class:`PackedTensor`, a
+        :class:`PackedStream`, or a raw packed buffer.
+        """
+        if isinstance(ct, CompressedTensor):
+            return self.quantizer.dequantize(rle_decode(ct.stream))
+        if isinstance(ct, PackedTensor):
+            return self.quantizer.dequantize(unpack(ct.packed))
+        return self.quantizer.dequantize(unpack(ct))
+
+    def measured_wire_bits(self, x: np.ndarray) -> int:
+        """Actual packed-buffer size (bits) for ``x`` on the wire.
+
+        Feed this to ``ADCNNWorkload.with_measured_output`` so the DES
+        prices result transfers with measured bytes instead of an assumed
+        compression ratio.
+        """
+        return self.compress_packed(x).wire_bits
 
     def apply(self, x: np.ndarray) -> np.ndarray:
         """What the Central node sees: compress then decompress."""

@@ -38,10 +38,20 @@ class UniformQuantizer:
     def step(self) -> float:
         return self.max_value / (self.num_levels - 1)
 
+    @property
+    def level_dtype(self) -> np.dtype:
+        """The pinned dtype of level indices at the quantizer boundary.
+
+        ``np.rint`` yields float64 (or int64 on integer input); without an
+        explicit pin the levels could silently widen downstream — the
+        packed nibble codec depends on uint8 levels for ``bits <= 8``.
+        """
+        return np.dtype(np.uint8) if self.bits <= 8 else np.dtype(np.uint16)
+
     def quantize(self, x: np.ndarray) -> np.ndarray:
-        """Float array -> level indices (uint16; uint8-safe for bits <= 8)."""
+        """Float array -> level indices (uint8 for bits <= 8, else uint16)."""
         levels = np.clip(np.rint(np.asarray(x) / self.step), 0, self.num_levels - 1)
-        return levels.astype(np.uint16)
+        return levels.astype(self.level_dtype)
 
     def dequantize(self, levels: np.ndarray) -> np.ndarray:
         """Level indices -> float32 values."""

@@ -6,9 +6,13 @@ The wire format is a token stream over flattened level indices:
   1 .. 2**run_bits zeros (longer runs are split);
 - **literal token**: 1 flag bit + ``value_bits`` level index (non-zero).
 
-Encoding is lossless over level indices and fully vectorized (run
-boundaries via ``np.diff`` on the zero mask — no Python loop over
-elements, only over *runs*).
+Encoding is lossless over level indices and vectorized end to end: run
+boundaries come from ``np.diff`` on the zero mask, counter-cap splitting
+and literal slicing are array ops, and the remaining Python work is a
+single list interleave over precomputed entries.  The *byte-level*
+serialization of this token stream lives in
+:mod:`repro.compression.wire` (``pack_levels`` / ``unpack``), whose
+``payload_bits`` equals :attr:`RLEStream.encoded_bits` exactly.
 """
 
 from __future__ import annotations
@@ -74,35 +78,65 @@ def rle_encode(levels: np.ndarray, value_bits: int = 4, run_bits: int = 8) -> RL
     runs: list[tuple[bool, object]] = []
     if flat.size:
         zero = flat == 0
+        vals = flat.astype(np.uint16, copy=False)  # one cast; entries are views
         # Indices where the zero/non-zero state flips.
         change = np.flatnonzero(np.diff(zero)) + 1
         starts = np.concatenate(([0], change))
         ends = np.concatenate((change, [flat.size]))
-        for s, e in zip(starts, ends):
-            if zero[s]:
-                # Split at the counter capacity: one token encodes at most
-                # 2**run_bits zeros, so a longer run becomes several tokens.
-                n = int(e - s)
-                while n > 0:
-                    chunk = min(n, max_run)
-                    runs.append((True, chunk))
-                    n -= chunk
-            else:
-                runs.append((False, flat[s:e].astype(np.uint16)))
+        zmask = zero[starts]
+        # Zero segments, split at the counter capacity: one token encodes at
+        # most 2**run_bits zeros, so a longer run becomes several chunks.
+        zstarts = starts[zmask]
+        zlens = (ends - starts)[zmask]
+        n_chunks = -(-zlens // max_run)
+        total_z = int(n_chunks.sum())
+        chunk_lens = np.full(total_z, max_run, dtype=np.int64)
+        if total_z:
+            first = np.cumsum(n_chunks) - n_chunks
+            chunk_lens[first + n_chunks - 1] = zlens - (n_chunks - 1) * max_run
+            chunk_idx = np.arange(total_z) - np.repeat(first, n_chunks)
+            chunk_starts = np.repeat(zstarts, n_chunks) + chunk_idx * max_run
+        else:
+            chunk_starts = np.zeros(0, dtype=np.int64)
+        zero_entries = [(True, n) for n in chunk_lens.tolist()]
+        lit_entries = [
+            (False, vals[s:e])
+            for s, e in zip(starts[~zmask].tolist(), ends[~zmask].tolist())
+        ]
+        # Interleave chunks and literal stretches back into position order.
+        order = np.argsort(
+            np.concatenate((chunk_starts, starts[~zmask])), kind="stable"
+        )
+        entries = zero_entries + lit_entries
+        runs = [entries[i] for i in order.tolist()]
     return RLEStream(tuple(levels.shape), tuple(runs), value_bits, run_bits)
 
 
 def rle_decode(stream: RLEStream) -> np.ndarray:
-    """Decode back to the original level array (uint16)."""
-    parts: list[np.ndarray] = []
+    """Decode back to the original level array (uint16).
+
+    Fills one preallocated output: zero runs only advance the cursor (the
+    buffer starts zeroed) and literal stretches are written in place — no
+    per-run chunk materialization or concatenation.
+    """
+    total = stream.num_elements
+    flat = np.zeros(total, dtype=np.uint16)
+    pos = 0
     for is_zero, payload in stream.runs:
         if is_zero:
-            parts.append(np.zeros(int(payload), dtype=np.uint16))
+            pos += int(payload)
         else:
-            parts.append(np.asarray(payload, dtype=np.uint16))
-    flat = np.concatenate(parts) if parts else np.zeros(0, dtype=np.uint16)
-    if flat.size != stream.num_elements:
-        raise ValueError(f"corrupt stream: {flat.size} elements for shape {stream.shape}")
+            arr = np.asarray(payload, dtype=np.uint16).reshape(-1)
+            end = pos + arr.size
+            if end > total:
+                break  # overflow: fall through to the size check below
+            flat[pos:end] = arr
+            pos = end
+    if pos != total:
+        decoded = sum(
+            int(p) if z else np.asarray(p).size for z, p in stream.runs
+        )
+        raise ValueError(f"corrupt stream: {decoded} elements for shape {stream.shape}")
     return flat.reshape(stream.shape)
 
 

@@ -1,9 +1,10 @@
 """ADCNN runtime (§6): scheduling algorithms, DES system, process cluster."""
 
 from .deployment import ADCNNDeployment
-from .messages import LOCAL_WORKER, Shutdown, TileResult, TileTask, drain_queue
+from .messages import LOCAL_WORKER, ArenaGrant, Shutdown, TileResult, TileTask, drain_queue
 from .process_backend import InferenceOutcome, ProcessCluster, ProcessClusterConfig
 from .scheduler import SchedulingError, StatisticsCollector, allocate_tiles
+from .shm_arena import ShmRef, SlotArena
 from .system import ADCNNConfig, ADCNNSystem, ImageRecord, MediumQueue
 from .workload import ADCNNWorkload
 from .zero_fill import accuracy_under_tile_loss, forward_with_missing_tiles
@@ -20,6 +21,9 @@ __all__ = [
     "TileTask",
     "TileResult",
     "Shutdown",
+    "ArenaGrant",
+    "ShmRef",
+    "SlotArena",
     "LOCAL_WORKER",
     "drain_queue",
     "ProcessCluster",

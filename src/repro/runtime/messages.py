@@ -22,7 +22,9 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["TileTask", "TileResult", "Shutdown", "LOCAL_WORKER", "drain_queue"]
+from .shm_arena import ShmRef
+
+__all__ = ["TileTask", "TileResult", "Shutdown", "ArenaGrant", "LOCAL_WORKER", "drain_queue"]
 
 #: Sentinel worker id for tiles the Central node computed itself (graceful
 #: degradation when no Conv node can accept work).
@@ -33,6 +35,13 @@ LOCAL_WORKER = -1
 class TileTask:
     """An input tile dispatched to a Conv node.
 
+    The tile data travels one of two ways: inline (``tile`` is the ndarray,
+    pickled with the message — the legacy ``transport="pickle"`` path) or
+    by reference (``tile is None`` and ``slot`` names a shared-memory slot
+    the Central node wrote — ``transport="shm"``, where the queue carries
+    only this small descriptor and the worker computes from a zero-copy
+    view of the slot).
+
     ``probe`` marks a recovery-probe tile: a single tile handed to a node
     whose ``s_k`` statistic has decayed to zero so it can demonstrate it is
     healthy again.  Workers treat probes exactly like normal tasks.
@@ -40,12 +49,15 @@ class TileTask:
 
     image_id: int
     tile_id: int
-    tile: np.ndarray
+    tile: np.ndarray | None = None
     probe: bool = False
+    slot: ShmRef | None = None
 
     def __post_init__(self) -> None:
         if self.image_id < 0 or self.tile_id < 0:
             raise ValueError("ids must be non-negative")
+        if self.tile is None and self.slot is None:
+            raise ValueError("a task needs either an inline tile or a slot descriptor")
 
 
 def drain_queue(q, retries: int = 2, retry_delay: float = 0.01) -> list[TileTask]:
@@ -100,6 +112,22 @@ class TileResult:
     compress_seconds: float = 0.0
     t_start: float = 0.0
     t_end: float = 0.0
+
+
+@dataclass(frozen=True)
+class ArenaGrant:
+    """Control message granting a worker its result-slot ring.
+
+    Sent through the task queue before any :class:`TileTask` that expects
+    shared-memory results: ``slot_names`` are Central-created segments the
+    worker cycles through (``cursor % len(slot_names)``), gated by a
+    fork-inherited semaphore of the same size.  A respawned worker gets a
+    fresh grant (fresh ring + fresh semaphore), mirroring the fresh-queue
+    respawn rule.
+    """
+
+    slot_names: tuple[str, ...]
+    slot_nbytes: int
 
 
 @dataclass(frozen=True)

@@ -35,12 +35,13 @@ from __future__ import annotations
 import multiprocessing as mp
 import queue as queue_mod
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from multiprocessing import shared_memory
 
 import numpy as np
 
 import repro.nn as nn
-from repro.compression import CompressionPipeline
+from repro.compression import CompressionPipeline, PackedStream, PackedTensor, max_packed_nbytes
 from repro.models.blocks import PartitionableCNN
 from repro.nn import Tensor
 from repro.partition.geometry import grid_for_model, reassemble_array, split_array
@@ -55,10 +56,54 @@ from repro.telemetry import (
     NullRecorder,
 )
 
-from .messages import LOCAL_WORKER, Shutdown, TileResult, TileTask, drain_queue
+from .messages import LOCAL_WORKER, ArenaGrant, Shutdown, TileResult, TileTask, drain_queue
 from .scheduler import SchedulingError, StatisticsCollector, allocate_tiles
+from .shm_arena import (
+    ShmRef,
+    SlotArena,
+    attach_array,
+    close_attachments,
+    write_array,
+    write_bytes,
+)
 
 __all__ = ["ProcessClusterConfig", "InferenceOutcome", "ProcessCluster"]
+
+#: Transport modes: ``"shm"`` ships tile data through shared-memory slots
+#: (queues carry only descriptors); ``"pickle"`` is the legacy path where
+#: every tile/result is pickled whole through the queue.
+TRANSPORTS = ("shm", "pickle")
+
+
+def _stage_result(payload, grant, attachments, result_sem, cursor):
+    """Move a result's bytes into the worker's slot ring, if possible.
+
+    Returns ``(payload_or_descriptor, cursor)``.  Falls back to the inline
+    (pickled) payload when the ring is full, the bytes outgrow the slot, or
+    the arena has vanished — correctness never depends on slot capacity.
+    """
+    if isinstance(payload, PackedTensor):
+        data, raw_bits = payload.packed.buffer, payload.raw_bits
+    else:
+        data, raw_bits = np.ascontiguousarray(payload), 0
+    if data.nbytes > grant.slot_nbytes:
+        return payload, cursor
+    if not result_sem.acquire(timeout=0.25):
+        return payload, cursor  # central is slow to drain; ship inline
+    name = grant.slot_names[cursor % len(grant.slot_names)]
+    try:
+        shm = attachments.get(name)
+        if shm is None:
+            shm = shared_memory.SharedMemory(name=name)
+            attachments[name] = shm
+        if isinstance(payload, PackedTensor):
+            ref = write_bytes(shm, data, raw_bits=raw_bits)
+        else:
+            ref = write_array(shm, data)
+    except Exception:
+        result_sem.release()
+        return payload, cursor
+    return ref, cursor + 1
 
 
 def _worker_loop(
@@ -68,34 +113,78 @@ def _worker_loop(
     task_queue: mp.Queue,
     result_queue: mp.Queue,
     delay_per_tile: float,
+    result_sem=None,
 ) -> None:
-    """Conv-node main loop (runs in a forked child process)."""
+    """Conv-node main loop (runs in a forked child process).
+
+    Input tiles arrive either inline or as shared-memory descriptors (the
+    worker computes straight from a zero-copy view of the slot).  Results
+    go back through the worker's granted slot ring when one is available,
+    as packed codec bytes (pipeline on) or a raw array (pipeline off).
+    """
     separable.eval()
-    while True:
-        msg = task_queue.get()
-        if isinstance(msg, Shutdown):
-            break
-        assert isinstance(msg, TileTask)
-        t_start = time.perf_counter()
-        if delay_per_tile > 0:
-            time.sleep(delay_per_tile)  # emulated slow device (cpulimit stand-in)
-        with nn.no_grad():
-            out = separable(Tensor(msg.tile)).data
-        t_forward = time.perf_counter()
-        payload = pipeline.compress(out) if pipeline is not None else out
-        t_end = time.perf_counter()
-        result_queue.put(
-            TileResult(
-                image_id=msg.image_id,
-                tile_id=msg.tile_id,
-                payload=payload,
-                worker=worker_id,
-                compute_seconds=t_end - t_start,
-                compress_seconds=t_end - t_forward,
-                t_start=t_start,
-                t_end=t_end,
+    attachments: dict[str, shared_memory.SharedMemory] = {}
+    grant: ArenaGrant | None = None
+    cursor = 0
+    try:
+        while True:
+            msg = task_queue.get()
+            if isinstance(msg, Shutdown):
+                break
+            if isinstance(msg, ArenaGrant):
+                grant, cursor = msg, 0
+                continue
+            assert isinstance(msg, TileTask)
+            t_start = time.perf_counter()
+            if delay_per_tile > 0:
+                time.sleep(delay_per_tile)  # emulated slow device (cpulimit stand-in)
+            if msg.tile is not None:
+                tile = msg.tile
+            else:
+                try:
+                    tile = attach_array(attachments, msg.slot)
+                except FileNotFoundError:
+                    continue  # slot unlinked under us (shutdown race): drop the task
+            with nn.no_grad():
+                out = separable(Tensor(tile)).data
+            t_forward = time.perf_counter()
+            if pipeline is not None:
+                # With a slot ring granted, serialize to real wire bytes;
+                # otherwise the legacy tuple codec rides the pickle channel.
+                payload = (
+                    pipeline.compress_packed(out) if grant is not None else pipeline.compress(out)
+                )
+            else:
+                payload = out
+            if grant is not None and result_sem is not None:
+                payload, cursor = _stage_result(payload, grant, attachments, result_sem, cursor)
+            t_end = time.perf_counter()
+            result_queue.put(
+                TileResult(
+                    image_id=msg.image_id,
+                    tile_id=msg.tile_id,
+                    payload=payload,
+                    worker=worker_id,
+                    compute_seconds=t_end - t_start,
+                    compress_seconds=t_end - t_forward,
+                    t_start=t_start,
+                    t_end=t_end,
+                )
             )
-        )
+    finally:
+        close_attachments(attachments)
+
+
+def _shm_available() -> bool:
+    """Probe POSIX shared memory once so ``transport="shm"`` can degrade
+    to pickle where /dev/shm is absent (some containers/sandboxes)."""
+    try:
+        probe = shared_memory.SharedMemory(create=True, size=1)
+        probe.close()
+        probe.unlink()
+        return True
+    except Exception:
+        return False
 
 
 def _rate_credits(
@@ -136,10 +225,24 @@ class ProcessClusterConfig:
     restart_backoff_cap: float = 5.0
     probe_interval: int = 0        # images between recovery probes (0 = off)
     poll_interval: float = 0.05    # liveness-check cadence in the collect loop
+    #: Tile transport: ``"shm"`` (default) moves tile bytes through a
+    #: pre-allocated shared-memory slot arena and ships only descriptors
+    #: over the queues, falling back to ``"pickle"`` automatically where
+    #: POSIX shared memory is unavailable; ``"pickle"`` forces the legacy
+    #: pickled-ndarray path.
+    transport: str = "shm"
+    shm_slots: int = 0             # task-tile slots (0 = auto-size at first dispatch)
+    result_slots_per_worker: int = 4
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
             raise ValueError("need at least one worker")
+        if self.transport not in TRANSPORTS:
+            raise ValueError(f"transport must be one of {TRANSPORTS}, got {self.transport!r}")
+        if self.shm_slots < 0:
+            raise ValueError("shm_slots cannot be negative")
+        if self.result_slots_per_worker < 1:
+            raise ValueError("need at least one result slot per worker")
         if self.t_limit <= 0:
             raise ValueError("t_limit must be positive")
         if self.delay_per_tile and len(self.delay_per_tile) != self.num_workers:
@@ -219,6 +322,10 @@ class ProcessCluster:
         self._known_dead: set[int] = set()
         self._restart_counts: list[int] = []
         self._restart_at: list[float | None] = []
+        self._transport = self.config.transport
+        self._task_arena: SlotArena | None = None
+        self._result_arenas: list[SlotArena | None] = []
+        self._result_sems: list = []
 
     # -------------------------------------------------------------- lifecycle
     def start(self) -> "ProcessCluster":
@@ -230,13 +337,30 @@ class ProcessCluster:
         self._known_dead = set()
         self._restart_counts = [0] * self.config.num_workers
         self._restart_at = [None] * self.config.num_workers
+        self._transport = self.config.transport
+        if self._transport == "shm" and not _shm_available():
+            self._transport = "pickle"  # e.g. no /dev/shm in the sandbox
+        self._task_arena = None
+        self._result_arenas = [None] * self.config.num_workers
+        self._result_sems = [None] * self.config.num_workers
         for wid in range(self.config.num_workers):
             self._task_queues.append(self._ctx.Queue())
             self._result_queues.append(self._ctx.Queue())
             self._procs.append(self._spawn(wid))
         return self
 
+    @property
+    def transport(self) -> str:
+        """Effective transport after the availability probe in :meth:`start`."""
+        return self._transport
+
     def _spawn(self, worker_id: int) -> mp.Process:
+        # The result-ring semaphore must exist before fork so the child
+        # inherits it (mp.Semaphore cannot cross a queue).
+        if self._transport == "shm":
+            self._result_sems[worker_id] = self._ctx.Semaphore(
+                self.config.result_slots_per_worker
+            )
         proc = self._ctx.Process(
             target=_worker_loop,
             args=(
@@ -246,6 +370,7 @@ class ProcessCluster:
                 self._task_queues[worker_id],
                 self._result_queues[worker_id],
                 self._delays[worker_id],
+                self._result_sems[worker_id],
             ),
             daemon=True,
         )
@@ -267,6 +392,16 @@ class ProcessCluster:
         self._task_queues.clear()
         self._result_queues.clear()
         self._known_dead.clear()
+        # The Central process created every segment, so it unlinks every
+        # segment — exactly once, after all workers are gone.
+        if self._task_arena is not None:
+            self._task_arena.destroy()
+            self._task_arena = None
+        for arena in self._result_arenas:
+            if arena is not None:
+                arena.destroy()
+        self._result_arenas = [None] * self.config.num_workers
+        self._result_sems = [None] * self.config.num_workers
 
     def kill_worker(self, worker_id: int) -> None:
         """Fail-stop a Conv node mid-run (fault-injection for tests)."""
@@ -329,6 +464,15 @@ class ProcessCluster:
         # central assignment map, never the queue contents.
         self._task_queues[worker_id] = self._ctx.Queue()
         self._result_queues[worker_id] = self._ctx.Queue()
+        # Fresh result ring + fresh semaphore, for the same reason as the
+        # fresh queues: the dead incarnation may have died holding a permit,
+        # and its unread slot contents are unrecoverable anyway (the old
+        # result queue was just dropped).  The old segments are unlinked
+        # here; in-flight descriptors pointing at them lived only in the
+        # dropped queue, so nothing can still dereference them.
+        if self._result_arenas[worker_id] is not None:
+            self._result_arenas[worker_id].destroy()
+            self._result_arenas[worker_id] = None
         self._procs[worker_id] = self._spawn(worker_id)
         self._restart_counts[worker_id] += 1
         self._restart_at[worker_id] = None
@@ -367,12 +511,14 @@ class ProcessCluster:
             targets: list[int] = []
             for wid, count in enumerate(extra):
                 targets.extend([wid] * int(count))
+            for wid in set(targets):
+                self._ensure_result_grant(wid, st["tiles"][0])
             for tid, new_wid in zip(pending, targets):
                 if self.telemetry.enabled:
                     st["enqueue_ts"][tid] = time.perf_counter()
-                self._task_queues[new_wid].put(
-                    TileTask(image_id, tid, np.ascontiguousarray(st["tiles"][tid]))
-                )
+                # A re-dispatched tile's slot data is still valid, so the
+                # re-queued task re-ships only the descriptor.
+                self._task_queues[new_wid].put(self._make_task(st, image_id, tid))
                 st["assignment"][tid] = new_wid
                 st["allocation"][dead_wid] -= 1
                 st["allocation"][new_wid] += 1
@@ -383,6 +529,113 @@ class ProcessCluster:
         with nn.no_grad():
             out = self._separable(Tensor(np.ascontiguousarray(tile))).data
         return self.pipeline.compress(out) if self.pipeline is not None else out
+
+    # --------------------------------------------------------- shm transport
+    def _ensure_task_arena(self, tiles: list[np.ndarray], depth: int) -> None:
+        """Lazily size the task-slot arena off the first dispatched image."""
+        if self._transport != "shm" or self._task_arena is not None:
+            return
+        num = self.config.shm_slots or max(2 * len(tiles), len(tiles) * depth)
+        try:
+            self._task_arena = SlotArena(num, max(t.nbytes for t in tiles))
+        except Exception:
+            self._transport = "pickle"  # arena creation failed: degrade for good
+
+    def _ensure_result_grant(self, wid: int, sample_tile: np.ndarray) -> None:
+        """Create a worker's result ring and send its :class:`ArenaGrant`.
+
+        Slots are sized for the worst case — the raw float32 output or the
+        packed codec's :func:`max_packed_nbytes` bound, whichever is larger
+        — so a fallback to inline payloads only happens under back-pressure,
+        never because a well-formed result cannot fit.
+        """
+        if self._transport != "shm" or self._result_arenas[wid] is not None:
+            return
+        if self._result_sems[wid] is None:
+            return  # spawned before shm was enabled; inline results only
+        out_shape = self._tile_output_shape(sample_tile)
+        n_out = int(np.prod(out_shape))
+        nbytes = n_out * 4
+        if self.pipeline is not None:
+            nbytes = max(
+                nbytes,
+                max_packed_nbytes(
+                    n_out, len(out_shape), self.pipeline.bits, self.pipeline.run_bits
+                ),
+            )
+        try:
+            arena = SlotArena(self.config.result_slots_per_worker, nbytes)
+        except Exception:
+            self._transport = "pickle"
+            return
+        self._result_arenas[wid] = arena
+        self._task_queues[wid].put(ArenaGrant(arena.names, arena.slot_nbytes))
+
+    def _make_task(self, st: dict, image_id: int, tile_id: int, probe: bool = False) -> TileTask:
+        """Build a task message: slot descriptor when possible, else inline.
+
+        A tile keeps its slot across fault re-dispatch — the data is still
+        valid, so a re-queued task re-ships only the (tiny) descriptor.
+        """
+        tile = st["tiles"][tile_id]
+        if self._transport == "shm" and self._task_arena is not None:
+            ref = st["task_refs"].get(tile_id)
+            if ref is None and tile.nbytes <= self._task_arena.slot_nbytes:
+                slot = self._task_arena.acquire()
+                if slot is not None:
+                    ref = write_array(slot, tile)
+                    st["task_slots"][tile_id] = slot
+                    st["task_refs"][tile_id] = ref
+            if ref is not None:
+                return TileTask(image_id, tile_id, probe=probe, slot=ref)
+        return TileTask(image_id, tile_id, np.ascontiguousarray(tile), probe=probe)
+
+    def _release_task_slot(self, st: dict, tile_id: int) -> None:
+        slot = st["task_slots"].pop(tile_id, None)
+        if slot is not None and self._task_arena is not None:
+            self._task_arena.release(slot)
+
+    def _release_image_slots(self, st: dict) -> None:
+        """Reclaim every task slot an image still holds (finalize time)."""
+        if self._task_arena is not None:
+            for slot in st["task_slots"].values():
+                self._task_arena.release(slot)
+        st["task_slots"].clear()
+        st["task_refs"].clear()
+
+    def _materialize_result(self, res: TileResult) -> TileResult | None:
+        """Copy a shared-memory result out of its slot and free the slot.
+
+        Returns the result with its payload replaced by the materialized
+        object (:class:`PackedTensor` or ndarray), or ``None`` when the
+        descriptor points at a ring that no longer exists (a result from a
+        replaced worker incarnation — its tile was already re-dispatched).
+        """
+        payload = res.payload
+        if not isinstance(payload, ShmRef):
+            return res
+        wid = res.worker
+        arena = self._result_arenas[wid] if 0 <= wid < self.config.num_workers else None
+        slot = arena.get(payload.name) if arena is not None else None
+        if slot is None:
+            return None  # stale incarnation: do NOT touch the current semaphore
+        try:
+            if payload.kind == "packed":
+                buf = np.frombuffer(slot.buf, dtype=np.uint8, count=payload.nbytes).copy()
+                obj = PackedTensor(PackedStream.from_buffer(buf), raw_bits=payload.raw_bits)
+            else:
+                obj = np.ndarray(
+                    payload.shape, dtype=np.dtype(payload.dtype), buffer=slot.buf
+                ).copy()
+        except Exception:
+            obj = None
+        finally:
+            # Release only after the copy: the worker may reuse the slot
+            # the moment the permit returns.
+            sem = self._result_sems[wid]
+            if sem is not None:
+                sem.release()
+        return None if obj is None else replace(res, payload=obj)
 
     # -------------------------------------------------------------- inference
     def infer(self, image: np.ndarray) -> InferenceOutcome:
@@ -423,6 +676,7 @@ class ProcessCluster:
             self._image_counter += 1
             t_partition = time.perf_counter()
             tiles = split_array(images[idx], self.grid)
+            self._ensure_task_arena(tiles, pipeline_depth)
             allocation, probe_workers = self._plan_allocation(len(tiles))
             start = time.perf_counter()
             if tel.enabled:
@@ -446,6 +700,8 @@ class ProcessCluster:
                 "busy": np.zeros(self.config.num_workers),
                 "wall": np.zeros(self.config.num_workers),
                 "local": [],
+                "task_slots": {},
+                "task_refs": {},
                 "enqueue_ts": {},
                 "deadline": time.monotonic() + self.config.t_limit,
                 "collect_start": time.monotonic(),
@@ -466,17 +722,14 @@ class ProcessCluster:
             assignments: list[int] = []
             for wid, count in enumerate(allocation):
                 assignments.extend([wid] * int(count))
+                if count > 0:
+                    self._ensure_result_grant(wid, tiles[0])
             for tile_id, wid in enumerate(assignments):
                 st["assignment"][tile_id] = wid
                 if tel.enabled:
                     st["enqueue_ts"][tile_id] = time.perf_counter()
                 self._task_queues[wid].put(
-                    TileTask(
-                        image_id,
-                        tile_id,
-                        np.ascontiguousarray(tiles[tile_id]),
-                        probe=wid in probe_workers,
-                    )
+                    self._make_task(st, image_id, tile_id, probe=wid in probe_workers)
                 )
             if tel.enabled:
                 for wid, count in enumerate(allocation):
@@ -489,6 +742,11 @@ class ProcessCluster:
 
         def finalize(image_id: int) -> None:
             st = inflight.pop(image_id)
+            # Reclaim task slots still held (deadline-missed tiles keep
+            # theirs until now).  A straggler worker may later read a
+            # recycled slot and return garbage — harmless, because its
+            # result carries this (now-retired) image_id and gets dropped.
+            self._release_image_slots(st)
             window = max(time.monotonic() - st["collect_start"], 1e-6)
             self._stats.update(
                 _rate_credits(st["received"], st["allocation"], st["busy"], window, len(st["tiles"]))
@@ -512,7 +770,12 @@ class ProcessCluster:
                 tel.span(STAGE_CENTRAL, t_rest, t_done - t_rest, node="central", image_id=image_id)
                 for res in st["results"].values():
                     payload = res.payload
-                    if hasattr(payload, "compressed_bits") and hasattr(payload, "raw_bits"):
+                    # wire_bits first: a PackedTensor has both, and its
+                    # measured buffer length is the honest wire count.
+                    if hasattr(payload, "wire_bits") and hasattr(payload, "raw_bits"):
+                        tel.count("adcnn_bits_wire_total", payload.wire_bits, direction="down")
+                        tel.count("adcnn_bits_raw_total", payload.raw_bits, direction="down")
+                    elif hasattr(payload, "compressed_bits") and hasattr(payload, "raw_bits"):
                         tel.count("adcnn_bits_wire_total", payload.compressed_bits, direction="down")
                         tel.count("adcnn_bits_raw_total", payload.raw_bits, direction="down")
                     elif hasattr(payload, "nbytes"):
@@ -566,10 +829,17 @@ class ProcessCluster:
                     break
                 got = True
                 recv = time.perf_counter() if tel.enabled else 0.0
+                # Materialize BEFORE any accept/drop decision: even a result
+                # we end up dropping must have its semaphore permit returned,
+                # or the worker's ring shrinks by one slot forever.
+                res = self._materialize_result(res)
+                if res is None:
+                    continue  # descriptor from a replaced worker incarnation
                 target = inflight.get(res.image_id)
                 if target is None or res.tile_id in target["results"]:
                     continue  # stale image or duplicate after a re-dispatch race
                 target["results"][res.tile_id] = res
+                self._release_task_slot(target, res.tile_id)
                 if 0 <= res.worker < self.config.num_workers:
                     target["received"][res.worker] += 1
                     target["busy"][res.worker] += res.compute_seconds

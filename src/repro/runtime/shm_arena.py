@@ -1,0 +1,199 @@
+"""Shared-memory slot arena for zero-copy tile transport (DESIGN.md §5d).
+
+With the default ``pickle`` queues, every input tile and result crosses the
+Central↔Conv "wire" as a pickled ndarray: serialize + pipe write + pipe
+read + unpickle, four copies of data whose *accounted* size (§4) is tiny.
+The arena replaces that with pre-allocated ``multiprocessing.shared_memory``
+slots: the Central node writes a tile into a slot **once**, the queue ships
+only a ~200-byte :class:`ShmRef` descriptor, and the worker computes
+straight from a NumPy view of the slot (zero copies on the read side).
+Results come back the same way: the worker writes packed codec bytes into
+one of its dedicated result slots and the descriptor rides the queue.
+
+Ownership and lifecycle:
+
+- **All segments are created (and finally unlinked) by the Central
+  process** — workers only ever attach.  That gives a single unlink site,
+  so the POSIX resource tracker sees one register/unregister pair per
+  segment and shutdown is warning-free.
+- **Task slots** live in one :class:`SlotArena` whose free list is a plain
+  Central-side Python list: a slot is acquired at dispatch, *stays
+  assigned to its tile* across fault re-dispatch (the data is still
+  valid — a re-queued tile re-ships only the descriptor), and returns to
+  the free list when the tile's result arrives or its image finalizes.
+  A dead worker therefore can never leak a task slot: everything it owned
+  is reclaimed through the Central assignment map, exactly like PR 1's
+  tile re-dispatch.
+- **Result slots** are a small per-worker ring (again Central-created).
+  Back-pressure is a ``multiprocessing.Semaphore`` initialized to the ring
+  size and *inherited through fork*: the worker acquires before writing
+  slot ``cursor % R``, the Central node releases after copying the bytes
+  out.  Because the result queue is FIFO and releases happen in arrival
+  order, slot ``k % R`` is always free when acquire ``k`` succeeds.  A
+  worker killed while holding a permit simply gets a fresh ring + fresh
+  semaphore at respawn (mirroring the fresh-queue respawn rule).
+
+Every ``acquire``/``write`` degrades gracefully: when no slot is free or a
+payload outgrows its slot, callers fall back to inline pickle payloads, so
+``transport="shm"`` never blocks correctness on arena capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = [
+    "ShmRef",
+    "SlotArena",
+    "attach_array",
+    "close_attachments",
+    "write_array",
+    "write_bytes",
+]
+
+
+@dataclass(frozen=True)
+class ShmRef:
+    """Picklable descriptor of bytes sitting in a shared-memory slot.
+
+    This is all that crosses the IPC queue in ``transport="shm"`` mode:
+    ``kind="raw"`` describes an ndarray (``shape``/``dtype`` set) and
+    ``kind="packed"`` a self-describing packed-codec buffer of ``nbytes``
+    (``raw_bits`` carries the pre-compression size for telemetry).
+    """
+
+    name: str
+    nbytes: int
+    kind: str = "raw"  # "raw" | "packed"
+    shape: tuple[int, ...] = ()
+    dtype: str = ""
+    raw_bits: int = 0
+
+
+class SlotArena:
+    """A fixed pool of equally sized shared-memory slots, owned by one process.
+
+    The creating process holds the only free list and the only unlink
+    responsibility; other processes attach by name via :func:`attach_array`.
+    """
+
+    def __init__(self, num_slots: int, slot_nbytes: int) -> None:
+        if num_slots < 1:
+            raise ValueError("need at least one slot")
+        if slot_nbytes < 1:
+            raise ValueError("slots must have positive size")
+        self.slot_nbytes = int(slot_nbytes)
+        self._slots: list[shared_memory.SharedMemory] = []
+        try:
+            for _ in range(num_slots):
+                self._slots.append(
+                    shared_memory.SharedMemory(create=True, size=self.slot_nbytes)
+                )
+        except Exception:
+            self.destroy()
+            raise
+        self._by_name = {s.name: s for s in self._slots}
+        self._free = list(self._slots)
+        self._destroyed = False
+
+    # ------------------------------------------------------------- properties
+    @property
+    def capacity(self) -> int:
+        return len(self._slots)
+
+    @property
+    def available(self) -> int:
+        """Free slots right now — tests assert this returns to capacity."""
+        return len(self._free)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(s.name for s in self._slots)
+
+    # -------------------------------------------------------------- lifecycle
+    def acquire(self) -> shared_memory.SharedMemory | None:
+        """Pop a free slot, or ``None`` when exhausted (caller goes inline)."""
+        return self._free.pop() if self._free else None
+
+    def release(self, slot: shared_memory.SharedMemory) -> None:
+        """Return a slot to the free list (double-release is a bug)."""
+        if slot.name not in self._by_name:
+            raise ValueError(f"slot {slot.name} does not belong to this arena")
+        if any(s.name == slot.name for s in self._free):
+            raise ValueError(f"slot {slot.name} released twice")
+        self._free.append(slot)
+
+    def get(self, name: str) -> shared_memory.SharedMemory | None:
+        return self._by_name.get(name)
+
+    def destroy(self) -> None:
+        """Close + unlink every segment (idempotent; errors ignored)."""
+        if getattr(self, "_destroyed", False):
+            return
+        for slot in self._slots:
+            try:
+                slot.close()
+                slot.unlink()
+            except Exception:
+                pass
+        self._free = []
+        self._destroyed = True
+
+
+def write_array(slot: shared_memory.SharedMemory, arr: np.ndarray) -> ShmRef:
+    """Copy an ndarray into a slot; returns the descriptor to ship."""
+    arr = np.ascontiguousarray(arr)
+    if arr.nbytes > slot.size:
+        raise ValueError(f"{arr.nbytes}-byte array does not fit {slot.size}-byte slot")
+    view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=slot.buf)
+    view[...] = arr
+    return ShmRef(
+        name=slot.name,
+        nbytes=arr.nbytes,
+        kind="raw",
+        shape=tuple(int(d) for d in arr.shape),
+        dtype=str(arr.dtype),
+    )
+
+
+def write_bytes(
+    slot: shared_memory.SharedMemory, buf: np.ndarray, raw_bits: int = 0
+) -> ShmRef:
+    """Copy a packed-codec ``uint8`` buffer into a slot."""
+    buf = np.ascontiguousarray(buf, dtype=np.uint8).reshape(-1)
+    if buf.nbytes > slot.size:
+        raise ValueError(f"{buf.nbytes}-byte buffer does not fit {slot.size}-byte slot")
+    np.frombuffer(slot.buf, dtype=np.uint8, count=buf.nbytes)[:] = buf
+    return ShmRef(name=slot.name, nbytes=buf.nbytes, kind="packed", raw_bits=raw_bits)
+
+
+def attach_array(
+    cache: dict[str, shared_memory.SharedMemory], ref: ShmRef
+) -> np.ndarray:
+    """Attach (with caching) and view a slot's contents — zero copies.
+
+    ``kind="raw"`` returns an ndarray view; ``kind="packed"`` a ``uint8``
+    view of the buffer bytes.  The view aliases shared memory: consume it
+    before the owner recycles the slot (the cluster protocol guarantees
+    the slot is stable until this tile's result is recorded).
+    """
+    shm = cache.get(ref.name)
+    if shm is None:
+        shm = shared_memory.SharedMemory(name=ref.name)
+        cache[ref.name] = shm
+    if ref.kind == "packed":
+        return np.frombuffer(shm.buf, dtype=np.uint8, count=ref.nbytes)
+    return np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=shm.buf)
+
+
+def close_attachments(cache: dict[str, shared_memory.SharedMemory]) -> None:
+    """Close every cached attachment (worker-side shutdown hygiene)."""
+    for shm in cache.values():
+        try:
+            shm.close()
+        except Exception:
+            pass
+    cache.clear()

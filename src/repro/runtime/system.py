@@ -158,7 +158,9 @@ class ADCNNSystem:
             raise ValueError("need at least one image")
         sim = Simulator()
         tel = self.telemetry
-        out_bits = self.workload.tile_output_bits
+        # Prefer the measured packed-buffer size for result transfers; fall
+        # back to the accounted token-stream size when nothing was measured.
+        out_bits = self.workload.tile_output_wire_bits or self.workload.tile_output_bits
         raw_out_bits = self.workload.tile_output_raw_bits or out_bits
         for node in self.nodes:
             node.reset()
@@ -277,7 +279,7 @@ class ADCNNSystem:
                     sim.schedule_at(
                         finish,
                         lambda i=image_id, n=node_idx, f=finish: down[n].request(
-                            self.workload.tile_output_bits,
+                            out_bits,
                             lambda t, i=i, n=n, f=f: result_arrived(i, n, f, t),
                         ),
                     )

@@ -33,6 +33,11 @@ class ADCNNWorkload:
     #: ``tile_output_bits``.  Telemetry uses the pair to report the
     #: compression ratio actually achieved on the wire.
     tile_output_raw_bits: float = 0.0
+    #: *Measured* per-tile result size on the wire (bits) — the packed-codec
+    #: buffer length (``CompressionPipeline.measured_wire_bits``), header and
+    #: padding included.  0 means "not measured" and consumers fall back to
+    #: the accounted ``tile_output_bits``.
+    tile_output_wire_bits: float = 0.0
 
     def __post_init__(self) -> None:
         if self.num_tiles < 1:
@@ -51,6 +56,22 @@ class ADCNNWorkload:
     @property
     def output_raw_bits(self) -> float:
         return (self.tile_output_raw_bits or self.tile_output_bits) * self.num_tiles
+
+    @property
+    def output_wire_bits(self) -> float:
+        return (self.tile_output_wire_bits or self.tile_output_bits) * self.num_tiles
+
+    def with_measured_output(self, wire_bits_per_tile: float) -> "ADCNNWorkload":
+        """Price result transfers with a measured packed-buffer size.
+
+        Feed ``CompressionPipeline.measured_wire_bits(sample_output) /
+        num_tiles`` (or a per-tile measurement) so the DES charges the
+        medium with real bytes-on-the-wire instead of an assumed
+        ``compression_ratio``.
+        """
+        if wire_bits_per_tile < 0:
+            raise ValueError("measured wire bits cannot be negative")
+        return replace(self, tile_output_wire_bits=float(wire_bits_per_tile))
 
     @property
     def separable_macs(self) -> float:

@@ -1,0 +1,257 @@
+"""Shared-memory tile transport tests (ISSUE 3 satellite c).
+
+Covers the slot-arena lifecycle under faults: a worker killed mid-flight
+must not leak task slots (``arena.available`` returns to capacity), a full
+run must produce bit-identical outputs to the legacy pickle transport, and
+shutdown must not trip the multiprocessing resource tracker's
+leaked-shared-memory warnings.
+"""
+
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.compression import CompressionPipeline
+from repro.models import vgg_mini
+from repro.partition import TileGrid
+from repro.runtime import ProcessCluster, ProcessClusterConfig, ShmRef, SlotArena
+from repro.runtime.process_backend import _shm_available
+from repro.runtime.shm_arena import attach_array, close_attachments, write_array, write_bytes
+from repro.telemetry import TelemetryRecorder
+
+RNG = np.random.default_rng(47)
+
+needs_shm = pytest.mark.skipif(not _shm_available(), reason="POSIX shared memory unavailable")
+
+
+def small_model():
+    return vgg_mini(num_classes=3, input_size=24, base_width=6, separable_prefix=2).eval()
+
+
+def images(n):
+    return [RNG.normal(size=(1, 3, 24, 24)).astype(np.float32) for _ in range(n)]
+
+
+@needs_shm
+class TestSlotArena:
+    def test_acquire_release_cycle(self):
+        arena = SlotArena(3, 64)
+        try:
+            assert arena.capacity == arena.available == 3
+            slots = [arena.acquire() for _ in range(3)]
+            assert arena.available == 0
+            assert arena.acquire() is None  # exhausted -> caller goes inline
+            for s in slots:
+                arena.release(s)
+            assert arena.available == 3
+        finally:
+            arena.destroy()
+
+    def test_double_release_rejected(self):
+        arena = SlotArena(1, 8)
+        try:
+            slot = arena.acquire()
+            arena.release(slot)
+            with pytest.raises(ValueError, match="twice"):
+                arena.release(slot)
+        finally:
+            arena.destroy()
+
+    def test_foreign_slot_rejected(self):
+        a, b = SlotArena(1, 8), SlotArena(1, 8)
+        try:
+            with pytest.raises(ValueError, match="belong"):
+                a.release(b.acquire())
+        finally:
+            a.destroy()
+            b.destroy()
+
+    def test_write_attach_roundtrip(self):
+        arena = SlotArena(1, 1024)
+        cache = {}
+        try:
+            slot = arena.acquire()
+            assert arena.get(slot.name) is slot
+            arr = RNG.standard_normal((4, 4, 4)).astype(np.float32)
+            ref = write_array(slot, arr)
+            assert isinstance(ref, ShmRef) and ref.kind == "raw"
+            view = attach_array(cache, ref)
+            np.testing.assert_array_equal(view, arr)
+            buf = RNG.integers(0, 256, size=100).astype(np.uint8)
+            ref2 = write_bytes(slot, buf, raw_bits=12345)
+            assert ref2.kind == "packed" and ref2.raw_bits == 12345
+            np.testing.assert_array_equal(attach_array(cache, ref2), buf)
+        finally:
+            close_attachments(cache)
+            arena.destroy()
+
+    def test_oversized_write_rejected(self):
+        arena = SlotArena(1, 16)
+        try:
+            slot = arena.acquire()
+            with pytest.raises(ValueError, match="fit"):
+                write_array(slot, np.zeros(100, dtype=np.float32))
+        finally:
+            arena.destroy()
+
+
+@needs_shm
+class TestTransportEquivalence:
+    def test_shm_bit_identical_to_pickle(self):
+        """Acceptance: infer() over shm transport is bit-identical to the
+        pickle transport, with and without the compression pipeline."""
+        model = small_model()
+        imgs = images(3)
+        for pipeline in (CompressionPipeline(bits=4), None):
+            outs = {}
+            for transport in ("shm", "pickle"):
+                cfg = ProcessClusterConfig(num_workers=2, transport=transport)
+                with ProcessCluster(model, TileGrid(2, 2), pipeline, cfg) as cluster:
+                    assert cluster.transport == transport
+                    outs[transport] = cluster.infer_stream(imgs, pipeline_depth=2)
+            for a, b in zip(outs["shm"], outs["pickle"]):
+                np.testing.assert_array_equal(a.output, b.output)
+                assert a.zero_filled_tiles == b.zero_filled_tiles == []
+
+    def test_task_slots_recycled_across_stream(self):
+        """Every task slot returns to the free list once the stream ends."""
+        cfg = ProcessClusterConfig(num_workers=2, transport="shm")
+        with ProcessCluster(small_model(), TileGrid(2, 2), None, cfg) as cluster:
+            cluster.infer_stream(images(4), pipeline_depth=2)
+            arena = cluster._task_arena
+            assert arena is not None
+            assert arena.available == arena.capacity
+
+    def test_telemetry_wire_bits_measured(self):
+        """Down-direction wire bits equal the sum of actual packed buffer
+        lengths (8 * nbytes), not the token-stream accounting."""
+        tel = TelemetryRecorder()
+        pipe = CompressionPipeline(bits=4)
+        cfg = ProcessClusterConfig(num_workers=2, transport="shm")
+        x = images(1)[0]
+        with ProcessCluster(small_model(), TileGrid(2, 2), pipe, cfg, telemetry=tel) as cluster:
+            res = cluster.infer(x)
+        total = tel.metrics.counter_value("adcnn_bits_wire_total", direction="down")
+        raw = tel.metrics.counter_value("adcnn_bits_raw_total", direction="down")
+        assert total > 0, "no down-direction wire bits recorded"
+        # Measured packed buffers are byte-aligned (8 * nbytes each).
+        assert total % 8 == 0
+        assert total < raw  # compressed, but real nonzero bytes
+        assert res.zero_filled_tiles == []
+
+    def test_transport_knob_validated(self):
+        with pytest.raises(ValueError, match="transport"):
+            ProcessClusterConfig(transport="carrier-pigeon")
+        with pytest.raises(ValueError):
+            ProcessClusterConfig(shm_slots=-1)
+        with pytest.raises(ValueError):
+            ProcessClusterConfig(result_slots_per_worker=0)
+
+
+@needs_shm
+class TestFaultIntegration:
+    def test_kill_mid_flight_reclaims_slots(self):
+        """Acceptance: a worker killed mid-flight -> its tiles re-dispatch
+        over shm descriptors, output stays bit-identical, and every slot
+        is back on the free list afterwards."""
+        model = small_model()
+        imgs = images(3)
+        cfg = ProcessClusterConfig(
+            num_workers=2, t_limit=30.0, delay_per_tile=(0.0, 0.15), transport="shm"
+        )
+        with ProcessCluster(model, TileGrid(2, 2), config=cfg) as cluster:
+            healthy = cluster.infer_stream(imgs, pipeline_depth=2)
+        with ProcessCluster(model, TileGrid(2, 2), config=cfg) as cluster:
+            killer = threading.Timer(0.25, cluster.kill_worker, args=(1,))
+            killer.start()
+            try:
+                outcomes = cluster.infer_stream(imgs, pipeline_depth=2)
+            finally:
+                killer.cancel()
+            arena = cluster._task_arena
+            assert arena is not None and arena.available == arena.capacity
+        for h, o in zip(healthy, outcomes):
+            assert o.zero_filled_tiles == []
+            np.testing.assert_array_equal(o.output, h.output)
+
+    def test_restart_gets_fresh_result_ring(self):
+        """A respawned worker's old result arena is destroyed and a new
+        grant issued; the stream still completes with no zero-fill."""
+        model = small_model()
+        cfg = ProcessClusterConfig(
+            num_workers=2,
+            t_limit=10.0,
+            gamma=1.0,
+            max_restarts=1,
+            restart_backoff=0.1,
+            probe_interval=1,
+            transport="shm",
+        )
+        with ProcessCluster(model, TileGrid(2, 2), CompressionPipeline(bits=4), cfg) as cluster:
+            cluster.infer(images(1)[0])
+            old_arena = cluster._result_arenas[1]
+            cluster.kill_worker(1)
+            cluster.infer(images(1)[0])
+            import time as _time
+
+            _time.sleep(0.15)
+            last = None
+            for _ in range(3):
+                last = cluster.infer(images(1)[0])
+            assert cluster.restart_counts == [0, 1]
+            assert last.zero_filled_tiles == []
+            new_arena = cluster._result_arenas[1]
+            if old_arena is not None and new_arena is not None:
+                assert set(old_arena.names).isdisjoint(new_arena.names)
+
+    def test_all_workers_dead_still_degrades_locally(self):
+        cfg = ProcessClusterConfig(num_workers=2, transport="shm")
+        with ProcessCluster(small_model(), TileGrid(2, 2), config=cfg) as cluster:
+            cluster.kill_worker(0)
+            cluster.kill_worker(1)
+            out = cluster.infer(images(1)[0])
+        assert out.zero_filled_tiles == []
+        assert out.locally_computed_tiles == [0, 1, 2, 3]
+
+
+@needs_shm
+class TestShutdownHygiene:
+    def test_no_leaked_shared_memory_warnings(self):
+        """Run a full infer + kill + stop cycle in a subprocess and assert
+        the resource tracker prints no leaked_shared_memory warnings."""
+        code = """
+import numpy as np
+from repro.compression import CompressionPipeline
+from repro.models import vgg_mini
+from repro.partition import TileGrid
+from repro.runtime import ProcessCluster, ProcessClusterConfig
+
+model = vgg_mini(num_classes=3, input_size=24, base_width=6, separable_prefix=2).eval()
+rng = np.random.default_rng(0)
+imgs = [rng.normal(size=(1, 3, 24, 24)).astype(np.float32) for _ in range(2)]
+cfg = ProcessClusterConfig(num_workers=2, transport="shm", delay_per_tile=(0.0, 0.1), t_limit=30.0)
+with ProcessCluster(model, TileGrid(2, 2), CompressionPipeline(bits=4), cfg) as cluster:
+    import threading
+    threading.Timer(0.2, cluster.kill_worker, args=(1,)).start()
+    cluster.infer_stream(imgs, pipeline_depth=2)
+print("OK")
+"""
+        repo_root = Path(__file__).resolve().parents[1]
+        env = dict(os.environ, PYTHONPATH=str(repo_root / "src"))
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            env=env,
+            cwd=repo_root,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "OK" in proc.stdout
+        assert "leaked shared_memory" not in proc.stderr
+        assert "resource_tracker" not in proc.stderr, proc.stderr

@@ -1,0 +1,236 @@
+"""Tests for the packed byte-level wire format (repro.compression.wire).
+
+The load-bearing invariant, asserted property-style below: the packed
+codec's ``payload_bits`` equals the tuple codec's ``encoded_bits`` exactly
+for every input — sparse, dense, empty, all-zero, and runs split at the
+``2**run_bits`` counter cap.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (
+    CompressionPipeline,
+    PackedStream,
+    RLEStream,
+    UniformQuantizer,
+    max_packed_nbytes,
+    pack_levels,
+    pack_stream,
+    rle_encode,
+    unpack,
+)
+
+RNG = np.random.default_rng(31)
+
+
+def sparse_levels(n, density=0.05, bits=4, rng=RNG):
+    levels = np.zeros(n, dtype=np.uint8)
+    nz = rng.choice(n, size=max(1, int(n * density)), replace=False) if n else []
+    if n:
+        levels[nz] = rng.integers(1, 2**bits, size=len(nz))
+    return levels
+
+
+class TestRoundTrip:
+    def test_sparse(self):
+        levels = sparse_levels(10_000)
+        packed = pack_levels(levels)
+        assert np.array_equal(unpack(packed), levels)
+
+    def test_dense(self):
+        levels = RNG.integers(1, 16, size=5000).astype(np.uint8)
+        assert np.array_equal(unpack(pack_levels(levels)), levels)
+
+    def test_all_zero(self):
+        levels = np.zeros(1000, dtype=np.uint8)
+        packed = pack_levels(levels)
+        assert packed.n_tokens == packed.n_zero_tokens == -(-1000 // 256)
+        assert np.array_equal(unpack(packed), levels)
+
+    def test_empty(self):
+        packed = pack_levels(np.zeros(0, dtype=np.uint8))
+        assert packed.n_tokens == 0 and packed.payload_bits == 0
+        assert unpack(packed).size == 0
+
+    def test_shape_preserved(self):
+        levels = sparse_levels(2 * 3 * 8 * 8).reshape(2, 3, 8, 8)
+        out = unpack(pack_levels(levels))
+        assert out.shape == (2, 3, 8, 8)
+        assert np.array_equal(out, levels)
+
+    def test_wide_values_decode_uint16(self):
+        levels = RNG.integers(0, 2**12, size=4000).astype(np.uint16)
+        out = unpack(pack_levels(levels, value_bits=12, run_bits=8))
+        assert out.dtype == np.uint16
+        assert np.array_equal(out, levels)
+
+    def test_narrow_values_decode_uint8(self):
+        out = unpack(pack_levels(sparse_levels(512)))
+        assert out.dtype == np.uint8
+
+    def test_run_cap_split(self):
+        # 1000 zeros with run_bits=4 → cap 16 → 63 counters, not one.
+        levels = np.zeros(1000, dtype=np.uint8)
+        packed = pack_levels(levels, run_bits=4)
+        assert packed.n_zero_tokens == -(-1000 // 16)
+        assert np.array_equal(unpack(packed), levels)
+
+    def test_from_buffer_roundtrip(self):
+        levels = sparse_levels(4096).reshape(4, 32, 32)
+        packed = pack_levels(levels)
+        reparsed = PackedStream.from_buffer(bytes(packed.buffer))
+        assert reparsed.shape == packed.shape
+        assert reparsed.payload_bits == packed.payload_bits
+        assert np.array_equal(unpack(reparsed), levels)
+
+
+class TestBitAccounting:
+    """Satellite (b): packed payload bits == RLEStream.encoded_bits exactly."""
+
+    def assert_parity(self, levels, value_bits=4, run_bits=8):
+        stream = rle_encode(levels, value_bits=value_bits, run_bits=run_bits)
+        packed = pack_levels(levels, value_bits=value_bits, run_bits=run_bits)
+        assert packed.payload_bits == stream.encoded_bits
+        # The wire buffer is the payload plus header plus < 3 bytes of
+        # per-section byte-alignment slack — the ISSUE's invariant.
+        assert packed.wire_bits == packed.header_bits + packed.payload_bits + packed.padding_bits
+        assert 0 <= packed.padding_bits < 24
+        assert np.array_equal(unpack(packed), np.asarray(levels).astype(np.uint16))
+
+    def test_sparse(self):
+        self.assert_parity(sparse_levels(20_000))
+
+    def test_dense(self):
+        self.assert_parity(RNG.integers(1, 16, size=3000).astype(np.uint8))
+
+    def test_all_zero(self):
+        self.assert_parity(np.zeros(5000, dtype=np.uint8))
+
+    def test_empty(self):
+        self.assert_parity(np.zeros(0, dtype=np.uint8))
+
+    def test_run_exactly_at_cap(self):
+        for n in (255, 256, 257, 512, 513):
+            self.assert_parity(np.zeros(n, dtype=np.uint8))
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        n=st.integers(0, 2000),
+        density=st.floats(0.0, 1.0),
+        value_bits=st.integers(1, 8),
+        run_bits=st.integers(1, 10),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    def test_parity_property(self, n, density, value_bits, run_bits, seed):
+        rng = np.random.default_rng(seed)
+        levels = np.where(
+            rng.random(n) < density,
+            rng.integers(1, 2**value_bits, size=n, dtype=np.int64)
+            if value_bits > 0
+            else 0,
+            0,
+        )
+        self.assert_parity(levels, value_bits=value_bits, run_bits=run_bits)
+
+    def test_pack_stream_matches_pack_levels(self):
+        levels = sparse_levels(8192)
+        a = pack_levels(levels)
+        b = pack_stream(rle_encode(levels))
+        assert np.array_equal(a.buffer, b.buffer)
+
+    def test_pack_stream_handles_oversized_handbuilt_run(self):
+        # A hand-built stream with a run above the cap: encoded_bits counts
+        # the split tokens, and pack_stream must serialize the same split.
+        stream = RLEStream((600,), ((True, 600),), value_bits=4, run_bits=8)
+        packed = pack_stream(stream)
+        assert packed.payload_bits == stream.encoded_bits
+        assert np.array_equal(unpack(packed), np.zeros(600, dtype=np.uint8))
+
+
+class TestValidation:
+    def test_rejects_bad_magic(self):
+        packed = pack_levels(sparse_levels(100))
+        buf = packed.buffer.copy()
+        buf[0] = 0x00
+        with pytest.raises(ValueError, match="magic"):
+            PackedStream.from_buffer(buf)
+
+    def test_rejects_truncated_buffer(self):
+        packed = pack_levels(sparse_levels(100))
+        with pytest.raises(ValueError):
+            PackedStream.from_buffer(packed.buffer[:-1])
+
+    def test_rejects_short_header(self):
+        with pytest.raises(ValueError, match="too short"):
+            PackedStream.from_buffer(np.zeros(4, dtype=np.uint8))
+
+    def test_rejects_out_of_range_levels(self):
+        with pytest.raises(ValueError):
+            pack_levels(np.array([16]), value_bits=4)
+        with pytest.raises(ValueError):
+            pack_levels(np.array([-1]))
+
+    def test_rejects_bad_widths(self):
+        with pytest.raises(ValueError):
+            pack_levels(np.zeros(4, dtype=np.uint8), value_bits=0)
+        with pytest.raises(ValueError):
+            pack_levels(np.zeros(4, dtype=np.uint8), value_bits=17)
+        with pytest.raises(ValueError):
+            pack_levels(np.zeros(4, dtype=np.uint8), run_bits=25)
+
+    def test_corrupt_element_count_detected(self):
+        packed = pack_levels(sparse_levels(256).reshape(16, 16))
+        buf = packed.buffer.copy()
+        # Lie about the shape: 16x16 header → 16x17.
+        buf[28:32] = np.frombuffer(np.uint32(17).tobytes(), dtype=np.uint8)
+        with pytest.raises(ValueError, match="elements"):
+            unpack(PackedStream.from_buffer(buf))
+
+    def test_max_packed_nbytes_is_an_upper_bound(self):
+        for density in (0.0, 0.05, 0.5, 1.0):
+            levels = np.where(RNG.random(4096) < density, 7, 0)
+            packed = pack_levels(levels)
+            assert packed.nbytes <= max_packed_nbytes(4096, 1)
+
+
+class TestQuantizerDtype:
+    """Satellite (f): quantize output dtype is pinned, not platform default."""
+
+    def test_uint8_for_small_bits(self):
+        for bits in (1, 4, 8):
+            q = UniformQuantizer(bits=bits, max_value=6.0)
+            assert q.level_dtype == np.uint8
+            assert q.quantize(RNG.uniform(0, 6, size=64)).dtype == np.uint8
+
+    def test_uint16_above_8_bits(self):
+        q = UniformQuantizer(bits=12, max_value=6.0)
+        assert q.level_dtype == np.uint16
+        assert q.quantize(RNG.uniform(0, 6, size=64)).dtype == np.uint16
+
+
+class TestPipelineIntegration:
+    def test_compress_packed_matches_compress(self):
+        pipe = CompressionPipeline(bits=4)
+        x = RNG.standard_normal((2, 6, 12, 12)).astype(np.float32)
+        ct = pipe.compress(x)
+        pt = pipe.compress_packed(x)
+        assert pt.compressed_bits == ct.compressed_bits
+        assert pt.raw_bits == ct.raw_bits
+        assert np.array_equal(pipe.decompress(pt), pipe.decompress(ct))
+
+    def test_decompress_accepts_raw_buffer(self):
+        pipe = CompressionPipeline(bits=4)
+        x = RNG.standard_normal((1, 3, 8, 8)).astype(np.float32)
+        pt = pipe.compress_packed(x)
+        assert np.array_equal(pipe.decompress(bytes(pt.packed.buffer)), pipe.decompress(pt))
+
+    def test_wire_bits_measured(self):
+        pipe = CompressionPipeline(bits=4)
+        x = RNG.standard_normal((1, 3, 16, 16)).astype(np.float32)
+        pt = pipe.compress_packed(x)
+        assert pt.wire_bits == 8 * pt.packed.nbytes
+        assert pipe.measured_wire_bits(x) == pt.wire_bits
+        assert pt.wire_ratio >= pt.ratio  # header+padding never shrink it
