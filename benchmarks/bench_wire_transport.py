@@ -22,12 +22,12 @@ from repro.compression import CompressionPipeline, pack_levels, rle_encode, unpa
 from repro.models import vgg_mini
 from repro.partition import TileGrid
 from repro.runtime import ProcessCluster, ProcessClusterConfig, TileResult
-from repro.runtime.process_backend import _shm_available
+from repro.runtime.shm_arena import shm_available
 from repro.runtime.shm_arena import ShmRef
 
 RNG = np.random.default_rng(7)
 
-needs_shm = pytest.mark.skipif(not _shm_available(), reason="POSIX shared memory unavailable")
+needs_shm = pytest.mark.skipif(not shm_available(), reason="POSIX shared memory unavailable")
 
 
 def activations():

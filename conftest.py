@@ -1,0 +1,22 @@
+"""Root pytest configuration.
+
+Activates the resource-sanitizer plugin (``tests/plugins/sanitizer.py``)
+for every run — the main suite, benchmarks, and example smoke tests alike —
+and makes ``repro`` importable without an explicit ``PYTHONPATH=src``.
+
+``pytest_plugins`` is only honored in the rootdir conftest, and the test
+tree deliberately has no ``__init__.py`` files (test modules import shared
+helpers like ``allocation_oracle`` top-level), so the plugin directory is
+put on ``sys.path`` rather than imported as a package.
+"""
+
+import sys
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parent
+for _extra in (_REPO / "src", _REPO / "tests" / "plugins"):
+    _p = str(_extra)
+    if _p not in sys.path:
+        sys.path.insert(0, _p)
+
+pytest_plugins = ("sanitizer",)

@@ -141,7 +141,10 @@ class CompressionPipeline:
         packed = pack_levels(levels, value_bits=self.quantizer.bits, run_bits=self.run_bits)
         return PackedTensor(packed=packed, raw_bits=x.size * 32)
 
-    def decompress(self, ct) -> np.ndarray:
+    def decompress(
+        self,
+        ct: CompressedTensor | PackedTensor | PackedStream | bytes | bytearray | memoryview | np.ndarray,
+    ) -> np.ndarray:
         """Invert the wire encoding: decode → dequantize (float32).
 
         Accepts a :class:`CompressedTensor`, a :class:`PackedTensor`, a

@@ -94,7 +94,7 @@ def rle_encode(levels: np.ndarray, value_bits: int = 4, run_bits: int = 8) -> RL
         if total_z:
             first = np.cumsum(n_chunks) - n_chunks
             chunk_lens[first + n_chunks - 1] = zlens - (n_chunks - 1) * max_run
-            chunk_idx = np.arange(total_z) - np.repeat(first, n_chunks)
+            chunk_idx = np.arange(total_z, dtype=np.int64) - np.repeat(first, n_chunks)
             chunk_starts = np.repeat(zstarts, n_chunks) + chunk_idx * max_run
         else:
             chunk_starts = np.zeros(0, dtype=np.int64)

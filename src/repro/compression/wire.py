@@ -113,7 +113,7 @@ class PackedStream:
         return n
 
     @classmethod
-    def from_buffer(cls, buffer) -> "PackedStream":
+    def from_buffer(cls, buffer: bytes | bytearray | memoryview | np.ndarray) -> "PackedStream":
         """Parse a packed buffer's header (sections stay as raw bytes)."""
         buf = np.frombuffer(bytes(buffer), dtype=np.uint8) if not isinstance(buffer, np.ndarray) else buffer
         buf = np.ascontiguousarray(buf, dtype=np.uint8).reshape(-1)
@@ -254,7 +254,7 @@ def pack_levels(levels: np.ndarray, value_bits: int = 4, run_bits: int = 8) -> P
     if total_z:
         first = np.cumsum(n_chunks) - n_chunks       # first chunk index per segment
         run_lengths[first + n_chunks - 1] = zlens - (n_chunks - 1) * max_run
-        chunk_idx = np.arange(total_z) - np.repeat(first, n_chunks)
+        chunk_idx = np.arange(total_z, dtype=np.int64) - np.repeat(first, n_chunks)
         chunk_starts = np.repeat(zstarts, n_chunks) + chunk_idx * max_run
     else:
         chunk_starts = np.zeros(0, dtype=np.int64)
@@ -308,7 +308,7 @@ def pack_stream(stream: RLEStream) -> PackedStream:
     )
 
 
-def unpack(packed) -> np.ndarray:
+def unpack(packed: PackedStream | bytes | bytearray | memoryview | np.ndarray) -> np.ndarray:
     """Decode a packed buffer (or :class:`PackedStream`) back to levels.
 
     Returns ``uint8`` for ``value_bits <= 8`` (nibble literals never widen),

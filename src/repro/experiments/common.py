@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 from repro.models import get_spec
 from repro.profiling import RASPBERRY_PI_3B, WIFI_LAN, profile_for_model

@@ -8,7 +8,7 @@ recovers to within ~1% of the unpartitioned model.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable
+from collections.abc import Callable
 
 from . import (
     ext_failure,

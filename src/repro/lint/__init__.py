@@ -1,0 +1,33 @@
+"""Project-invariant static analysis for the ADCNN runtime (DESIGN.md §5e).
+
+Run as ``python -m repro.lint [paths...]``; rules RL001–RL007 check the
+cross-process invariants (fork safety, queue-message hygiene, shm slot
+pairing, telemetry discipline, numeric hygiene, worker targets, import-time
+effects) that generic linters cannot express.  Suppress with
+``# repro-lint: disable=RLxxx``.
+"""
+
+from .core import (
+    LintResult,
+    ModuleContext,
+    Rule,
+    Violation,
+    Walker,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+)
+from .rules import RULE_CLASSES, default_rules
+
+__all__ = [
+    "Violation",
+    "ModuleContext",
+    "Rule",
+    "Walker",
+    "LintResult",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+    "RULE_CLASSES",
+    "default_rules",
+]

@@ -1,0 +1,111 @@
+"""Command-line front end: ``python -m repro.lint [paths...]``.
+
+Exit codes: 0 clean, 1 violations found, 2 usage/parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from .core import lint_paths
+from .rules import RULE_CLASSES, default_rules
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Project-invariant static analysis for the ADCNN runtime (DESIGN.md §5e).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--output",
+        help="write the report to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry and exit",
+    )
+    return parser
+
+
+def _codes(spec: str | None) -> list[str] | None:
+    if spec is None:
+        return None
+    return [c.strip().upper() for c in spec.split(",") if c.strip()]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for cls in RULE_CLASSES:
+            print(f"{cls.code}  {cls.name}: {cls.description}")
+        return 0
+
+    result = lint_paths(
+        args.paths,
+        default_rules(),
+        select=_codes(args.select),
+        ignore=_codes(args.ignore),
+    )
+
+    if args.format == "json":
+        report = json.dumps(
+            {
+                "version": 1,
+                "files_checked": result.files_checked,
+                "violation_count": len(result.violations),
+                "violations": [v.to_json() for v in result.violations],
+                "parse_errors": result.parse_errors,
+            },
+            indent=2,
+        )
+    else:
+        chunks = [v.format() for v in result.violations]
+        chunks.extend(f"parse error: {e}" for e in result.parse_errors)
+        tally = (
+            f"{len(result.violations)} violation(s) in {result.files_checked} file(s)"
+            if result.violations or result.parse_errors
+            else f"clean: {result.files_checked} file(s) checked"
+        )
+        chunks.append(tally)
+        report = "\n".join(chunks)
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+    else:
+        print(report)
+
+    if result.parse_errors:
+        return 2
+    return 1 if result.violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

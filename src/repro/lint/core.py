@@ -1,0 +1,325 @@
+"""Shared AST visitor framework for the project linter (DESIGN.md §5e).
+
+The runtime's correctness rests on cross-process invariants — fork-safe
+module state, picklable queue messages, paired shared-memory lifecycles,
+a closed telemetry schema — that ordinary linters cannot see.  ``repro.lint``
+encodes them as AST rules sharing a single tree walk per file:
+
+- every :class:`Rule` registers for a set of path scopes (``include``
+  fragments matched against the file's POSIX path);
+- the :class:`Walker` traverses each module **once**, maintaining the
+  scope stack (enclosing functions/classes, ``if __name__ == "__main__"``
+  guards) and fanning every node out to the applicable rules;
+- rules report :class:`Violation` objects through their
+  :class:`ModuleContext`; suppressions are applied centrally.
+
+Suppression syntax (checked on the violation line and the line above)::
+
+    something_flagged()  # repro-lint: disable=RL001
+    # repro-lint: disable=RL003,RL004
+    call_that_needs_both()
+
+A file-level opt-out for one code, placed anywhere in the first 20 lines::
+
+    # repro-lint: disable-file=RL005
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+
+__all__ = [
+    "Violation",
+    "ModuleContext",
+    "Rule",
+    "Walker",
+    "LintResult",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+]
+
+#: Directories never descended into when walking a tree.  ``_lint_fixtures``
+#: holds deliberately-bad snippets for the linter's own tests — they are
+#: linted by passing their paths explicitly, never via directory walks.
+DEFAULT_EXCLUDED_DIRS = frozenset(
+    {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "_lint_fixtures", ".ruff_cache"}
+)
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9, ]+)")
+_SUPPRESS_FILE_RE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Z0-9, ]+)")
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One rule finding, addressable as ``path:line:col: code message``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+class ModuleContext:
+    """Per-file state shared by every rule during one walk."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.posix_path = PurePosixPath(path).as_posix()
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.violations: list[Violation] = []
+        self._suppressed_lines: dict[int, set[str]] = {}
+        self._suppressed_file: set[str] = set()
+        self._scan_suppressions()
+
+    # ------------------------------------------------------------ suppression
+    def _scan_suppressions(self) -> None:
+        for lineno, text in enumerate(self.lines, start=1):
+            m = _SUPPRESS_RE.search(text)
+            if m:
+                codes = {c.strip() for c in m.group(1).split(",") if c.strip()}
+                self._suppressed_lines.setdefault(lineno, set()).update(codes)
+            if lineno <= 20:
+                m = _SUPPRESS_FILE_RE.search(text)
+                if m:
+                    self._suppressed_file.update(
+                        c.strip() for c in m.group(1).split(",") if c.strip()
+                    )
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        if code in self._suppressed_file:
+            return True
+        for candidate in (line, line - 1):
+            if code in self._suppressed_lines.get(candidate, set()):
+                return True
+        return False
+
+    # -------------------------------------------------------------- reporting
+    def report(self, code: str, node: ast.AST | int, message: str, col: int | None = None) -> None:
+        if isinstance(node, int):
+            line, column = node, col or 0
+        else:
+            line = getattr(node, "lineno", 1)
+            column = getattr(node, "col_offset", 0) if col is None else col
+        if self.is_suppressed(code, line):
+            return
+        self.violations.append(Violation(self.path, line, column, code, message))
+
+    def in_path(self, *fragments: str) -> bool:
+        """True when this file's path contains any of the given fragments."""
+        return any(f in self.posix_path for f in fragments)
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set ``code``/``name``/``description`` and implement any of
+    the three hooks.  ``include`` restricts the rule to files whose POSIX
+    path contains one of the fragments (empty = every file); ``exclude``
+    removes files the same way and wins over ``include``.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+    include: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = ()
+
+    def applies_to(self, posix_path: str) -> bool:
+        if any(f in posix_path for f in self.exclude):
+            return False
+        if not self.include:
+            return True
+        return any(f in posix_path for f in self.include)
+
+    def begin_module(self, ctx: ModuleContext) -> None:
+        """Called once per file before the walk."""
+
+    def visit(self, node: ast.AST, ctx: ModuleContext, walker: "Walker") -> None:
+        """Called for every AST node during the shared walk."""
+
+    def end_module(self, ctx: ModuleContext) -> None:
+        """Called once per file after the walk."""
+
+
+def _is_main_guard(node: ast.AST) -> bool:
+    if not isinstance(node, ast.If):
+        return False
+    test = node.test
+    return (
+        isinstance(test, ast.Compare)
+        and isinstance(test.left, ast.Name)
+        and test.left.id == "__name__"
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], ast.Eq)
+        and len(test.comparators) == 1
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value == "__main__"
+    )
+
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+class Walker:
+    """Single shared traversal that fans nodes out to every active rule.
+
+    Rules read traversal state through the walker: ``scope_stack`` (the
+    enclosing function/class nodes), :attr:`function_depth`,
+    :attr:`at_module_level`, and :attr:`in_main_guard`.
+    """
+
+    def __init__(self, ctx: ModuleContext, rules: Sequence[Rule]) -> None:
+        self.ctx = ctx
+        self.rules = [r for r in rules if r.applies_to(ctx.posix_path)]
+        self.scope_stack: list[ast.AST] = []
+        self._main_guard_depth = 0
+
+    # ------------------------------------------------------- traversal state
+    @property
+    def function_depth(self) -> int:
+        return sum(1 for n in self.scope_stack if isinstance(n, _FUNC_NODES))
+
+    @property
+    def current_function(self) -> ast.AST | None:
+        for node in reversed(self.scope_stack):
+            if isinstance(node, _FUNC_NODES):
+                return node
+        return None
+
+    @property
+    def at_module_level(self) -> bool:
+        """True for statements executed at import time (outside any def,
+        class body, or ``if __name__ == "__main__"`` guard)."""
+        return not self.scope_stack and self._main_guard_depth == 0
+
+    @property
+    def in_main_guard(self) -> bool:
+        return self._main_guard_depth > 0
+
+    # --------------------------------------------------------------- driving
+    def run(self) -> None:
+        if not self.rules:
+            return
+        for rule in self.rules:
+            rule.begin_module(self.ctx)
+        self._visit(self.ctx.tree)
+        for rule in self.rules:
+            rule.end_module(self.ctx)
+
+    def _visit(self, node: ast.AST) -> None:
+        for rule in self.rules:
+            rule.visit(node, self.ctx, self)
+        is_scope = isinstance(node, _SCOPE_NODES)
+        is_guard = _is_main_guard(node)
+        if is_scope:
+            self.scope_stack.append(node)
+        if is_guard:
+            self._main_guard_depth += 1
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+        if is_guard:
+            self._main_guard_depth -= 1
+        if is_scope:
+            self.scope_stack.pop()
+
+
+# --------------------------------------------------------------------- driver
+@dataclass(slots=True)
+class LintResult:
+    """Outcome of linting a set of paths."""
+
+    violations: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.parse_errors
+
+
+def iter_python_files(
+    paths: Iterable[str | Path], excluded_dirs: frozenset[str] = DEFAULT_EXCLUDED_DIRS
+) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list.
+
+    Files named explicitly are always included (this is how the test suite
+    lints ``_lint_fixtures`` snippets); directory walks skip
+    ``excluded_dirs``.
+    """
+    out: list[Path] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_file():
+            if p.suffix == ".py" and p not in seen:
+                seen.add(p)
+                out.append(p)
+            continue
+        for f in sorted(p.rglob("*.py")):
+            if any(part in excluded_dirs for part in f.parts):
+                continue
+            if f not in seen:
+                seen.add(f)
+                out.append(f)
+    return out
+
+
+def lint_file(path: str | Path, rules: Sequence[Rule]) -> LintResult:
+    """Lint one file with the given rules."""
+    result = LintResult(files_checked=1)
+    p = Path(path)
+    try:
+        source = p.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(p))
+    except (OSError, SyntaxError, ValueError) as exc:
+        result.parse_errors.append(f"{p}: {exc}")
+        return result
+    ctx = ModuleContext(str(p), source, tree)
+    Walker(ctx, rules).run()
+    result.violations.extend(ctx.violations)
+    return result
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    rules: Sequence[Rule],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> LintResult:
+    """Lint files/directories, optionally restricting the rule set."""
+    active = list(rules)
+    if select is not None:
+        wanted = set(select)
+        active = [r for r in active if r.code in wanted]
+    if ignore is not None:
+        dropped = set(ignore)
+        active = [r for r in active if r.code not in dropped]
+    total = LintResult()
+    for f in iter_python_files(paths):
+        one = lint_file(f, active)
+        total.files_checked += one.files_checked
+        total.violations.extend(one.violations)
+        total.parse_errors.extend(one.parse_errors)
+    total.violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return total

@@ -1,0 +1,533 @@
+"""The project-invariant rule set (RL001–RL007), one class per code.
+
+Each rule encodes an invariant the distributed runtime depends on; see
+DESIGN.md §5e for the failure mode behind every code.  Rules are scoped by
+path fragment so e.g. numeric-hygiene checks only run on the hot kernels.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import ModuleContext, Rule, Walker
+
+__all__ = ["default_rules", "RULE_CLASSES"]
+
+#: Packages imported by forked worker processes (``_worker_loop`` pulls in
+#: nn, the model blocks, compression, partition geometry, runtime messages,
+#: and telemetry constants).  Fork-safety rules apply to all of them.
+WORKER_PACKAGES = (
+    "repro/nn",
+    "repro/models",
+    "repro/compression",
+    "repro/partition",
+    "repro/runtime",
+    "repro/telemetry",
+)
+
+#: The closed telemetry event schema — mirrors
+#: ``repro.telemetry.recorder.STAGES`` (a test asserts they stay in sync).
+STAGES = (
+    "partition",
+    "compress",
+    "transfer",
+    "conv_compute",
+    "result_transfer",
+    "merge",
+    "central_layers",
+)
+STAGE_CONSTANT_NAMES = frozenset(
+    {
+        "STAGE_PARTITION",
+        "STAGE_COMPRESS",
+        "STAGE_TRANSFER",
+        "STAGE_CONV_COMPUTE",
+        "STAGE_RESULT_TRANSFER",
+        "STAGE_MERGE",
+        "STAGE_CENTRAL",
+    }
+)
+
+#: Dataclasses allowed to cross a multiprocessing queue, declared in
+#: ``runtime/messages.py``.  ``TileTask``/``TileResult`` are the data-path
+#: messages (ndarray payloads allowed); the rest are control-path.
+MESSAGE_CLASSES = frozenset({"TileTask", "TileResult", "ArenaGrant", "Shutdown"})
+DATA_MESSAGE_CLASSES = frozenset({"TileTask", "TileResult"})
+
+
+def _dotted(node: ast.AST) -> str:
+    """``a.b.c`` for a Name/Attribute chain, else ''."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _receiver_text(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on valid trees
+        return ""
+
+
+def _function_body_nodes(fn: ast.AST) -> list[ast.AST]:
+    """Every node in a function body, nested function/lambda bodies excluded
+    (they get their own per-function scan when the walker reaches them)."""
+    out: list[ast.AST] = []
+
+    def rec(n: ast.AST) -> None:
+        for child in ast.iter_child_nodes(n):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            out.append(child)
+            rec(child)
+
+    rec(fn)
+    return out
+
+
+# ---------------------------------------------------------------------- RL001
+class ForkSafetyRule(Rule):
+    """No module-level mutable state or import-time/global RNG in modules
+    imported by worker processes.
+
+    Fork copies module state into every worker: a module-level dict or the
+    global NumPy RNG silently diverges per process (identical "random"
+    streams in every worker, registries that look shared but are not).
+    Randomness must flow through an explicit ``Generator`` parameter.
+    """
+
+    code = "RL001"
+    name = "fork-safety"
+    description = "no module-level mutable state or global/import-time RNG in worker modules"
+    include = WORKER_PACKAGES
+
+    _MUTABLE_CALLS = frozenset(
+        {"list", "dict", "set", "defaultdict", "deque", "bytearray", "OrderedDict", "Counter"}
+    )
+    _LOCAL_RNG_ATTRS = frozenset(
+        {
+            "default_rng",
+            "Generator",
+            "SeedSequence",
+            "PCG64",
+            "Philox",
+            "MT19937",
+            "RandomState",
+            "BitGenerator",
+        }
+    )
+    _RNG_FACTORIES = frozenset(
+        {
+            "np.random.default_rng",
+            "numpy.random.default_rng",
+            "np.random.RandomState",
+            "numpy.random.RandomState",
+            "random.Random",
+        }
+    )
+
+    def visit(self, node: ast.AST, ctx: ModuleContext, walker: Walker) -> None:
+        if isinstance(node, (ast.Assign, ast.AnnAssign)) and walker.at_module_level:
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if "__all__" in names:
+                return
+            value = node.value
+            if value is not None and self._is_mutable(value):
+                ctx.report(
+                    self.code,
+                    node,
+                    f"module-level mutable state {'/'.join(names) or '<target>'} in a "
+                    "worker-imported module (fork copies it per process; use a tuple, "
+                    "frozenset, or types.MappingProxyType)",
+                )
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if walker.at_module_level and dotted in self._RNG_FACTORIES:
+                ctx.report(
+                    self.code,
+                    node,
+                    f"import-time RNG construction {dotted}() in a worker-imported module "
+                    "(every forked worker inherits the same stream; take a Generator "
+                    "parameter instead)",
+                )
+            elif dotted.startswith(("np.random.", "numpy.random.")):
+                attr = dotted.rsplit(".", 1)[1]
+                if attr not in self._LOCAL_RNG_ATTRS:
+                    ctx.report(
+                        self.code,
+                        node,
+                        f"global NumPy RNG call {dotted}() (mutates interpreter-wide state "
+                        "shared through fork; use an explicit np.random.Generator)",
+                    )
+
+    def _is_mutable(self, value: ast.AST) -> bool:
+        if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(value, ast.Call):
+            name = _dotted(value.func).rsplit(".", 1)[-1]
+            return name in self._MUTABLE_CALLS
+        return False
+
+
+# ---------------------------------------------------------------------- RL002
+class QueueMessageRule(Rule):
+    """Queue-crossing dataclasses live in ``runtime/messages.py``, are
+    frozen + slotted, and only data-path messages carry ndarrays.
+
+    Everything on an mp queue is pickled; ad-hoc payloads (dict literals,
+    arbitrary classes) break the drain/re-dispatch protocol, and mutable or
+    ``__dict__``-bearing messages invite cross-process aliasing bugs.
+    """
+
+    code = "RL002"
+    name = "queue-message-hygiene"
+    description = "mp-queue messages are declared, frozen+slots dataclasses"
+    include = ("repro/runtime",)
+
+    _QUEUE_NAMES = frozenset({"q", "tq", "rq", "task_queue", "result_queue"})
+
+    def visit(self, node: ast.AST, ctx: ModuleContext, walker: Walker) -> None:
+        if ctx.posix_path.endswith("messages.py"):
+            if isinstance(node, ast.ClassDef) and not walker.scope_stack:
+                self._check_message_class(node, ctx)
+            return
+        if isinstance(node, ast.Call):
+            self._check_put(node, ctx)
+
+    def _check_message_class(self, node: ast.ClassDef, ctx: ModuleContext) -> None:
+        frozen = slots = is_dataclass = False
+        for dec in node.decorator_list:
+            name = _dotted(dec.func if isinstance(dec, ast.Call) else dec)
+            if name.rsplit(".", 1)[-1] != "dataclass":
+                continue
+            is_dataclass = True
+            if isinstance(dec, ast.Call):
+                for kw in dec.keywords:
+                    if isinstance(kw.value, ast.Constant) and kw.value.value is True:
+                        frozen = frozen or kw.arg == "frozen"
+                        slots = slots or kw.arg == "slots"
+        if not (is_dataclass and frozen and slots):
+            ctx.report(
+                self.code,
+                node,
+                f"queue message {node.name} must be @dataclass(frozen=True, slots=True) "
+                "(immutable, no __dict__, stable pickle layout)",
+            )
+        if node.name not in DATA_MESSAGE_CLASSES:
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and "ndarray" in _receiver_text(stmt.annotation):
+                    ctx.report(
+                        self.code,
+                        stmt,
+                        f"control-path message {node.name} carries a raw ndarray field "
+                        "(bulk data belongs on the data path: TileTask/TileResult or an "
+                        "ShmRef descriptor)",
+                    )
+
+    def _check_put(self, node: ast.Call, ctx: ModuleContext) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in ("put", "put_nowait"):
+            return
+        recv = _receiver_text(func.value)
+        if "queue" not in recv.lower() and recv not in self._QUEUE_NAMES:
+            return
+        if not node.args:
+            return
+        arg = node.args[0]
+        if isinstance(arg, (ast.Dict, ast.List, ast.Set, ast.Tuple, ast.Lambda, ast.GeneratorExp)):
+            ctx.report(
+                self.code,
+                arg,
+                "ad-hoc object enqueued on an mp queue (declare a frozen+slots dataclass "
+                "in runtime/messages.py instead)",
+            )
+            return
+        if isinstance(arg, ast.Call):
+            name = _dotted(arg.func).rsplit(".", 1)[-1]
+            if name and name[0].isupper() and name not in MESSAGE_CLASSES:
+                ctx.report(
+                    self.code,
+                    arg,
+                    f"{name} enqueued on an mp queue but is not declared in "
+                    "runtime/messages.py",
+                )
+
+
+# ---------------------------------------------------------------------- RL003
+class ShmPairingRule(Rule):
+    """SlotArena acquire/release and SharedMemory close/unlink must pair.
+
+    An acquired slot that is neither released nor stored in a tracking
+    structure leaks arena capacity until shutdown; an ``unlink`` without a
+    ``close`` in the same function trips the resource tracker.  Direct
+    ``SharedMemory`` construction outside ``shm_arena.py`` bypasses the
+    single-owner lifecycle (Central creates/unlinks, workers only attach).
+    """
+
+    code = "RL003"
+    name = "shm-slot-pairing"
+    description = "paired shm slot acquire/release and close/unlink lifecycles"
+    include = ("repro/runtime",)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext, walker: Walker) -> None:
+        if isinstance(node, ast.Call):
+            name = _dotted(node.func)
+            if name.rsplit(".", 1)[-1] == "SharedMemory" and not ctx.posix_path.endswith(
+                "shm_arena.py"
+            ):
+                ctx.report(
+                    self.code,
+                    node,
+                    "direct SharedMemory construction outside shm_arena.py (attach via "
+                    "shm_arena.attach_array/attach_bytes so ownership and cleanup stay "
+                    "in one place)",
+                )
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._check_function(node, ctx)
+
+    def _check_function(self, fn: ast.AST, ctx: ModuleContext) -> None:
+        acquires: list[ast.Call] = []
+        unlinks: list[ast.Call] = []
+        has_release = has_close = has_subscript_store = False
+        for node in _function_body_nodes(fn):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                attr = node.func.attr
+                recv = _receiver_text(node.func.value).lower()
+                if attr == "acquire" and "arena" in recv:
+                    acquires.append(node)
+                elif attr == "release":
+                    has_release = True
+                elif attr == "unlink":
+                    unlinks.append(node)
+                elif attr == "close":
+                    has_close = True
+            elif isinstance(node, ast.Assign):
+                if any(isinstance(t, ast.Subscript) for t in node.targets):
+                    has_subscript_store = True
+        fn_name = getattr(fn, "name", "<lambda>")
+        if acquires and not (has_release or has_subscript_store):
+            ctx.report(
+                self.code,
+                acquires[0],
+                f"arena slot acquired in {fn_name}() but neither released nor stored "
+                "for later release (slot leaks on every control path)",
+            )
+        if unlinks and not has_close:
+            ctx.report(
+                self.code,
+                unlinks[0],
+                f"SharedMemory.unlink() without close() in {fn_name}() (leaks the "
+                "mapping and trips the resource tracker)",
+            )
+
+
+# ---------------------------------------------------------------------- RL004
+class TelemetryDisciplineRule(Rule):
+    """Span names come from the fixed schema; no bare/silently-swallowed
+    exceptions in runtime loops.
+
+    The exporters and the report aggregate by stage name — a free-form span
+    name silently falls out of every report.  ``except: pass`` in a worker
+    or supervision loop turns a protocol bug into a hang with no telemetry
+    record (use ``contextlib.suppress`` for genuinely-ignorable cleanup, or
+    route the event through the telemetry recorder).
+    """
+
+    code = "RL004"
+    name = "telemetry-discipline"
+    description = "closed span schema; no bare or silently-swallowed excepts"
+    #: bare-except applies everywhere; the other checks gate on path below.
+    include = ()
+
+    _RUNTIME_PATHS = ("repro/runtime", "repro/telemetry", "repro/simulator")
+
+    def visit(self, node: ast.AST, ctx: ModuleContext, walker: Walker) -> None:
+        if isinstance(node, ast.ExceptHandler):
+            if node.type is None:
+                ctx.report(
+                    self.code,
+                    node,
+                    "bare except: catches SystemExit/KeyboardInterrupt and hides worker "
+                    "death (catch a concrete exception type)",
+                )
+            elif ctx.in_path(*self._RUNTIME_PATHS):
+                caught = _dotted(node.type)
+                if caught in ("Exception", "BaseException") and all(
+                    isinstance(s, ast.Pass) for s in node.body
+                ):
+                    ctx.report(
+                        self.code,
+                        node,
+                        f"except {caught}: pass silently swallows failures in runtime "
+                        "code (record through telemetry or use contextlib.suppress with "
+                        "a narrower type)",
+                    )
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "span"
+            and node.args
+            and ctx.in_path(*self._RUNTIME_PATHS)
+        ):
+            first = node.args[0]
+            if isinstance(first, ast.Name) and first.id.startswith("STAGE_"):
+                if first.id not in STAGE_CONSTANT_NAMES:
+                    ctx.report(
+                        self.code,
+                        first,
+                        f"span stage constant {first.id} is not part of the fixed "
+                        "telemetry schema",
+                    )
+            elif isinstance(first, ast.Constant) and isinstance(first.value, str):
+                if first.value not in STAGES:
+                    ctx.report(
+                        self.code,
+                        first,
+                        f"span name {first.value!r} is outside the fixed schema "
+                        f"{STAGES} (free-form spans fall out of every report)",
+                    )
+
+
+# ---------------------------------------------------------------------- RL005
+class NumericHygieneRule(Rule):
+    """No float64 creep in the hot kernels.
+
+    The runtime is float32 end-to-end; a float64 literal or a dtype-less
+    allocation in ``compression/`` or ``nn/functional.py`` silently doubles
+    wire bytes and promotes every downstream op.
+    """
+
+    code = "RL005"
+    name = "numeric-hygiene"
+    description = "no float64 literals or dtype-less allocations in hot kernels"
+    include = ("repro/compression", "repro/nn/functional.py")
+
+    _ALLOC_FUNCS = frozenset({"zeros", "ones", "empty", "full", "arange"})
+
+    def visit(self, node: ast.AST, ctx: ModuleContext, walker: Walker) -> None:
+        if isinstance(node, ast.Attribute) and node.attr == "float64":
+            ctx.report(
+                self.code,
+                node,
+                "float64 in a hot kernel (the runtime is float32 end-to-end; a single "
+                "float64 promotes every downstream op and doubles wire bytes)",
+            )
+        if isinstance(node, ast.Constant) and node.value == "float64":
+            ctx.report(self.code, node, 'dtype string "float64" in a hot kernel')
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            parts = dotted.split(".")
+            if (
+                len(parts) == 2
+                and parts[0] in ("np", "numpy")
+                and parts[1] in self._ALLOC_FUNCS
+                and not any(kw.arg == "dtype" for kw in node.keywords)
+            ):
+                default = (
+                    "a platform-dependent integer/float dtype"
+                    if parts[1] == "arange"
+                    else "float64"
+                )
+                ctx.report(
+                    self.code,
+                    node,
+                    f"{dotted}() without an explicit dtype defaults to {default} "
+                    "(pass dtype=np.float32 or the source array's dtype)",
+                )
+
+
+# ---------------------------------------------------------------------- RL006
+class WorkerTargetRule(Rule):
+    """``Process(target=...)`` must point at a module-level function.
+
+    A lambda or bound-method target drags its enclosing state through fork
+    (and cannot be pickled at all under spawn), breaking the fresh-queue
+    respawn path where the same target is re-launched later.
+    """
+
+    code = "RL006"
+    name = "worker-target"
+    description = "Process targets are module-level functions, not closures/bound methods"
+    include = ("repro/runtime", "repro/simulator")
+
+    def visit(self, node: ast.AST, ctx: ModuleContext, walker: Walker) -> None:
+        if not isinstance(node, ast.Call):
+            return
+        if _dotted(node.func).rsplit(".", 1)[-1] != "Process":
+            return
+        for kw in node.keywords:
+            if kw.arg != "target":
+                continue
+            if isinstance(kw.value, ast.Lambda):
+                ctx.report(
+                    self.code,
+                    kw.value,
+                    "lambda Process target (captures enclosing frame through fork and "
+                    "cannot be respawned under spawn; use a module-level function)",
+                )
+            elif isinstance(kw.value, ast.Attribute):
+                ctx.report(
+                    self.code,
+                    kw.value,
+                    f"bound-method Process target {_receiver_text(kw.value)} (drags the "
+                    "whole instance through fork; use a module-level function taking "
+                    "explicit arguments)",
+                )
+
+
+# ---------------------------------------------------------------------- RL007
+class ImportEffectsRule(Rule):
+    """No import-time side effects in worker-imported modules.
+
+    Workers import these modules inside ``fork()``; a stray ``print``,
+    ``open``, process/thread launch, or ``set_start_method`` at module level
+    runs once per worker at unpredictable times (or deadlocks outright).
+    Side effects belong under ``if __name__ == "__main__":`` or in functions.
+    """
+
+    code = "RL007"
+    name = "import-effects"
+    description = "no import-time side effects in worker-imported modules"
+    include = WORKER_PACKAGES
+
+    _EFFECT_FUNCS = frozenset(
+        {"print", "open", "set_start_method", "sleep", "Process", "Thread", "Pool", "SharedMemory"}
+    )
+
+    def visit(self, node: ast.AST, ctx: ModuleContext, walker: Walker) -> None:
+        if not (isinstance(node, ast.Expr) and walker.at_module_level):
+            return
+        call = node.value
+        if not isinstance(call, ast.Call):
+            return
+        name = _dotted(call.func).rsplit(".", 1)[-1]
+        if name in self._EFFECT_FUNCS:
+            ctx.report(
+                self.code,
+                node,
+                f"import-time call to {name}() in a worker-imported module (runs once "
+                'per forked worker; move it under if __name__ == "__main__" or into a '
+                "function)",
+            )
+
+
+RULE_CLASSES: tuple[type[Rule], ...] = (
+    ForkSafetyRule,
+    QueueMessageRule,
+    ShmPairingRule,
+    TelemetryDisciplineRule,
+    NumericHygieneRule,
+    WorkerTargetRule,
+    ImportEffectsRule,
+)
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of every registered rule."""
+    return [cls() for cls in RULE_CLASSES]

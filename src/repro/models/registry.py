@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable, Mapping
+from types import MappingProxyType
 
 from .blocks import PartitionableCNN
 from .charcnn import charcnn_mini
@@ -13,7 +14,9 @@ from .yolo import yolo_mini
 
 __all__ = ["MODEL_BUILDERS", "create_model", "available_models"]
 
-MODEL_BUILDERS: dict[str, Callable[..., PartitionableCNN]] = {
+# Read-only so fork-inherited copies cannot silently diverge per worker
+# (RL001); register new models here, not by mutating the mapping at runtime.
+MODEL_BUILDERS: Mapping[str, Callable[..., PartitionableCNN]] = MappingProxyType({
     "vgg16": vgg16,
     "vgg_mini": vgg_mini,
     "resnet34": lambda **kw: resnet(stage_blocks=[3, 4, 6, 3], **kw),
@@ -22,7 +25,7 @@ MODEL_BUILDERS: dict[str, Callable[..., PartitionableCNN]] = {
     "yolo_mini": yolo_mini,
     "fcn_mini": fcn_mini,
     "charcnn_mini": charcnn_mini,
-}
+})
 
 
 def create_model(name: str, **kwargs) -> PartitionableCNN:

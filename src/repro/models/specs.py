@@ -14,7 +14,9 @@ All sizes follow the paper's conventions: a *layer block* is conv+BN+ReLU
 
 from __future__ import annotations
 
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
+from types import MappingProxyType
 
 __all__ = [
     "BlockSpec",
@@ -251,7 +253,8 @@ def charcnn_spec(num_classes: int = 4, vocab: int = 70, length: int = 1014) -> M
     return ModelSpec("charcnn", (vocab, length), blocks, separable_prefix=4)
 
 
-SPEC_BUILDERS = {
+# Read-only: worker-imported module state must not be mutable (RL001).
+SPEC_BUILDERS: Mapping[str, Callable[..., ModelSpec]] = MappingProxyType({
     "alexnet": alexnet_spec,
     "vgg16": vgg16_spec,
     "resnet18": resnet18_spec,
@@ -259,7 +262,7 @@ SPEC_BUILDERS = {
     "yolo": yolo_spec,
     "fcn": fcn_spec,
     "charcnn": charcnn_spec,
-}
+})
 
 
 def get_spec(name: str, **kwargs) -> ModelSpec:

@@ -9,7 +9,7 @@ weights between the Central node and Conv nodes in the ADCNN runtime.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterator
+from collections.abc import Iterator
 
 import numpy as np
 

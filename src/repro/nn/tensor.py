@@ -13,7 +13,7 @@ vectorized and gradient-checked in ``tests/test_nn_tensor.py``.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 
 import numpy as np
 

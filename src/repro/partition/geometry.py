@@ -12,7 +12,9 @@ paper's §3.2 constraint that pooling receptive fields stay inside one tile
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
+from types import MappingProxyType
 
 import numpy as np
 
@@ -29,14 +31,15 @@ __all__ = [
     "reassemble_tensor",
 ]
 
-#: The five partition options evaluated in Figure 10.
-PARTITION_OPTIONS: dict[str, tuple[int, int]] = {
+#: The five partition options evaluated in Figure 10.  Read-only: worker
+#: processes inherit this module through fork (RL001).
+PARTITION_OPTIONS: Mapping[str, tuple[int, int]] = MappingProxyType({
     "2x2": (2, 2),
     "3x3": (3, 3),
     "4x4": (4, 4),
     "4x8": (4, 8),
     "8x8": (8, 8),
-}
+})
 
 
 @dataclass(frozen=True)

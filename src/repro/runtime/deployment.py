@@ -9,7 +9,9 @@ from worker processes.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from pathlib import Path
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -19,6 +21,9 @@ from repro.nn.serialization import load_state, save_state
 from repro.partition.geometry import SegmentGrid, TileGrid, grid_for_model
 
 from .process_backend import InferenceOutcome, ProcessCluster, ProcessClusterConfig
+
+if TYPE_CHECKING:
+    from repro.training.progressive import ProgressiveResult
 
 __all__ = ["ADCNNDeployment"]
 
@@ -57,7 +62,7 @@ class ADCNNDeployment:
         self.model.eval()
 
     @classmethod
-    def from_progressive(cls, result) -> "ADCNNDeployment":
+    def from_progressive(cls, result: ProgressiveResult) -> "ADCNNDeployment":
         """Package a :class:`ProgressiveResult` (Algorithm 1 output)."""
         fdsp = result.model
         bounds = result.bounds
@@ -71,7 +76,7 @@ class ADCNNDeployment:
     def pipeline(self) -> CompressionPipeline:
         return CompressionPipeline(self.clip_lower, self.clip_upper, bits=self.bits)
 
-    def serve(self, num_workers: int = 2, t_limit: float = 30.0, **kwargs) -> ProcessCluster:
+    def serve(self, num_workers: int = 2, t_limit: float = 30.0, **kwargs: Any) -> ProcessCluster:
         """A process cluster serving this deployment (context manager)."""
         config = ProcessClusterConfig(num_workers=num_workers, t_limit=t_limit, **kwargs)
         return ProcessCluster(self.model, self.grid, pipeline=self.pipeline, config=config)
@@ -105,7 +110,9 @@ class ADCNNDeployment:
         save_state(self.model.state_dict(), path, metadata=meta)
 
     @classmethod
-    def load(cls, path: str | Path, builder, **builder_kwargs) -> "ADCNNDeployment":
+    def load(
+        cls, path: str | Path, builder: Callable[..., PartitionableCNN], **builder_kwargs: Any
+    ) -> "ADCNNDeployment":
         """Rebuild from disk; ``builder(**builder_kwargs)`` must produce the
         same architecture the weights were saved from."""
         state, meta = load_state(path)

@@ -18,7 +18,10 @@ from __future__ import annotations
 import queue as queue_mod
 import time
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from multiprocessing.queues import Queue
 
 import numpy as np
 
@@ -31,7 +34,7 @@ __all__ = ["TileTask", "TileResult", "Shutdown", "ArenaGrant", "LOCAL_WORKER", "
 LOCAL_WORKER = -1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TileTask:
     """An input tile dispatched to a Conv node.
 
@@ -60,7 +63,7 @@ class TileTask:
             raise ValueError("a task needs either an inline tile or a slot descriptor")
 
 
-def drain_queue(q, retries: int = 2, retry_delay: float = 0.01) -> list[TileTask]:
+def drain_queue(q: Queue[Any], retries: int = 2, retry_delay: float = 0.01) -> list[TileTask]:
     """Drain undelivered messages from a dead worker's task queue.
 
     Returns the :class:`TileTask` messages recovered (other message types
@@ -86,7 +89,7 @@ def drain_queue(q, retries: int = 2, retry_delay: float = 0.01) -> list[TileTask
     return drained
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TileResult:
     """A Conv node's intermediate result for one tile.
 
@@ -114,7 +117,7 @@ class TileResult:
     t_end: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ArenaGrant:
     """Control message granting a worker its result-slot ring.
 
@@ -130,6 +133,6 @@ class ArenaGrant:
     slot_nbytes: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Shutdown:
     """Sentinel telling a Conv-node worker to exit."""

@@ -35,8 +35,11 @@ from __future__ import annotations
 import multiprocessing as mp
 import queue as queue_mod
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass, field, replace
 from multiprocessing import shared_memory
+from multiprocessing.synchronize import Semaphore
+from typing import Any
 
 import numpy as np
 
@@ -44,7 +47,13 @@ import repro.nn as nn
 from repro.compression import CompressionPipeline, PackedStream, PackedTensor, max_packed_nbytes
 from repro.models.blocks import PartitionableCNN
 from repro.nn import Tensor
-from repro.partition.geometry import grid_for_model, reassemble_array, split_array
+from repro.partition.geometry import (
+    SegmentGrid,
+    TileGrid,
+    grid_for_model,
+    reassemble_array,
+    split_array,
+)
 from repro.telemetry import (
     STAGE_CENTRAL,
     STAGE_COMPRESS,
@@ -54,6 +63,7 @@ from repro.telemetry import (
     STAGE_RESULT_TRANSFER,
     STAGE_TRANSFER,
     NullRecorder,
+    Recorder,
 )
 
 from .messages import LOCAL_WORKER, ArenaGrant, Shutdown, TileResult, TileTask, drain_queue
@@ -62,10 +72,15 @@ from .shm_arena import (
     ShmRef,
     SlotArena,
     attach_array,
+    attach_slot,
     close_attachments,
+    shm_available,
     write_array,
     write_bytes,
 )
+
+#: Per-image in-flight bookkeeping (tiles, assignment map, results, timing).
+_ImageState = dict[str, Any]
 
 __all__ = ["ProcessClusterConfig", "InferenceOutcome", "ProcessCluster"]
 
@@ -75,7 +90,13 @@ __all__ = ["ProcessClusterConfig", "InferenceOutcome", "ProcessCluster"]
 TRANSPORTS = ("shm", "pickle")
 
 
-def _stage_result(payload, grant, attachments, result_sem, cursor):
+def _stage_result(
+    payload: PackedTensor | np.ndarray,
+    grant: ArenaGrant,
+    attachments: dict[str, shared_memory.SharedMemory],
+    result_sem: Semaphore,
+    cursor: int,
+) -> tuple[PackedTensor | np.ndarray | ShmRef, int]:
     """Move a result's bytes into the worker's slot ring, if possible.
 
     Returns ``(payload_or_descriptor, cursor)``.  Falls back to the inline
@@ -92,10 +113,7 @@ def _stage_result(payload, grant, attachments, result_sem, cursor):
         return payload, cursor  # central is slow to drain; ship inline
     name = grant.slot_names[cursor % len(grant.slot_names)]
     try:
-        shm = attachments.get(name)
-        if shm is None:
-            shm = shared_memory.SharedMemory(name=name)
-            attachments[name] = shm
+        shm = attach_slot(attachments, name)
         if isinstance(payload, PackedTensor):
             ref = write_bytes(shm, data, raw_bits=raw_bits)
         else:
@@ -113,7 +131,7 @@ def _worker_loop(
     task_queue: mp.Queue,
     result_queue: mp.Queue,
     delay_per_tile: float,
-    result_sem=None,
+    result_sem: Semaphore | None = None,
 ) -> None:
     """Conv-node main loop (runs in a forked child process).
 
@@ -173,18 +191,6 @@ def _worker_loop(
             )
     finally:
         close_attachments(attachments)
-
-
-def _shm_available() -> bool:
-    """Probe POSIX shared memory once so ``transport="shm"`` can degrade
-    to pickle where /dev/shm is absent (some containers/sandboxes)."""
-    try:
-        probe = shared_memory.SharedMemory(create=True, size=1)
-        probe.close()
-        probe.unlink()
-        return True
-    except Exception:
-        return False
 
 
 def _rate_credits(
@@ -293,10 +299,10 @@ class ProcessCluster:
     def __init__(
         self,
         model: PartitionableCNN,
-        grid,
+        grid: TileGrid | SegmentGrid | str,
         pipeline: CompressionPipeline | None = None,
         config: ProcessClusterConfig | None = None,
-        telemetry=None,
+        telemetry: Recorder | None = None,
     ) -> None:
         self.model = model
         self.grid = grid_for_model(model, grid) if isinstance(grid, str) else grid
@@ -325,7 +331,7 @@ class ProcessCluster:
         self._transport = self.config.transport
         self._task_arena: SlotArena | None = None
         self._result_arenas: list[SlotArena | None] = []
-        self._result_sems: list = []
+        self._result_sems: list[Semaphore | None] = []
 
     # -------------------------------------------------------------- lifecycle
     def start(self) -> "ProcessCluster":
@@ -338,7 +344,7 @@ class ProcessCluster:
         self._restart_counts = [0] * self.config.num_workers
         self._restart_at = [None] * self.config.num_workers
         self._transport = self.config.transport
-        if self._transport == "shm" and not _shm_available():
+        if self._transport == "shm" and not shm_available():
             self._transport = "pickle"  # e.g. no /dev/shm in the sandbox
         self._task_arena = None
         self._result_arenas = [None] * self.config.num_workers
@@ -378,11 +384,17 @@ class ProcessCluster:
         return proc
 
     def stop(self) -> None:
-        for tq in self._task_queues:
+        for wid, tq in enumerate(self._task_queues):
             try:
                 tq.put(Shutdown())
-            except Exception:
-                pass
+            except Exception as exc:
+                # A worker that died mid-run can leave a broken feeder pipe;
+                # the join/terminate below still reaps the process.  Record
+                # the event instead of swallowing it (RL004).
+                self.telemetry.record(
+                    time.perf_counter(), "shutdown_put_failed",
+                    node=f"worker{wid}", error=type(exc).__name__,
+                )
         for proc in self._procs:
             proc.join(timeout=5.0)
             if proc.is_alive():
@@ -411,7 +423,7 @@ class ProcessCluster:
     def __enter__(self) -> "ProcessCluster":
         return self.start()
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.stop()
 
     # ------------------------------------------------------------ supervision
@@ -427,7 +439,7 @@ class ProcessCluster:
     def _alive_mask(self) -> np.ndarray:
         return np.array([p.is_alive() for p in self._procs], dtype=bool)
 
-    def _supervise(self, inflight: dict[int, dict]) -> None:
+    def _supervise(self, inflight: dict[int, _ImageState]) -> None:
         """Detect dead workers, drain + re-dispatch their work, restart them.
 
         Called from the collect loops and before every dispatch, so death is
@@ -480,7 +492,7 @@ class ProcessCluster:
         self.telemetry.count("adcnn_worker_restarts_total", node=f"worker{worker_id}")
         self.telemetry.record(time.perf_counter(), "restart", node=f"worker{worker_id}")
 
-    def _redispatch_pending(self, dead_wid: int, inflight: dict[int, dict]) -> None:
+    def _redispatch_pending(self, dead_wid: int, inflight: dict[int, _ImageState]) -> None:
         """Re-queue every tile ``dead_wid`` owned but never answered."""
         for image_id, st in inflight.items():
             pending = [
@@ -524,7 +536,7 @@ class ProcessCluster:
                 st["allocation"][new_wid] += 1
                 self.telemetry.count("adcnn_tiles_dispatched_total", node=f"worker{new_wid}")
 
-    def _local_payload(self, tile: np.ndarray):
+    def _local_payload(self, tile: np.ndarray) -> Any:
         """Central-node fallback: run the separable block in-process."""
         with nn.no_grad():
             out = self._separable(Tensor(np.ascontiguousarray(tile))).data
@@ -571,7 +583,7 @@ class ProcessCluster:
         self._result_arenas[wid] = arena
         self._task_queues[wid].put(ArenaGrant(arena.names, arena.slot_nbytes))
 
-    def _make_task(self, st: dict, image_id: int, tile_id: int, probe: bool = False) -> TileTask:
+    def _make_task(self, st: _ImageState, image_id: int, tile_id: int, probe: bool = False) -> TileTask:
         """Build a task message: slot descriptor when possible, else inline.
 
         A tile keeps its slot across fault re-dispatch — the data is still
@@ -590,12 +602,12 @@ class ProcessCluster:
                 return TileTask(image_id, tile_id, probe=probe, slot=ref)
         return TileTask(image_id, tile_id, np.ascontiguousarray(tile), probe=probe)
 
-    def _release_task_slot(self, st: dict, tile_id: int) -> None:
+    def _release_task_slot(self, st: _ImageState, tile_id: int) -> None:
         slot = st["task_slots"].pop(tile_id, None)
         if slot is not None and self._task_arena is not None:
             self._task_arena.release(slot)
 
-    def _release_image_slots(self, st: dict) -> None:
+    def _release_image_slots(self, st: _ImageState) -> None:
         """Reclaim every task slot an image still holds (finalize time)."""
         if self._task_arena is not None:
             for slot in st["task_slots"].values():
@@ -647,7 +659,9 @@ class ProcessCluster:
         """
         return self.infer_stream([image], pipeline_depth=1)[0]
 
-    def infer_stream(self, images, pipeline_depth: int = 2) -> list[InferenceOutcome]:
+    def infer_stream(
+        self, images: Sequence[np.ndarray], pipeline_depth: int = 2
+    ) -> list[InferenceOutcome]:
         """Pipelined inference over a sequence of images (Figure 9).
 
         Up to ``pipeline_depth`` images are in flight: the next image's
@@ -663,7 +677,7 @@ class ProcessCluster:
         images = [np.asarray(img, dtype=np.float32) for img in images]
         images = [img[None] if img.ndim == len(self.model.input_shape) else img for img in images]
 
-        inflight: dict[int, dict] = {}
+        inflight: dict[int, _ImageState] = {}
         outcomes: dict[int, InferenceOutcome] = {}
         order: list[int] = []
         next_idx = 0
@@ -688,7 +702,7 @@ class ProcessCluster:
                            allocation=[] if allocation is None else [int(a) for a in allocation])
                 for wid, s_k in enumerate(self._stats.rates()):
                     tel.gauge("adcnn_scheduler_share", s_k, node=f"worker{wid}")
-            st = {
+            st: _ImageState = {
                 "idx": idx,
                 "tiles": tiles,
                 "allocation": allocation
@@ -817,7 +831,7 @@ class ProcessCluster:
                 time.sleep(min(timeout, self.config.poll_interval, 0.005))
         return [outcomes[i] for i in range(len(images))]
 
-    def _sweep_results(self, inflight: dict[int, dict]) -> bool:
+    def _sweep_results(self, inflight: dict[int, _ImageState]) -> bool:
         """Drain every worker's result channel; True if anything arrived."""
         tel = self.telemetry
         got = False
@@ -849,7 +863,7 @@ class ProcessCluster:
                         self._record_tile_spans(res, target, recv)
         return got
 
-    def _record_tile_spans(self, res: TileResult, st: dict, recv: float) -> None:
+    def _record_tile_spans(self, res: TileResult, st: _ImageState, recv: float) -> None:
         """Worker-side timestamps → transfer/compute/compress/return spans.
 
         ``perf_counter`` is CLOCK_MONOTONIC on Linux, shared across forked
@@ -899,10 +913,13 @@ class ProcessCluster:
             self._stats.note_probe(k)
         return allocation, probe_workers
 
-    def _materialize_tiles(self, tiles, results) -> tuple[list[np.ndarray], list[int]]:
+    def _materialize_tiles(
+        self, tiles: list[np.ndarray], results: dict[int, TileResult]
+    ) -> tuple[list[np.ndarray], list[int]]:
         """Decompress received tiles; zero-fill the rest (§6.1)."""
         shape = self._tile_output_shape(tiles[0])
-        out, missing = [], []
+        out: list[np.ndarray] = []
+        missing: list[int] = []
         for tile_id in range(len(tiles)):
             res = results.get(tile_id)
             if res is None:

@@ -16,6 +16,7 @@ receiving tiles, which is how ADCNN tolerates node failure.
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 __all__ = ["StatisticsCollector", "allocate_tiles", "SchedulingError"]
 
@@ -64,7 +65,7 @@ class StatisticsCollector:
     def num_nodes(self) -> int:
         return len(self._s)
 
-    def update(self, counts) -> None:
+    def update(self, counts: ArrayLike) -> None:
         """Fold in ``n_k`` for one image: ``s <- (1-γ)s + γn``."""
         counts = np.asarray(counts, dtype=float)
         if counts.shape != self._s.shape:
@@ -78,7 +79,7 @@ class StatisticsCollector:
         """Current ``s_k`` estimates (copy)."""
         return self._s.copy()
 
-    def probe_due(self, alive, allocation) -> list[int]:
+    def probe_due(self, alive: ArrayLike, allocation: ArrayLike) -> list[int]:
         """Nodes owed a recovery-probe tile for the next image.
 
         A node is due when it is alive, Algorithm 3 allocated it nothing
@@ -101,9 +102,9 @@ class StatisticsCollector:
 
 def allocate_tiles(
     num_tiles: int,
-    rates,
+    rates: ArrayLike,
     tile_bits: float = 0.0,
-    storage_bits=None,
+    storage_bits: ArrayLike | None = None,
     rng: np.random.Generator | None = None,
     epsilon: float = 1e-9,
 ) -> np.ndarray:

@@ -40,6 +40,7 @@ payload outgrows its slot, callers fall back to inline pickle payloads, so
 
 from __future__ import annotations
 
+from contextlib import suppress
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
@@ -49,13 +50,15 @@ __all__ = [
     "ShmRef",
     "SlotArena",
     "attach_array",
+    "attach_slot",
     "close_attachments",
+    "shm_available",
     "write_array",
     "write_bytes",
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ShmRef:
     """Picklable descriptor of bytes sitting in a shared-memory slot.
 
@@ -134,11 +137,9 @@ class SlotArena:
         if getattr(self, "_destroyed", False):
             return
         for slot in self._slots:
-            try:
+            with suppress(Exception):
                 slot.close()
                 slot.unlink()
-            except Exception:
-                pass
         self._free = []
         self._destroyed = True
 
@@ -170,6 +171,22 @@ def write_bytes(
     return ShmRef(name=slot.name, nbytes=buf.nbytes, kind="packed", raw_bits=raw_bits)
 
 
+def attach_slot(
+    cache: dict[str, shared_memory.SharedMemory], name: str
+) -> shared_memory.SharedMemory:
+    """Attach to a named segment, caching the handle per process.
+
+    This is the **only** sanctioned way to reach someone else's segment
+    (RL003): attachments pair with :func:`close_attachments` at shutdown,
+    and the creating process keeps the sole unlink responsibility.
+    """
+    shm = cache.get(name)
+    if shm is None:
+        shm = shared_memory.SharedMemory(name=name)
+        cache[name] = shm
+    return shm
+
+
 def attach_array(
     cache: dict[str, shared_memory.SharedMemory], ref: ShmRef
 ) -> np.ndarray:
@@ -180,10 +197,7 @@ def attach_array(
     before the owner recycles the slot (the cluster protocol guarantees
     the slot is stable until this tile's result is recorded).
     """
-    shm = cache.get(ref.name)
-    if shm is None:
-        shm = shared_memory.SharedMemory(name=ref.name)
-        cache[ref.name] = shm
+    shm = attach_slot(cache, ref.name)
     if ref.kind == "packed":
         return np.frombuffer(shm.buf, dtype=np.uint8, count=ref.nbytes)
     return np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=shm.buf)
@@ -192,8 +206,18 @@ def attach_array(
 def close_attachments(cache: dict[str, shared_memory.SharedMemory]) -> None:
     """Close every cached attachment (worker-side shutdown hygiene)."""
     for shm in cache.values():
-        try:
+        with suppress(Exception):
             shm.close()
-        except Exception:
-            pass
     cache.clear()
+
+
+def shm_available() -> bool:
+    """Probe POSIX shared memory once so ``transport="shm"`` can degrade
+    to pickle where /dev/shm is absent (some containers/sandboxes)."""
+    try:
+        probe = shared_memory.SharedMemory(create=True, size=1)
+        probe.close()
+        probe.unlink()
+        return True
+    except Exception:
+        return False

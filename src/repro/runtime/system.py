@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 
@@ -36,6 +36,7 @@ from repro.telemetry import (
     STAGE_RESULT_TRANSFER,
     STAGE_TRANSFER,
     NullRecorder,
+    Recorder,
 )
 
 from .scheduler import StatisticsCollector, allocate_tiles
@@ -134,7 +135,7 @@ class ADCNNSystem:
         config: ADCNNConfig | None = None,
         shared_medium: bool = True,
         rng: np.random.Generator | None = None,
-        telemetry=None,
+        telemetry: Recorder | None = None,
     ) -> None:
         if not conv_nodes:
             raise ValueError("need at least one Conv node")
@@ -253,7 +254,8 @@ class ADCNNSystem:
                     bits = allocation[idx] * self.workload.tile_input_bits
                     t_req = sim.now
 
-                    def on_up(t, i=idx, b=bits, t0=t_req, img=image_id):
+                    def on_up(t: float, i: int = idx, b: float = bits,
+                              t0: float = t_req, img: int = image_id) -> None:
                         if tel.enabled:
                             tel.span(STAGE_TRANSFER, t0, t - t0,
                                      node=self.nodes[i].name, image_id=img, bits=b)
@@ -312,7 +314,8 @@ class ADCNNSystem:
                 bits = cnt * self.workload.tile_input_bits
                 t0 = sim.now
 
-                def on_up(t, i=idx, c=cnt, b=bits, t0=t0):
+                def on_up(t: float, i: int = idx, c: int = cnt,
+                          b: float = bits, t0: float = t0) -> None:
                     if tel.enabled:
                         tel.span(STAGE_TRANSFER, t0, t - t0, node=self.nodes[i].name,
                                  image_id=image_id, bits=b, redispatch=True)

@@ -10,7 +10,7 @@ evaluation the paper motivates (§6.1) but does not quantify.
 
 from __future__ import annotations
 
-from typing import Iterable
+from collections.abc import Iterable
 
 import numpy as np
 

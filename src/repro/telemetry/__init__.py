@@ -29,6 +29,7 @@ from .recorder import (
     STAGE_TRANSFER,
     STAGES,
     NullRecorder,
+    Recorder,
     TelemetryRecorder,
 )
 #: Report helpers are loaded lazily so ``python -m repro.telemetry.report``
@@ -36,7 +37,7 @@ from .recorder import (
 _REPORT_EXPORTS = ("RunSummary", "StageStats", "render", "summarize")
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     if name in _REPORT_EXPORTS:
         from . import report
 
@@ -47,6 +48,7 @@ def __getattr__(name: str):
 __all__ = [
     "TelemetryRecorder",
     "NullRecorder",
+    "Recorder",
     "MetricsRegistry",
     "Counter",
     "Gauge",

@@ -16,7 +16,9 @@ from __future__ import annotations
 
 import json
 import re
-from typing import Any, Iterable
+from collections.abc import Iterable
+from pathlib import Path
+from typing import Any
 
 from .metrics import HISTOGRAM_QUANTILES, Histogram, MetricsRegistry
 
@@ -102,7 +104,7 @@ def validate_chrome_trace(obj: Any) -> list[dict[str, Any]]:
     return obj["traceEvents"]
 
 
-def write_chrome_trace(events: Iterable[dict[str, Any]], path) -> None:
+def write_chrome_trace(events: Iterable[dict[str, Any]], path: str | Path) -> None:
     with open(path, "w") as fh:
         json.dump(to_chrome_trace(events), fh)
 
@@ -168,7 +170,9 @@ def parse_prometheus_text(text: str) -> dict[tuple[str, frozenset], float]:
 
 
 # -------------------------------------------------------------------- jsonl
-def write_jsonl(events: Iterable[dict[str, Any]], path, metrics: MetricsRegistry | None = None) -> None:
+def write_jsonl(
+    events: Iterable[dict[str, Any]], path: str | Path, metrics: MetricsRegistry | None = None
+) -> None:
     """One JSON object per line: all events, then a metrics snapshot.
 
     The single file is what ``python -m repro.telemetry.report`` consumes.
@@ -181,7 +185,7 @@ def write_jsonl(events: Iterable[dict[str, Any]], path, metrics: MetricsRegistry
                 fh.write(json.dumps(row, default=_json_default) + "\n")
 
 
-def _json_default(obj):
+def _json_default(obj: Any) -> Any:
     try:
         import numpy as np
 
@@ -196,7 +200,7 @@ def _json_default(obj):
     raise TypeError(f"not JSON serializable: {type(obj)!r}")
 
 
-def read_jsonl(path) -> tuple[list[dict[str, Any]], list[dict[str, Any]]]:
+def read_jsonl(path: str | Path) -> tuple[list[dict[str, Any]], list[dict[str, Any]]]:
     """Inverse of :func:`write_jsonl`: ``(events, metric_rows)``."""
     events: list[dict[str, Any]] = []
     metric_rows: list[dict[str, Any]] = []

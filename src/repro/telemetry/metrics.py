@@ -13,6 +13,8 @@ dimension (``node=...``, ``stage=...``, ``direction=...``).
 from __future__ import annotations
 
 import math
+from collections.abc import Callable, Iterator
+from typing import TypeVar, cast
 
 import numpy as np
 
@@ -78,6 +80,9 @@ class Histogram:
         return float(np.quantile(self.samples, q))
 
 
+_M = TypeVar("_M", Counter, Gauge, Histogram)
+
+
 class MetricsRegistry:
     """All metrics of one run, addressable by name + labels.
 
@@ -92,26 +97,26 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: dict[tuple[str, str, tuple[tuple[str, str], ...]], object] = {}
 
-    def _get(self, kind: str, factory, name: str, labels: dict[str, object]):
+    def _get(self, kind: str, factory: Callable[[], _M], name: str, labels: dict[str, object]) -> _M:
         key = (kind, name, tuple(sorted((k, str(v)) for k, v in labels.items())))
         metric = self._metrics.get(key)
         if metric is None:
             metric = self._metrics[key] = factory()
-        return metric
+        return cast("_M", metric)
 
-    def counter(self, name: str, **labels) -> Counter:
+    def counter(self, name: str, **labels: object) -> Counter:
         return self._get("counter", Counter, name, labels)
 
-    def gauge(self, name: str, **labels) -> Gauge:
+    def gauge(self, name: str, **labels: object) -> Gauge:
         return self._get("gauge", Gauge, name, labels)
 
-    def histogram(self, name: str, **labels) -> Histogram:
+    def histogram(self, name: str, **labels: object) -> Histogram:
         return self._get("histogram", Histogram, name, labels)
 
     def __len__(self) -> int:
         return len(self._metrics)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[tuple[str, str, dict[str, str], object]]:
         """Yield ``(kind, name, labels_dict, metric)`` in insertion order."""
         for (kind, name, labels), metric in self._metrics.items():
             yield kind, name, dict(labels), metric

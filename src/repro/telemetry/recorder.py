@@ -17,7 +17,8 @@ extra measurement behind ``recorder.enabled``.
 
 from __future__ import annotations
 
-from typing import Any
+from pathlib import Path
+from typing import Any, Protocol, runtime_checkable
 
 from .metrics import MetricsRegistry
 
@@ -30,6 +31,7 @@ __all__ = [
     "STAGE_RESULT_TRANSFER",
     "STAGE_MERGE",
     "STAGE_CENTRAL",
+    "Recorder",
     "NullRecorder",
     "TelemetryRecorder",
 ]
@@ -52,6 +54,29 @@ STAGES = (
     STAGE_MERGE,
     STAGE_CENTRAL,
 )
+
+
+@runtime_checkable
+class Recorder(Protocol):
+    """Structural type of a telemetry sink (what instrumented code calls).
+
+    Both :class:`NullRecorder` and :class:`TelemetryRecorder` satisfy it;
+    runtime components annotate their ``telemetry`` parameters with this
+    protocol so either sink (or a test double) slots in.
+    """
+
+    enabled: bool
+
+    def record(self, time: float, kind: str, **fields: Any) -> None: ...
+
+    def span(self, kind: str, start: float, duration: float, node: str | None = None,
+             image_id: int | None = None, **fields: Any) -> None: ...
+
+    def count(self, name: str, value: float = 1.0, **labels: Any) -> None: ...
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None: ...
+
+    def observe(self, name: str, value: float, **labels: Any) -> None: ...
 
 
 class NullRecorder:
@@ -154,7 +179,7 @@ class TelemetryRecorder:
         return len(self.events)
 
     # -------------------------------------------------------------- exports
-    def chrome_trace(self) -> dict:
+    def chrome_trace(self) -> dict[str, Any]:
         from .export import to_chrome_trace
 
         return to_chrome_trace(self.events)
@@ -164,16 +189,16 @@ class TelemetryRecorder:
 
         return prometheus_text(self.metrics)
 
-    def write_chrome_trace(self, path) -> None:
+    def write_chrome_trace(self, path: str | Path) -> None:
         from .export import write_chrome_trace
 
         write_chrome_trace(self.events, path)
 
-    def write_prometheus(self, path) -> None:
+    def write_prometheus(self, path: str | Path) -> None:
         with open(path, "w") as fh:
             fh.write(self.prometheus())
 
-    def write_jsonl(self, path) -> None:
+    def write_jsonl(self, path: str | Path) -> None:
         from .export import write_jsonl
 
         write_jsonl(self.events, path, metrics=self.metrics)

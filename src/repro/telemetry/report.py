@@ -12,7 +12,8 @@ from __future__ import annotations
 import argparse
 import math
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from collections.abc import Iterable
+from typing import Any
 
 import numpy as np
 

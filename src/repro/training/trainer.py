@@ -7,7 +7,7 @@ classification, segmentation, detection, and text models.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

@@ -1,0 +1,11 @@
+"""RL005 fixture: float64 creep in a hot kernel."""
+
+import numpy as np
+
+
+def promote(x: np.ndarray) -> np.ndarray:
+    return x.astype(np.float64)  # line 7: float64 attribute
+
+
+def alloc(n: int) -> np.ndarray:
+    return np.zeros(n)  # line 11: allocation without explicit dtype

@@ -1,0 +1,15 @@
+"""RL001 fixture: module-level mutable state and RNG misuse."""
+
+import numpy as np
+
+CACHE = {}  # line 5: module-level mutable dict
+
+_RNG = np.random.default_rng(0)  # line 7: import-time RNG construction
+
+
+def sample(n: int) -> np.ndarray:
+    return np.random.rand(n)  # line 11: global NumPy RNG call
+
+
+def fine(n: int, rng: np.random.Generator) -> np.ndarray:
+    return rng.standard_normal(n)  # explicit Generator parameter: clean

@@ -1,0 +1,6 @@
+"""RL007 fixture: import-time side effects in a worker-imported module."""
+
+print("loading module")  # line 3: runs once per forked worker
+
+if __name__ == "__main__":
+    print("this one is fine: behind the main guard")

@@ -1,0 +1,10 @@
+"""RL002 fixture: ad-hoc objects enqueued on mp queues."""
+
+
+class NotAMessage:
+    pass
+
+
+def enqueue(task_queue) -> None:
+    task_queue.put({"image_id": 3})  # line 9: dict literal on a queue
+    task_queue.put(NotAMessage())  # line 10: undeclared class on a queue

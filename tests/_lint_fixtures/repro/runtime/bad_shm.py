@@ -1,0 +1,17 @@
+"""RL003 fixture: unpaired shared-memory lifecycles."""
+
+from multiprocessing import shared_memory
+
+
+def rogue_attach(name: str):
+    return shared_memory.SharedMemory(name=name)  # line 7: direct construction
+
+
+def leaky_acquire(arena) -> None:
+    slot = arena.acquire()  # line 11: neither released nor stored
+    if slot is None:
+        return
+
+
+def unlink_without_close(shm) -> None:
+    shm.unlink()  # line 17: unlink with no close in this function

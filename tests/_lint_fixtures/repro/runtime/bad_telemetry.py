@@ -1,0 +1,19 @@
+"""RL004 fixture: schema drift and swallowed exceptions."""
+
+
+def record_spans(tel, t0: float) -> None:
+    tel.span("warp_drive", t0, 0.1)  # line 5: span name outside the schema
+
+
+def supervision_step(proc) -> None:
+    try:
+        proc.poll()
+    except Exception:  # line 11: silently swallowed
+        pass
+
+
+def worker_step(q) -> None:
+    try:
+        q.get_nowait()
+    except:  # noqa: E722  # line 18: bare except
+        return

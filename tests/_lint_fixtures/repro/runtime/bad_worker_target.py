@@ -1,0 +1,14 @@
+"""RL006 fixture: closure/bound-method Process targets."""
+
+import multiprocessing as mp
+
+
+class Cluster:
+    def _loop(self) -> None:
+        pass
+
+    def spawn(self) -> mp.Process:
+        return mp.Process(target=self._loop)  # line 11: bound-method target
+
+    def spawn_lambda(self) -> mp.Process:
+        return mp.Process(target=lambda: None)  # line 14: lambda target

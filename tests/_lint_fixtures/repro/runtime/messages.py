@@ -1,0 +1,16 @@
+"""RL002 fixture: badly-declared queue messages."""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class LooseMessage:  # line 9: not frozen, no slots
+    image_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class ControlWithArray:  # declared fine, but...
+    name: str
+    payload: np.ndarray  # line 16: raw ndarray on a control-path message

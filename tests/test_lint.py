@@ -1,0 +1,165 @@
+"""repro.lint: one failing-fixture test per rule, suppression handling,
+CLI output formats, and the shipped tree staying clean."""
+
+import json
+from pathlib import Path
+
+from repro.lint import default_rules, lint_file, lint_paths
+from repro.lint.cli import main
+from repro.lint.rules import RULE_CLASSES, STAGE_CONSTANT_NAMES, STAGES
+
+REPO = Path(__file__).resolve().parents[1]
+FIXTURES = REPO / "tests" / "_lint_fixtures" / "repro"
+
+
+def violations_in(path: Path) -> list[tuple[str, int]]:
+    result = lint_file(path, default_rules())
+    assert not result.parse_errors
+    return [(v.code, v.line) for v in result.violations]
+
+
+# ------------------------------------------------------------ one per rule
+def test_rl001_fork_safety_fixture():
+    found = violations_in(FIXTURES / "nn" / "bad_fork_safety.py")
+    assert ("RL001", 5) in found  # module-level mutable dict
+    assert ("RL001", 7) in found  # import-time RNG construction
+    assert ("RL001", 11) in found  # global np.random call
+    assert all(code == "RL001" for code, _ in found)
+    assert len(found) == 3  # the Generator-parameter function is clean
+
+
+def test_rl002_message_declaration_fixture():
+    found = violations_in(FIXTURES / "runtime" / "messages.py")
+    assert ("RL002", 9) in found  # dataclass without frozen+slots
+    assert ("RL002", 16) in found  # ndarray on a control-path message
+    assert len(found) == 2
+
+
+def test_rl002_queue_put_fixture():
+    found = violations_in(FIXTURES / "runtime" / "bad_queue_put.py")
+    assert ("RL002", 9) in found  # dict literal enqueued
+    assert ("RL002", 10) in found  # undeclared class enqueued
+    assert len(found) == 2
+
+
+def test_rl003_shm_pairing_fixture():
+    found = violations_in(FIXTURES / "runtime" / "bad_shm.py")
+    assert ("RL003", 7) in found  # direct SharedMemory construction
+    assert ("RL003", 11) in found  # acquire never released/stored
+    assert ("RL003", 17) in found  # unlink without close
+    assert len(found) == 3
+
+
+def test_rl004_telemetry_fixture():
+    found = violations_in(FIXTURES / "runtime" / "bad_telemetry.py")
+    assert ("RL004", 5) in found  # span name outside the schema
+    assert ("RL004", 11) in found  # except Exception: pass
+    assert ("RL004", 18) in found  # bare except
+    assert len(found) == 3
+
+
+def test_rl005_numeric_fixture():
+    found = violations_in(FIXTURES / "compression" / "bad_numeric.py")
+    assert ("RL005", 7) in found  # np.float64
+    assert ("RL005", 11) in found  # dtype-less allocation
+    assert len(found) == 2
+
+
+def test_rl006_worker_target_fixture():
+    found = violations_in(FIXTURES / "runtime" / "bad_worker_target.py")
+    assert ("RL006", 11) in found  # bound-method target
+    assert ("RL006", 14) in found  # lambda target
+    assert len(found) == 2
+
+
+def test_rl007_import_effects_fixture():
+    found = violations_in(FIXTURES / "nn" / "bad_import_effects.py")
+    assert found == [("RL007", 3)]  # main-guard print is allowed
+
+
+# ------------------------------------------------------------- suppression
+def test_inline_and_preceding_line_suppression():
+    assert violations_in(FIXTURES / "nn" / "suppressed.py") == []
+
+
+def test_file_level_suppression(tmp_path):
+    bad = tmp_path / "repro" / "nn" / "mod.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(
+        "# repro-lint: disable-file=RL001\nCACHE = {}\nOTHER = []\n",
+        encoding="utf-8",
+    )
+    assert violations_in(bad) == []
+
+
+def test_rule_scoping_by_path(tmp_path):
+    # The same source outside a worker package triggers nothing.
+    out = tmp_path / "scripts" / "tool.py"
+    out.parent.mkdir(parents=True)
+    out.write_text("CACHE = {}\n", encoding="utf-8")
+    assert violations_in(out) == []
+
+
+def test_select_and_ignore():
+    path = FIXTURES / "nn" / "bad_fork_safety.py"
+    only = lint_paths([path], default_rules(), select=["RL001"])
+    assert {v.code for v in only.violations} == {"RL001"}
+    none = lint_paths([path], default_rules(), ignore=["RL001"])
+    assert none.violations == []
+
+
+# ------------------------------------------------------------------ schema
+def test_stage_schema_in_sync():
+    from repro.telemetry import recorder
+
+    assert set(STAGES) == set(recorder.STAGES)
+    real_constants = {n for n in dir(recorder) if n.startswith("STAGE_")}
+    assert STAGE_CONSTANT_NAMES == real_constants
+
+
+def test_rule_registry_well_formed():
+    codes = [cls.code for cls in RULE_CLASSES]
+    assert len(codes) == len(set(codes))
+    assert all(code.startswith("RL") for code in codes)
+    assert 6 <= len(codes) <= 8
+    assert all(cls.name and cls.description for cls in RULE_CLASSES)
+
+
+# --------------------------------------------------------------------- CLI
+def test_cli_clean_on_shipped_tree():
+    # The acceptance gate: the real source + test tree lints clean
+    # (fixtures are excluded from directory walks by design).
+    assert main([str(REPO / "src"), str(REPO / "tests")]) == 0
+
+
+def test_cli_json_report(tmp_path):
+    out = tmp_path / "lint.json"
+    code = main(
+        [
+            str(FIXTURES / "compression" / "bad_numeric.py"),
+            "--format",
+            "json",
+            "--output",
+            str(out),
+        ]
+    )
+    assert code == 1
+    report = json.loads(out.read_text())
+    assert report["version"] == 1
+    assert report["files_checked"] == 1
+    assert report["violation_count"] == 2
+    assert {v["code"] for v in report["violations"]} == {"RL005"}
+    assert all({"path", "line", "col", "message"} <= set(v) for v in report["violations"])
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for cls in RULE_CLASSES:
+        assert cls.code in out
+
+
+def test_cli_parse_error_exit_code(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def (:\n", encoding="utf-8")
+    assert main([str(broken)]) == 2

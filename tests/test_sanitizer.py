@@ -1,0 +1,87 @@
+"""The resource sanitizer itself: deliberately-leaky demo tests (strict
+xfail — the sanitizer MUST fail them) plus marker/cleanup semantics."""
+
+import multiprocessing as mp
+import os
+import time
+from multiprocessing import shared_memory
+
+import pytest
+
+needs_shm = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="POSIX shared memory unavailable"
+)
+
+#: Deliberately-staged leaks handed from one test to its cleanup partner.
+_STAGED_SHM: list[str] = []
+_STAGED_FDS: list[int] = []
+
+
+def test_sanitizer_plugin_is_active(request):
+    assert request.config.pluginmanager.hasplugin("sanitizer")
+
+
+@pytest.mark.xfail(
+    strict=True, reason="deliberately leaks a child process; the sanitizer must fail this test"
+)
+def test_sanitizer_flags_leaked_child_process():
+    proc = mp.get_context("fork").Process(target=time.sleep, args=(60,), daemon=True)
+    proc.start()
+    # ... and never join/terminate: the sanitizer reports it and reaps it.
+
+
+@needs_shm
+@pytest.mark.xfail(
+    strict=True, reason="deliberately leaks a shm segment; the sanitizer must fail this test"
+)
+def test_sanitizer_flags_leaked_shm_segment():
+    seg = shared_memory.SharedMemory(create=True, size=64)
+    seg.close()
+    # ... and never unlink: the segment outlives the test until the
+    # sanitizer unlinks it during cleanup.
+
+
+@pytest.mark.xfail(
+    strict=True, reason="deliberately leaks fds beyond tolerance; the sanitizer must fail this test"
+)
+def test_sanitizer_flags_leaked_fds():
+    for _ in range(8):
+        _STAGED_FDS.extend(os.pipe())
+
+
+def test_cleanup_staged_fds():
+    # Closing fds only shrinks the count; the sanitizer flags growth.
+    while _STAGED_FDS:
+        fd = _STAGED_FDS.pop()
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+
+
+@needs_shm
+@pytest.mark.allow_leaks
+def test_allow_leaks_marker_suppresses_sanitizer():
+    seg = shared_memory.SharedMemory(create=True, size=16)
+    seg.close()
+    _STAGED_SHM.append(seg.name)  # left behind on purpose; next test cleans up
+
+
+@needs_shm
+def test_cleanup_after_allow_leaks():
+    # The staged segment is in this test's baseline, so unlinking it here
+    # passes the sanitizer (only *new* entries are leaks).
+    while _STAGED_SHM:
+        seg = shared_memory.SharedMemory(name=_STAGED_SHM.pop())
+        seg.unlink()
+        seg.close()
+
+
+def test_clean_test_passes_sanitizer():
+    # A well-behaved mp user: everything joined, closed, and released.
+    ctx = mp.get_context("fork")
+    proc = ctx.Process(target=time.sleep, args=(0.01,))
+    proc.start()
+    proc.join(timeout=10.0)
+    assert proc.exitcode == 0
+    proc.close()

@@ -20,13 +20,13 @@ from repro.compression import CompressionPipeline
 from repro.models import vgg_mini
 from repro.partition import TileGrid
 from repro.runtime import ProcessCluster, ProcessClusterConfig, ShmRef, SlotArena
-from repro.runtime.process_backend import _shm_available
+from repro.runtime.shm_arena import shm_available
 from repro.runtime.shm_arena import attach_array, close_attachments, write_array, write_bytes
 from repro.telemetry import TelemetryRecorder
 
 RNG = np.random.default_rng(47)
 
-needs_shm = pytest.mark.skipif(not _shm_available(), reason="POSIX shared memory unavailable")
+needs_shm = pytest.mark.skipif(not shm_available(), reason="POSIX shared memory unavailable")
 
 
 def small_model():
