@@ -1,4 +1,4 @@
-"""The project-invariant rule set (RL001–RL007), one class per code.
+"""The project-invariant rule set (RL001–RL008), one class per code.
 
 Each rule encodes an invariant the distributed runtime depends on; see
 DESIGN.md §5e for the failure mode behind every code.  Rules are scoped by
@@ -517,6 +517,60 @@ class ImportEffectsRule(Rule):
             )
 
 
+# ---------------------------------------------------------------------- RL008
+class ControllerAuthorityRule(Rule):
+    """Scheduling authority stays in the controller layer: no direct
+    ``allocate_tiles`` or EWMA-collector mutation from driver code.
+
+    The point of the :class:`~repro.runtime.controller.CentralController`
+    extraction (DESIGN.md §5f) is that both backends make *identical*
+    decisions from identical event traces.  A driver that calls Algorithm 3
+    or ``StatisticsCollector.update`` directly forks the decision state
+    behind the controller's back, and the differential conformance harness
+    can no longer vouch for backend parity.  Allocation goes through an
+    :class:`~repro.runtime.policies.AllocationPolicy`; rate credits flow in
+    as ``ResultReceived`` events.
+    """
+
+    code = "RL008"
+    name = "controller-authority"
+    description = "allocation and rate-statistics mutations only inside the controller layer"
+    include = ("repro/runtime",)
+    #: The controller layer itself, plus the module that *defines*
+    #: Algorithm 3 and the collector.
+    exclude = (
+        "runtime/controller.py",
+        "runtime/policies.py",
+        "runtime/scheduler.py",
+    )
+
+    _STATS_RECEIVER_HINTS = ("stats", "statistics", "collector")
+
+    def visit(self, node: ast.AST, ctx: ModuleContext, walker: Walker) -> None:
+        if not isinstance(node, ast.Call):
+            return
+        dotted = _dotted(node.func)
+        if dotted.rsplit(".", 1)[-1] == "allocate_tiles":
+            ctx.report(
+                self.code,
+                node,
+                "direct allocate_tiles() call outside the controller layer (route "
+                "allocation through CentralController and an AllocationPolicy so both "
+                "backends make identical decisions)",
+            )
+            return
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "update":
+            recv = _receiver_text(node.func.value)
+            if any(h in recv.lower() for h in self._STATS_RECEIVER_HINTS):
+                ctx.report(
+                    self.code,
+                    node,
+                    f"direct {recv}.update() outside the controller layer (EWMA rate "
+                    "state is controller-owned; drivers report ResultReceived events "
+                    "instead of feeding credits by hand)",
+                )
+
+
 RULE_CLASSES: tuple[type[Rule], ...] = (
     ForkSafetyRule,
     QueueMessageRule,
@@ -525,6 +579,7 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     NumericHygieneRule,
     WorkerTargetRule,
     ImportEffectsRule,
+    ControllerAuthorityRule,
 )
 
 

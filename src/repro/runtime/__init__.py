@@ -1,7 +1,24 @@
-"""ADCNN runtime (§6): scheduling algorithms, DES system, process cluster."""
+"""ADCNN runtime (§6): controller state machine, scheduling, DES system,
+process cluster."""
 
+from .controller import (
+    CentralController,
+    ControllerConfig,
+    Decision,
+    arrival_span_credits,
+    busy_span_credits,
+    replay,
+)
 from .deployment import ADCNNDeployment
 from .messages import LOCAL_WORKER, ArenaGrant, Shutdown, TileResult, TileTask, drain_queue
+from .policies import (
+    AllocationPolicy,
+    AllocationRequest,
+    available_policies,
+    get_policy,
+    register_policy,
+    resolve_policy,
+)
 from .process_backend import InferenceOutcome, ProcessCluster, ProcessClusterConfig
 from .scheduler import SchedulingError, StatisticsCollector, allocate_tiles
 from .shm_arena import ShmRef, SlotArena
@@ -10,6 +27,18 @@ from .workload import ADCNNWorkload
 from .zero_fill import accuracy_under_tile_loss, forward_with_missing_tiles
 
 __all__ = [
+    "CentralController",
+    "ControllerConfig",
+    "Decision",
+    "replay",
+    "arrival_span_credits",
+    "busy_span_credits",
+    "AllocationPolicy",
+    "AllocationRequest",
+    "register_policy",
+    "get_policy",
+    "resolve_policy",
+    "available_policies",
     "StatisticsCollector",
     "allocate_tiles",
     "SchedulingError",

@@ -11,6 +11,12 @@ never replays stale work) and re-queues every tile the node owned but never
 answered onto surviving nodes, reconstructed from the Central node's own
 assignment map.  ``probe`` tiles are ordinary tasks flagged so a recovered
 node can be given one unit of work to re-earn scheduling share.
+
+These are the *transport* messages (what crosses an mp queue).  The
+*decision* protocol — which batches to send, when the deadline fires, what
+gets re-dispatched — is the event/command vocabulary of
+:mod:`repro.runtime.controller`; drivers translate controller commands into
+these wire messages.
 """
 
 from __future__ import annotations

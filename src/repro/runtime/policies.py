@@ -1,0 +1,163 @@
+"""Pluggable tile-allocation policies for the Central controller (§6).
+
+The paper's scheduler is Algorithm 3 (greedy min-max list scheduling); the
+related systems in PAPERS.md (DistrEdge's learned placement, Parthasarathy &
+Krishnamachari's partition search) differ *only* in how they map tiles to
+nodes.  This module is that seam: an :class:`AllocationPolicy` is a pure
+function from an :class:`AllocationRequest` to a per-node tile-count vector,
+looked up by name in a small registry so
+:class:`~repro.runtime.controller.CentralController` (and both runtime
+backends through it) can swap schedulers without touching driver code.
+
+Built-ins:
+
+- ``"greedy_min_max"`` — Algorithm 3 via :func:`~repro.runtime.scheduler.allocate_tiles`
+  (the paper's scheduler; the default everywhere).
+- ``"static_even"`` — rate-blind round-robin over eligible nodes, the
+  non-adaptive baseline of §7.3's comparison (useful for ablations and for
+  proving the registry seam works end-to-end).
+
+A policy must return a non-negative integer vector with one entry per node
+summing to ``request.num_tiles``, or raise
+:class:`~repro.runtime.scheduler.SchedulingError` when no feasible
+allocation exists; the controller decides whether that error propagates or
+degrades to central-local compute.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from .scheduler import SchedulingError, allocate_tiles
+
+__all__ = [
+    "AllocationRequest",
+    "AllocationPolicy",
+    "register_policy",
+    "get_policy",
+    "resolve_policy",
+    "available_policies",
+    "greedy_min_max",
+    "static_even",
+]
+
+
+@dataclass(frozen=True)
+class AllocationRequest:
+    """One allocation question, with everything a policy may consult.
+
+    ``rates`` are the Algorithm-2 ``s_k`` estimates (already masked to live
+    nodes when the controller is configured to do so); ``alive`` is the
+    driver-reported liveness vector.  ``tile_bits``/``storage_bits`` carry
+    the paper's ``M x_k <= H_k`` storage constraint (``storage_bits`` is
+    ``None`` when unconstrained), and ``rng`` — when present — is the
+    shared tie-breaking generator.
+    """
+
+    num_tiles: int
+    rates: np.ndarray
+    alive: np.ndarray
+    tile_bits: float = 0.0
+    storage_bits: np.ndarray | None = None
+    rng: np.random.Generator | None = None
+
+
+AllocationPolicy = Callable[[AllocationRequest], np.ndarray]
+
+
+class _PolicyRegistry:
+    """Name → policy mapping (instantiated once; mutated only at import)."""
+
+    def __init__(self) -> None:
+        self._policies: dict[str, AllocationPolicy] = {}
+
+    def register(self, name: str, policy: AllocationPolicy) -> None:
+        if name in self._policies:
+            raise ValueError(f"allocation policy {name!r} is already registered")
+        self._policies[name] = policy
+
+    def get(self, name: str) -> AllocationPolicy:
+        try:
+            return self._policies[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown allocation policy {name!r}; available: {sorted(self._policies)}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._policies))
+
+
+_REGISTRY = _PolicyRegistry()
+
+
+def register_policy(name: str) -> Callable[[AllocationPolicy], AllocationPolicy]:
+    """Decorator registering an :class:`AllocationPolicy` under ``name``."""
+
+    def deco(policy: AllocationPolicy) -> AllocationPolicy:
+        _REGISTRY.register(name, policy)
+        return policy
+
+    return deco
+
+
+def get_policy(name: str) -> AllocationPolicy:
+    """Look up a registered policy by name (``ValueError`` when unknown)."""
+    return _REGISTRY.get(name)
+
+
+def available_policies() -> tuple[str, ...]:
+    """Sorted names of every registered policy."""
+    return _REGISTRY.names()
+
+
+def resolve_policy(policy: str | AllocationPolicy) -> AllocationPolicy:
+    """Accept either a registry name or a policy callable directly."""
+    return get_policy(policy) if isinstance(policy, str) else policy
+
+
+@register_policy("greedy_min_max")
+def greedy_min_max(request: AllocationRequest) -> np.ndarray:
+    """Algorithm 3 — the paper's greedy min-max scheduler (default)."""
+    return allocate_tiles(
+        request.num_tiles,
+        request.rates,
+        tile_bits=request.tile_bits,
+        storage_bits=request.storage_bits,
+        rng=request.rng,
+    )
+
+
+@register_policy("static_even")
+def static_even(request: AllocationRequest) -> np.ndarray:
+    """Rate-blind round-robin split over eligible nodes (§7.3 baseline).
+
+    Eligible = alive, with a non-vanished rate estimate, and with room for
+    at least one tile under the storage cap.  Tiles are dealt one at a time
+    in node order, skipping nodes whose storage fills up.
+    """
+    rates = np.asarray(request.rates, dtype=float)
+    alive = np.asarray(request.alive, dtype=bool)
+    k = len(rates)
+    if request.tile_bits > 0 and request.storage_bits is not None:
+        max_tiles = np.floor(np.asarray(request.storage_bits, dtype=float) / request.tile_bits)
+    else:
+        max_tiles = np.full(k, np.inf)
+    eligible = np.flatnonzero(alive & (rates > 1e-9) & (max_tiles >= 1))
+    if eligible.size == 0:
+        raise SchedulingError("no node is eligible for a static even split")
+    x = np.zeros(k, dtype=int)
+    cursor = 0
+    for _ in range(request.num_tiles):
+        skipped = 0
+        while x[eligible[cursor % eligible.size]] >= max_tiles[eligible[cursor % eligible.size]]:
+            cursor += 1
+            skipped += 1
+            if skipped == eligible.size:
+                raise SchedulingError("storage exhausted before every tile was placed")
+        x[eligible[cursor % eligible.size]] += 1
+        cursor += 1
+    return x

@@ -8,6 +8,12 @@ wall-clock statistics, enforces the ``T_L`` deadline with zero-fill, and
 finishes the rest layers.  It validates the protocol (IDs, stragglers, node
 death, load re-balancing) on real data — the DES backend covers timing.
 
+Every scheduling decision (allocation, probes, deadline arming, trigger,
+rate credits, re-dispatch planning) is made by the shared
+:class:`~repro.runtime.controller.CentralController` (DESIGN.md §5f); this
+module is the *driver* that feeds it wall-clock events and translates its
+commands into IPC queue operations, local compute, and telemetry.
+
 Workers are forked, so the separable module is inherited, not pickled.
 An optional per-worker ``delay_per_tile`` emulates slow/throttled devices.
 
@@ -26,8 +32,8 @@ Fault tolerance (beyond the paper's zero-fill-only story):
 - **Restart policy** — optionally (``max_restarts > 0``) a dead worker is
   respawned after a capped exponential backoff.
 - **Recovery probes** — a revived worker whose ``s_k`` has decayed to ~0
-  periodically receives one probe tile so it can re-earn share
-  (:meth:`StatisticsCollector.probe_due`).
+  periodically receives one probe tile so it can re-earn share (the
+  controller's probe-donation step).
 """
 
 from __future__ import annotations
@@ -66,8 +72,26 @@ from repro.telemetry import (
     Recorder,
 )
 
+from .controller import (
+    ArmDeadline,
+    BatchDelivered,
+    CentralController,
+    Command,
+    ControllerConfig,
+    DeadlineFired,
+    EmitTelemetry,
+    ImageReady,
+    MergeCompleted,
+    Redispatch,
+    ResultReceived,
+    SendBatch,
+    TriggerMerge,
+    WorkerDied,
+    WorkerRevived,
+    busy_span_credits,
+)
 from .messages import LOCAL_WORKER, ArenaGrant, Shutdown, TileResult, TileTask, drain_queue
-from .scheduler import SchedulingError, StatisticsCollector, allocate_tiles
+from .policies import AllocationPolicy
 from .shm_arena import (
     ShmRef,
     SlotArena,
@@ -193,28 +217,9 @@ def _worker_loop(
         close_attachments(attachments)
 
 
-def _rate_credits(
-    received: np.ndarray,
-    allocation: np.ndarray,
-    busy_seconds: np.ndarray,
-    window: float,
-    num_tiles: int,
-) -> np.ndarray:
-    """The ``n_k`` fed to Algorithm 2 (mirrors the DES's span-normalized
-    counting): a worker that delivered its batch in a fraction of the
-    window is credited proportionally more; a worker that missed the
-    deadline is credited its raw within-window count, exactly the paper's
-    rule.  Credits are capped at the image's tile total."""
-    credits = np.zeros(len(received))
-    for k in range(len(received)):
-        if received[k] == 0:
-            continue
-        if received[k] >= allocation[k] and busy_seconds[k] > 0:
-            span = min(busy_seconds[k], window)
-            credits[k] = min(received[k] * window / span, float(num_tiles))
-        else:
-            credits[k] = float(received[k])
-    return credits
+#: The ``n_k`` fed to Algorithm 2 for this backend — the controller's
+#: ``"busy-span"`` credit mode, kept importable under its historical name.
+_rate_credits = busy_span_credits
 
 
 @dataclass(frozen=True)
@@ -239,6 +244,7 @@ class ProcessClusterConfig:
     transport: str = "shm"
     shm_slots: int = 0             # task-tile slots (0 = auto-size at first dispatch)
     result_slots_per_worker: int = 4
+    policy: str | AllocationPolicy = "greedy_min_max"  # allocation policy name
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -313,11 +319,13 @@ class ProcessCluster:
         self.telemetry = telemetry if telemetry is not None else NullRecorder()
         self._rest = model.rest_part()
         self._rest.eval()
-        self._stats = StatisticsCollector(
-            self.config.num_workers,
-            gamma=self.config.gamma,
-            probe_interval=self.config.probe_interval,
-        )
+        #: The shared decision machine.  Built once and reused across every
+        #: ``infer_stream`` call so the Algorithm-2 ``s_k`` statistics carry
+        #: over between streams (the historical behavior of this backend).
+        self._controller = self.build_controller()
+        #: Tile ids awaiting re-dispatch, keyed by image id — filled right
+        #: before a ``WorkerDied`` event, consumed by ``Redispatch`` commands.
+        self._redispatch_tids: dict[int, list[int]] = {}
         self._ctx = mp.get_context("fork")
         self._task_queues: list[mp.Queue] = []
         self._result_queues: list[mp.Queue] = []
@@ -332,6 +340,37 @@ class ProcessCluster:
         self._task_arena: SlotArena | None = None
         self._result_arenas: list[SlotArena | None] = []
         self._result_sems: list[Semaphore | None] = []
+
+    # ------------------------------------------------------------- controller
+    def controller_config(self) -> ControllerConfig:
+        """This backend's :class:`CentralController` profile.
+
+        ``credit_mode="busy-span"``: rate credits come from worker-measured
+        busy seconds (wall-clock stamps are too noisy over IPC).  The
+        deadline carries no nominal-compute term (``deadline_slack=0``), so
+        it is the paper's plain ``dispatch_done + T_L``.  Dead workers are
+        masked out of the rates before allocating, a fully-decayed surviving
+        set restarts from an even split, and when *no* worker can accept
+        tiles the controller degrades to central-local compute instead of
+        raising :class:`~repro.runtime.scheduler.SchedulingError`.
+        """
+        return ControllerConfig(
+            window=2,  # per-stream; infer_stream resizes via set_window
+            t_limit=self.config.t_limit,
+            deadline_slack=0.0,
+            gamma=self.config.gamma,
+            probe_interval=self.config.probe_interval,
+            redispatch=self.config.redispatch,
+            policy=self.config.policy,
+            credit_mode="busy-span",
+            mask_dead=True,
+            revive_even_split=True,
+            local_fallback=True,
+        )
+
+    def build_controller(self) -> CentralController:
+        """A fresh controller with this cluster's profile (conformance hook)."""
+        return CentralController(self.config.num_workers, self.controller_config())
 
     # -------------------------------------------------------------- lifecycle
     def start(self) -> "ProcessCluster":
@@ -429,7 +468,7 @@ class ProcessCluster:
     # ------------------------------------------------------------ supervision
     @property
     def worker_rates(self) -> np.ndarray:
-        return self._stats.rates()
+        return self._controller.rates()
 
     @property
     def restart_counts(self) -> list[int]:
@@ -462,8 +501,26 @@ class ProcessCluster:
                     self._restart_at[wid] = now + backoff
                 else:
                     self._restart_at[wid] = None
-                if self.config.redispatch:
-                    self._redispatch_pending(wid, inflight)
+                # Every tile the dead worker owned but never answered goes
+                # to the controller; its Redispatch commands name only the
+                # per-target counts, so the concrete tile ids wait in
+                # ``_redispatch_tids`` for the command executor.
+                lost: list[tuple[int, int]] = []
+                for image_id, st in inflight.items():
+                    pending = [
+                        tid
+                        for tid, owner in st["assignment"].items()
+                        if owner == wid and tid not in st["results"]
+                    ]
+                    if pending:
+                        self._redispatch_tids[image_id] = pending
+                        lost.append((image_id, len(pending)))
+                alive = tuple(bool(a) for a in self._alive_mask())
+                self._execute(
+                    self._controller.handle(WorkerDied(now, wid, alive, tuple(lost))),
+                    inflight,
+                )
+                self._redispatch_tids.clear()
             elif self._restart_at[wid] is not None and now >= self._restart_at[wid]:
                 self._respawn(wid)
 
@@ -489,52 +546,9 @@ class ProcessCluster:
         self._restart_counts[worker_id] += 1
         self._restart_at[worker_id] = None
         self._known_dead.discard(worker_id)
-        self.telemetry.count("adcnn_worker_restarts_total", node=f"worker{worker_id}")
-        self.telemetry.record(time.perf_counter(), "restart", node=f"worker{worker_id}")
-
-    def _redispatch_pending(self, dead_wid: int, inflight: dict[int, _ImageState]) -> None:
-        """Re-queue every tile ``dead_wid`` owned but never answered."""
-        for image_id, st in inflight.items():
-            pending = [
-                tid
-                for tid, owner in st["assignment"].items()
-                if owner == dead_wid and tid not in st["results"]
-            ]
-            if not pending:
-                continue
-            alive = self._alive_mask()
-            alive[dead_wid] = False
-            if not alive.any():
-                # No survivors left: the central process computes the tiles.
-                for tid in pending:
-                    st["results"][tid] = TileResult(
-                        image_id, tid, self._local_payload(st["tiles"][tid]), LOCAL_WORKER
-                    )
-                    st["assignment"][tid] = LOCAL_WORKER
-                    st["local"].append(tid)
-                continue
-            rates = np.where(alive, np.maximum(self._stats.rates(), 1e-6), 0.0)
-            extra = allocate_tiles(len(pending), rates)
-            self.telemetry.count("adcnn_redispatch_total", len(pending))
-            self.telemetry.record(
-                time.perf_counter(), "redispatch",
-                node=f"worker{dead_wid}", image_id=image_id, tiles=len(pending),
-            )
-            targets: list[int] = []
-            for wid, count in enumerate(extra):
-                targets.extend([wid] * int(count))
-            for wid in set(targets):
-                self._ensure_result_grant(wid, st["tiles"][0])
-            for tid, new_wid in zip(pending, targets):
-                if self.telemetry.enabled:
-                    st["enqueue_ts"][tid] = time.perf_counter()
-                # A re-dispatched tile's slot data is still valid, so the
-                # re-queued task re-ships only the descriptor.
-                self._task_queues[new_wid].put(self._make_task(st, image_id, tid))
-                st["assignment"][tid] = new_wid
-                st["allocation"][dead_wid] -= 1
-                st["allocation"][new_wid] += 1
-                self.telemetry.count("adcnn_tiles_dispatched_total", node=f"worker{new_wid}")
+        self._execute(
+            self._controller.handle(WorkerRevived(time.monotonic(), worker_id)), {}
+        )
 
     def _local_payload(self, tile: np.ndarray) -> Any:
         """Central-node fallback: run the separable block in-process."""
@@ -677,6 +691,7 @@ class ProcessCluster:
         images = [np.asarray(img, dtype=np.float32) for img in images]
         images = [img[None] if img.ndim == len(self.model.input_shape) else img for img in images]
 
+        self._controller.set_window(pipeline_depth)
         inflight: dict[int, _ImageState] = {}
         outcomes: dict[int, InferenceOutcome] = {}
         order: list[int] = []
@@ -691,23 +706,21 @@ class ProcessCluster:
             t_partition = time.perf_counter()
             tiles = split_array(images[idx], self.grid)
             self._ensure_task_arena(tiles, pipeline_depth)
-            allocation, probe_workers = self._plan_allocation(len(tiles))
+            now = time.monotonic()
+            alive = tuple(bool(a) for a in self._alive_mask())
+            cmds = self._controller.handle(ImageReady(now, image_id, len(tiles), alive))
             start = time.perf_counter()
             if tel.enabled:
                 # Partition + Algorithm 3 run back to back on the Central
                 # node; one span covers the whole Input-partition block.
                 tel.span(STAGE_PARTITION, t_partition, start - t_partition,
                          node="central", image_id=image_id)
-                tel.record(start, "dispatch", image_id=image_id,
-                           allocation=[] if allocation is None else [int(a) for a in allocation])
-                for wid, s_k in enumerate(self._stats.rates()):
-                    tel.gauge("adcnn_scheduler_share", s_k, node=f"worker{wid}")
             st: _ImageState = {
                 "idx": idx,
                 "tiles": tiles,
-                "allocation": allocation
-                if allocation is not None
-                else np.zeros(self.config.num_workers, dtype=int),
+                # Shares the controller's live allocation array so fault
+                # re-dispatch adjustments show through to the outcome.
+                "allocation": self._controller.allocation_view(image_id),
                 "assignment": {},
                 "results": {},
                 "received": np.zeros(self.config.num_workers, dtype=int),
@@ -717,54 +730,38 @@ class ProcessCluster:
                 "task_slots": {},
                 "task_refs": {},
                 "enqueue_ts": {},
-                "deadline": time.monotonic() + self.config.t_limit,
-                "collect_start": time.monotonic(),
+                "deadline": now + self.config.t_limit,
                 "start": start,
+                "trigger": None,
+                "next_tile": 0,
+                "ipc_tiles": 0,
             }
             inflight[image_id] = st
             order.append(image_id)
-            if allocation is None:
-                # Graceful degradation: no worker can accept tiles, so the
-                # central process runs the separable block itself.
-                for tile_id, tile in enumerate(tiles):
-                    st["results"][tile_id] = TileResult(
-                        image_id, tile_id, self._local_payload(tile), LOCAL_WORKER
+            self._execute(cmds, inflight)
+            # IPC delivery is synchronous: a batch is "on the wire" the
+            # moment ``put`` returns, so every transfer completes at
+            # dispatch time and the deadline arms from here.
+            for cmd in cmds:
+                if isinstance(cmd, SendBatch) and cmd.node != LOCAL_WORKER:
+                    self._execute(
+                        self._controller.handle(BatchDelivered(now, image_id, cmd.node)),
+                        inflight,
                     )
-                    st["assignment"][tile_id] = LOCAL_WORKER
-                    st["local"].append(tile_id)
-                return
-            assignments: list[int] = []
-            for wid, count in enumerate(allocation):
-                assignments.extend([wid] * int(count))
-                if count > 0:
-                    self._ensure_result_grant(wid, tiles[0])
-            for tile_id, wid in enumerate(assignments):
-                st["assignment"][tile_id] = wid
-                if tel.enabled:
-                    st["enqueue_ts"][tile_id] = time.perf_counter()
-                self._task_queues[wid].put(
-                    self._make_task(st, image_id, tile_id, probe=wid in probe_workers)
-                )
-            if tel.enabled:
-                for wid, count in enumerate(allocation):
-                    if count > 0:
-                        tel.count("adcnn_tiles_dispatched_total", int(count), node=f"worker{wid}")
+            if tel.enabled and st["ipc_tiles"]:
                 # Input tiles cross the IPC "wire" uncompressed.
-                up_bits = tiles[0].nbytes * 8 * len(assignments)
+                up_bits = tiles[0].nbytes * 8 * st["ipc_tiles"]
                 tel.count("adcnn_bits_wire_total", up_bits, direction="up")
                 tel.count("adcnn_bits_raw_total", up_bits, direction="up")
 
         def finalize(image_id: int) -> None:
             st = inflight.pop(image_id)
+            trig: TriggerMerge = st["trigger"]
             # Reclaim task slots still held (deadline-missed tiles keep
             # theirs until now).  A straggler worker may later read a
             # recycled slot and return garbage — harmless, because its
             # result carries this (now-retired) image_id and gets dropped.
             self._release_image_slots(st)
-            window = max(time.monotonic() - st["collect_start"], 1e-6)
-            self._stats.update(
-                _rate_credits(st["received"], st["allocation"], st["busy"], window, len(st["tiles"]))
-            )
             t_merge = time.perf_counter()
             out_tiles, missing = self._materialize_tiles(st["tiles"], st["results"])
             feature_map = reassemble_array(out_tiles, self.grid)
@@ -772,10 +769,6 @@ class ProcessCluster:
             with nn.no_grad():
                 output = self._rest(Tensor(feature_map)).data
             t_done = time.perf_counter()
-            if missing:
-                tel.count("adcnn_tiles_zero_filled_total", len(missing))
-                tel.count("adcnn_deadline_triggers_total")
-                tel.record(t_merge, "deadline", image_id=image_id, zero_filled=len(missing))
             if st["local"]:
                 tel.count("adcnn_tiles_local_total", len(st["local"]))
             if tel.enabled:
@@ -802,34 +795,148 @@ class ProcessCluster:
             outcomes[st["idx"]] = InferenceOutcome(
                 output=output,
                 allocation=st["allocation"],
-                received_per_worker=st["received"],
+                received_per_worker=(
+                    np.array(trig.received, dtype=int) if trig is not None else st["received"]
+                ),
                 zero_filled_tiles=missing,
                 locally_computed_tiles=sorted(st["local"]),
                 wall_seconds=t_done - st["start"],
                 compute_seconds_per_worker=st["busy"].copy(),
                 wall_seconds_per_worker=st["wall"].copy(),
             )
+            self._execute(
+                self._controller.handle(MergeCompleted(time.monotonic(), image_id)),
+                inflight,
+            )
 
         while next_idx < len(images) or inflight:
-            while next_idx < len(images) and len(inflight) < pipeline_depth:
+            while next_idx < len(images) and self._controller.can_dispatch:
                 dispatch(next_idx)
                 next_idx += 1
             oldest = order[len(outcomes)]
             st = inflight[oldest]
-            if len(st["results"]) >= len(st["tiles"]):
+            if st["trigger"] is not None:
                 finalize(oldest)
                 continue
             self._supervise(inflight)
-            if len(st["results"]) >= len(st["tiles"]):
+            if st["trigger"] is not None:
                 finalize(oldest)  # supervision filled the gap locally
                 continue
             timeout = st["deadline"] - time.monotonic()
             if timeout <= 0:
+                # T_L expired for the oldest image: the controller settles
+                # the trigger (stats update + zero-fill accounting) and the
+                # merge runs on whatever arrived.
+                self._execute(
+                    self._controller.handle(DeadlineFired(time.monotonic(), oldest)),
+                    inflight,
+                )
                 finalize(oldest)
                 continue
             if not self._sweep_results(inflight):
                 time.sleep(min(timeout, self.config.poll_interval, 0.005))
         return [outcomes[i] for i in range(len(images))]
+
+    # ------------------------------------------------------ command execution
+    def _execute(self, cmds: list[Command], inflight: dict[int, _ImageState]) -> None:
+        """Translate controller commands into IPC, local compute, telemetry."""
+        tel = self.telemetry
+        for cmd in cmds:
+            if isinstance(cmd, EmitTelemetry):
+                if not tel.enabled:
+                    continue
+                labels: dict[str, Any] = {}
+                if cmd.node is not None:
+                    labels["node"] = f"worker{cmd.node}"
+                if cmd.op == "count":
+                    tel.count(cmd.metric, cmd.value, **labels)
+                elif cmd.op == "gauge":
+                    tel.gauge(cmd.metric, cmd.value, **labels)
+                elif cmd.op == "record":
+                    fields = {
+                        key: (list(value) if isinstance(value, tuple) else value)
+                        for key, value in cmd.data
+                    }
+                    if cmd.image_id is not None:
+                        fields["image_id"] = cmd.image_id
+                    fields.update(labels)
+                    tel.record(time.perf_counter(), cmd.metric, **fields)
+            elif isinstance(cmd, SendBatch):
+                self._send_batch(cmd, inflight[cmd.image_id], inflight)
+            elif isinstance(cmd, Redispatch):
+                self._redispatch(cmd, inflight[cmd.image_id], inflight)
+            elif isinstance(cmd, ArmDeadline):
+                inflight[cmd.image_id]["deadline"] = cmd.deadline
+            elif isinstance(cmd, TriggerMerge):
+                inflight[cmd.image_id]["trigger"] = cmd
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unhandled controller command: {cmd!r}")
+
+    def _send_batch(
+        self, cmd: SendBatch, st: _ImageState, inflight: dict[int, _ImageState]
+    ) -> None:
+        """Dispatch one batch: enqueue tiles to a worker, or compute locally."""
+        if cmd.node == LOCAL_WORKER:
+            # Graceful degradation: no worker can accept tiles, so the
+            # central process runs the separable block itself.
+            for _ in range(cmd.count):
+                tile_id = st["next_tile"]
+                st["next_tile"] += 1
+                st["results"][tile_id] = TileResult(
+                    cmd.image_id, tile_id, self._local_payload(st["tiles"][tile_id]), LOCAL_WORKER
+                )
+                st["assignment"][tile_id] = LOCAL_WORKER
+                st["local"].append(tile_id)
+                self._execute(
+                    self._controller.handle(
+                        ResultReceived(time.monotonic(), cmd.image_id, LOCAL_WORKER)
+                    ),
+                    inflight,
+                )
+            return
+        self._ensure_result_grant(cmd.node, st["tiles"][0])
+        for _ in range(cmd.count):
+            tile_id = st["next_tile"]
+            st["next_tile"] += 1
+            st["assignment"][tile_id] = cmd.node
+            if self.telemetry.enabled:
+                st["enqueue_ts"][tile_id] = time.perf_counter()
+            self._task_queues[cmd.node].put(
+                self._make_task(st, cmd.image_id, tile_id, probe=cmd.probe)
+            )
+            st["ipc_tiles"] += 1
+
+    def _redispatch(
+        self, cmd: Redispatch, st: _ImageState, inflight: dict[int, _ImageState]
+    ) -> None:
+        """Re-queue tiles a dead worker never answered (ids from the
+        assignment map staged in ``_redispatch_tids``)."""
+        pending = self._redispatch_tids.get(cmd.image_id, [])
+        take, self._redispatch_tids[cmd.image_id] = pending[: cmd.count], pending[cmd.count:]
+        if cmd.node == LOCAL_WORKER:
+            # No survivors left: the central process computes the tiles.
+            for tid in take:
+                st["results"][tid] = TileResult(
+                    cmd.image_id, tid, self._local_payload(st["tiles"][tid]), LOCAL_WORKER
+                )
+                st["assignment"][tid] = LOCAL_WORKER
+                st["local"].append(tid)
+                self._execute(
+                    self._controller.handle(
+                        ResultReceived(time.monotonic(), cmd.image_id, LOCAL_WORKER)
+                    ),
+                    inflight,
+                )
+            return
+        self._ensure_result_grant(cmd.node, st["tiles"][0])
+        for tid in take:
+            if self.telemetry.enabled:
+                st["enqueue_ts"][tid] = time.perf_counter()
+            # A re-dispatched tile's slot data is still valid, so the
+            # re-queued task re-ships only the descriptor.
+            self._task_queues[cmd.node].put(self._make_task(st, cmd.image_id, tid))
+            st["assignment"][tid] = cmd.node
+            self.telemetry.count("adcnn_tiles_dispatched_total", node=f"worker{cmd.node}")
 
     def _sweep_results(self, inflight: dict[int, _ImageState]) -> bool:
         """Drain every worker's result channel; True if anything arrived."""
@@ -861,6 +968,15 @@ class ProcessCluster:
                         target["wall"][res.worker] += res.t_end - res.t_start
                     if tel.enabled and res.t_end > 0:
                         self._record_tile_spans(res, target, recv)
+                self._execute(
+                    self._controller.handle(
+                        ResultReceived(
+                            time.monotonic(), res.image_id, res.worker,
+                            busy_seconds=res.compute_seconds,
+                        )
+                    ),
+                    inflight,
+                )
         return got
 
     def _record_tile_spans(self, res: TileResult, st: _ImageState, recv: float) -> None:
@@ -883,35 +999,6 @@ class ProcessCluster:
                      node=node, image_id=res.image_id, tile_id=res.tile_id)
         tel.span(STAGE_RESULT_TRANSFER, res.t_end, max(recv - res.t_end, 0.0),
                  node=node, image_id=res.image_id, tile_id=res.tile_id)
-
-    def _plan_allocation(self, num_tiles: int) -> tuple[np.ndarray | None, set[int]]:
-        """Algorithm 3 over *live* workers, plus recovery probes.
-
-        Returns ``(allocation, probe_workers)``; allocation is ``None`` when
-        no worker can accept tiles (the caller degrades to local compute
-        instead of surfacing :class:`SchedulingError`).
-        """
-        alive = self._alive_mask()
-        rates = np.where(alive, self._stats.rates(), 0.0)
-        if alive.any() and not (rates > 1e-9).any():
-            # Every survivor has fully decayed (e.g. all were stragglers or
-            # freshly restarted): restart from an even split rather than
-            # abandoning the cluster.
-            rates = np.where(alive, 1.0, 0.0)
-        try:
-            allocation = allocate_tiles(num_tiles, rates)
-        except SchedulingError:
-            return None, set()
-        probe_workers: set[int] = set()
-        for k in self._stats.probe_due(alive, allocation):
-            donor = int(np.argmax(allocation))
-            if donor == k or allocation[donor] < 2:
-                continue  # never drain the donor itself to zero
-            allocation[donor] -= 1
-            allocation[k] += 1
-            probe_workers.add(k)
-            self._stats.note_probe(k)
-        return allocation, probe_workers
 
     def _materialize_tiles(
         self, tiles: list[np.ndarray], results: dict[int, TileResult]

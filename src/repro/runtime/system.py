@@ -8,6 +8,12 @@ Central node runs the rest layers once all results arrive or the deadline
 expires (missing tiles are zero-filled).  Algorithm 2 folds the per-image
 delivery counts into the ``s_k`` statistics that drive the next allocation.
 
+All of that *decision* logic lives in the backend-agnostic
+:class:`~repro.runtime.controller.CentralController` (DESIGN.md §5f);
+``ADCNNSystem.run`` is a thin driver that feeds the controller sim-time
+events and translates its commands into medium transfers, node submissions,
+deadline timers, and telemetry.
+
 Deadline semantics: the paper starts a timer "after transmitting all the
 tiles of an input image" with T_L = 30 ms.  A fixed 30 ms from dispatch
 would expire long before *any* VGG16 tile completes (~25 ms/tile, 8 tiles
@@ -20,8 +26,9 @@ completion estimate: ``deadline = dispatch_done + slack * expected + T_L``
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from collections import deque
 from collections.abc import Callable
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -39,7 +46,23 @@ from repro.telemetry import (
     Recorder,
 )
 
-from .scheduler import StatisticsCollector, allocate_tiles
+from .controller import (
+    ArmDeadline,
+    BatchDelivered,
+    CentralController,
+    Command,
+    ControllerConfig,
+    DeadlineFired,
+    EmitTelemetry,
+    ImageReady,
+    MergeCompleted,
+    Redispatch,
+    ResultReceived,
+    SendBatch,
+    TriggerMerge,
+    WorkerDied,
+)
+from .policies import AllocationPolicy
 from .workload import ADCNNWorkload
 
 __all__ = ["ADCNNConfig", "ImageRecord", "ADCNNSystem", "MediumQueue"]
@@ -51,7 +74,7 @@ class MediumQueue:
     def __init__(self, sim: Simulator, profile: LinkProfile) -> None:
         self.sim = sim
         self.profile = profile
-        self._queue: list[tuple[float, Callable[[float], None]]] = []
+        self._queue: deque[tuple[float, Callable[[float], None]]] = deque()
         self._busy = False
         self.transferred_bits = 0.0
 
@@ -68,7 +91,7 @@ class MediumQueue:
             self._busy = False
             return
         self._busy = True
-        bits, callback = self._queue.pop(0)
+        bits, callback = self._queue.popleft()
         duration = self.profile.transfer_time(bits)
 
         def complete() -> None:
@@ -93,6 +116,7 @@ class ADCNNConfig:
     pipeline_depth: int = 2       # images in flight (Figure 9 overlapping)
     redispatch: bool = False      # re-send a dead node's batch to survivors
     probe_interval: int = 0       # images between recovery probes (0 = off)
+    policy: str | AllocationPolicy = "greedy_min_max"  # allocation policy name
 
     def __post_init__(self) -> None:
         if self.t_limit < 0 or self.deadline_slack < 1.0:
@@ -151,6 +175,45 @@ class ADCNNSystem:
         #: backend's wall-clock spans.  Defaults to the zero-cost no-op.
         self.telemetry = telemetry if telemetry is not None else NullRecorder()
         self.records: list[ImageRecord] = []
+        self._media: list[MediumQueue] = []
+
+    # ----------------------------------------------------------- controller
+    def controller_config(self) -> ControllerConfig:
+        """This backend's :class:`CentralController` profile.
+
+        ``credit_mode="arrival-span"``: rate credits span first batch
+        arrival to last node-side completion stamp (the DES observes exact
+        sim-time).  Dead nodes are *not* masked out of the rates — a batch
+        sent to a dead node bounces at delivery and is re-dispatched, which
+        is the fail-stop story the DES models — and there is no central-
+        local fallback (the Central node has no Conv stage in the sim).
+        """
+        return ControllerConfig(
+            window=self.config.pipeline_depth,
+            t_limit=self.config.t_limit,
+            deadline_slack=self.config.deadline_slack,
+            gamma=self.config.gamma,
+            stats_initial=self.config.stats_initial,
+            probe_interval=self.config.probe_interval,
+            redispatch=self.config.redispatch,
+            policy=self.config.policy,
+            credit_mode="arrival-span",
+            mask_dead=False,
+            revive_even_split=False,
+            local_fallback=False,
+            tile_bits=self.workload.tile_input_bits,
+            storage_bits=tuple(float(n.storage_bits) for n in self.nodes),
+            tile_macs=self.workload.tile_macs,
+            node_macs_per_second=tuple(
+                float(n.device.macs_per_second) for n in self.nodes
+            ),
+            result_comm_seconds=self.workload.output_bits / self.link_profile.bandwidth_bps,
+            rng=self.rng,
+        )
+
+    def build_controller(self) -> CentralController:
+        """A fresh controller for one ``run`` (also the conformance hook)."""
+        return CentralController(len(self.nodes), self.controller_config())
 
     # ------------------------------------------------------------------ run
     def run(self, num_images: int) -> list[ImageRecord]:
@@ -159,6 +222,7 @@ class ADCNNSystem:
             raise ValueError("need at least one image")
         sim = Simulator()
         tel = self.telemetry
+        controller = self.build_controller()
         # Prefer the measured packed-buffer size for result transfers; fall
         # back to the accounted token-stream size when nothing was measured.
         out_bits = self.workload.tile_output_wire_bits or self.workload.tile_output_bits
@@ -167,12 +231,6 @@ class ADCNNSystem:
             node.reset()
         self.central.reset()
         k = len(self.nodes)
-        stats = StatisticsCollector(
-            k,
-            gamma=self.config.gamma,
-            initial=self.config.stats_initial,
-            probe_interval=self.config.probe_interval,
-        )
         if self.shared_medium:
             shared = MediumQueue(sim, self.link_profile)
             up = [shared] * k
@@ -183,92 +241,46 @@ class ADCNNSystem:
         self._media = list({id(m): m for m in up + down}.values())
 
         records: list[ImageRecord] = []
-        state = {"next_image": 0, "in_flight": 0}
-        received: list[np.ndarray] = []
-        last_arrival: list[np.ndarray] = []
-        node_start: list[np.ndarray] = []
-        triggered: list[bool] = []
+        state = {"next_image": 0}
+
+        def handle(event: object) -> None:
+            execute(controller.handle(event))  # type: ignore[arg-type]
 
         def try_dispatch() -> None:
-            if state["next_image"] >= num_images or state["in_flight"] >= self.config.pipeline_depth:
+            if state["next_image"] >= num_images or not controller.can_dispatch:
                 return
             image_id = state["next_image"]
             state["next_image"] += 1
-            state["in_flight"] += 1
-            allocation = allocate_tiles(
-                self.workload.num_tiles,
-                stats.rates(),
-                tile_bits=self.workload.tile_input_bits,
-                storage_bits=[n.storage_bits for n in self.nodes],
-                rng=self.rng,
+            alive = tuple(bool(n.is_alive(sim.now)) for n in self.nodes)
+            cmds = controller.handle(
+                ImageReady(sim.now, image_id, self.workload.num_tiles, alive)
             )
-            # Recovery probes: a revived node whose s_k decayed to ~0 gets
-            # one tile so it can re-earn share (the paper's EWMA alone pins
-            # a recovered node at zero forever).
-            alive_now = [n.is_alive(sim.now) for n in self.nodes]
-            for probe in stats.probe_due(alive_now, allocation):
-                donor = int(np.argmax(allocation))
-                if donor == probe or allocation[donor] < 2:
-                    continue
-                allocation[donor] -= 1
-                allocation[probe] += 1
-                stats.note_probe(probe)
-            rec = ImageRecord(image_id, sim.now, allocation)
-            records.append(rec)
-            received.append(np.zeros(k, dtype=int))
-            last_arrival.append(np.full(k, math.nan))
-            node_start.append(np.full(k, math.nan))
-            triggered.append(False)
-            if tel.enabled:
-                tel.record(sim.now, "dispatch", image_id=image_id,
-                           allocation=[int(a) for a in allocation])
-                # The Input-partition block's bookkeeping runs on the
-                # Central node; its cost is folded into the rest-layer MACs
-                # at trigger time, so the span here carries the nominal
-                # duration rather than simulated occupancy.
-                tel.span(STAGE_PARTITION, sim.now,
-                         self.workload.partition_macs / self.central.device.macs_per_second,
-                         node=self.central.name, image_id=image_id)
-                for i, s_k in enumerate(stats.rates()):
-                    tel.gauge("adcnn_scheduler_share", s_k, node=self.nodes[i].name)
-                    if allocation[i] > 0:
-                        tel.count("adcnn_tiles_dispatched_total", int(allocation[i]),
-                                  node=self.nodes[i].name)
+            # The record shares the controller's live allocation array so
+            # re-dispatch adjustments show through.
+            records.append(
+                ImageRecord(image_id, sim.now, controller.allocation_view(image_id))
+            )
+            execute(cmds)
 
-            pending_batches = int((allocation > 0).sum())
-            if pending_batches == 0:  # degenerate: nothing allocated
-                rec.dispatch_done = sim.now
-                arm_deadline(image_id)
-                return
+        def send_batch(image_id: int, node_idx: int, count: int, redispatched: bool) -> None:
+            bits = count * self.workload.tile_input_bits
+            t0 = sim.now
 
-            def batch_delivered(node_idx: int, arrival: float) -> None:
-                nonlocal pending_batches
-                pending_batches -= 1
-                if pending_batches == 0:
-                    rec.dispatch_done = arrival
-                    arm_deadline(image_id)
-                start_node_compute(image_id, node_idx, int(allocation[node_idx]), arrival)
+            def on_up(t: float, i: int = node_idx, c: int = count, b: float = bits,
+                      t00: float = t0) -> None:
+                if tel.enabled:
+                    extra = {"redispatch": True} if redispatched else {}
+                    tel.span(STAGE_TRANSFER, t00, t - t00, node=self.nodes[i].name,
+                             image_id=image_id, bits=b, **extra)
+                    # Input tiles ship uncompressed: raw == wire.
+                    tel.count("adcnn_bits_wire_total", b, direction="up")
+                    tel.count("adcnn_bits_raw_total", b, direction="up")
+                handle(BatchDelivered(t, image_id, i, redispatched=redispatched))
+                start_node_compute(image_id, i, c, t)
 
-            for idx in range(k):
-                if allocation[idx] > 0:
-                    bits = allocation[idx] * self.workload.tile_input_bits
-                    t_req = sim.now
-
-                    def on_up(t: float, i: int = idx, b: float = bits,
-                              t0: float = t_req, img: int = image_id) -> None:
-                        if tel.enabled:
-                            tel.span(STAGE_TRANSFER, t0, t - t0,
-                                     node=self.nodes[i].name, image_id=img, bits=b)
-                            # Input tiles ship uncompressed: raw == wire.
-                            tel.count("adcnn_bits_wire_total", b, direction="up")
-                            tel.count("adcnn_bits_raw_total", b, direction="up")
-                        batch_delivered(i, t)
-
-                    up[idx].request(bits, on_up)
+            up[node_idx].request(bits, on_up)
 
         def start_node_compute(image_id: int, node_idx: int, count: int, arrival: float) -> None:
-            if not math.isfinite(node_start[image_id][node_idx]):
-                node_start[image_id][node_idx] = arrival
             node = self.nodes[node_idx]
             failed = 0
             for _ in range(count):
@@ -288,104 +300,81 @@ class ADCNNSystem:
                 else:
                     failed += 1
             if failed:
-                redispatch_tiles(image_id, node_idx, failed)
+                # Fail-stop supervision: the batch bounced off a dead node
+                # (detected at delivery time — the transport refuses the
+                # connection).  The controller decides whether survivors
+                # take over or the deadline zero-fill absorbs the loss.
+                alive = tuple(bool(n.is_alive(sim.now)) for n in self.nodes)
+                handle(WorkerDied(sim.now, node_idx, alive, ((image_id, failed),)))
 
-        def redispatch_tiles(image_id: int, dead_idx: int, count: int) -> None:
-            """Fail-stop supervision: a batch bounced off a dead node is
-            re-sent to survivors (detected at delivery time — the transport
-            refuses the connection).  Without ``redispatch`` the tiles stay
-            lost and are zero-filled at the deadline, the paper's story."""
-            if not self.config.redispatch or triggered[image_id]:
-                return
-            rec = records[image_id]
-            alive = np.array(
-                [i != dead_idx and self.nodes[i].is_alive(sim.now) for i in range(k)]
-            )
-            if not alive.any():
-                return  # nobody left — deadline zero-fill will handle it
-            tel.count("adcnn_redispatch_total", count)
-            tel.record(sim.now, "redispatch", image_id=image_id,
-                       node=self.nodes[dead_idx].name, tiles=count)
-            rates = np.where(alive, np.maximum(stats.rates(), 1e-6), 0.0)
-            extra = allocate_tiles(count, rates)
-            rec.allocation[dead_idx] -= count
-
-            def resend(idx: int, cnt: int) -> None:
-                bits = cnt * self.workload.tile_input_bits
-                t0 = sim.now
-
-                def on_up(t: float, i: int = idx, c: int = cnt,
-                          b: float = bits, t0: float = t0) -> None:
-                    if tel.enabled:
-                        tel.span(STAGE_TRANSFER, t0, t - t0, node=self.nodes[i].name,
-                                 image_id=image_id, bits=b, redispatch=True)
-                        tel.count("adcnn_bits_wire_total", b, direction="up")
-                        tel.count("adcnn_bits_raw_total", b, direction="up")
-                    start_node_compute(image_id, i, c, t)
-
-                up[idx].request(bits, on_up)
-
-            for idx in range(k):
-                if extra[idx] > 0:
-                    rec.allocation[idx] += int(extra[idx])
-                    resend(idx, int(extra[idx]))
-
-        def arm_deadline(image_id: int) -> None:
-            rec = records[image_id]
-            allocation = rec.allocation
-            nominal_compute = max(
-                (
-                    allocation[i] * self.workload.tile_macs / self.nodes[i].device.macs_per_second
-                    for i in range(k)
-                    if allocation[i] > 0
-                ),
-                default=0.0,
-            )
-            # The Central node's completion estimate budgets result transfer
-            # too — on a slow link the wire, not the CPU, is the long pole.
-            nominal_comm = self.workload.output_bits / self.link_profile.bandwidth_bps
-            nominal = nominal_compute + nominal_comm
-            rec.deadline = rec.dispatch_done + self.config.deadline_slack * nominal + self.config.t_limit
-            sim.schedule_at(rec.deadline, lambda i=image_id: trigger(i, by_deadline=True))
-
-        def result_arrived(image_id: int, node_idx: int, compute_finish: float, arrival: float) -> None:
+        def result_arrived(image_id: int, node_idx: int, compute_finish: float,
+                           arrival: float) -> None:
             if tel.enabled:
                 tel.span(STAGE_RESULT_TRANSFER, compute_finish, arrival - compute_finish,
                          node=self.nodes[node_idx].name, image_id=image_id, bits=out_bits)
                 tel.count("adcnn_bits_wire_total", out_bits, direction="down")
                 tel.count("adcnn_bits_raw_total", raw_out_bits, direction="down")
-            result_delivered(image_id, node_idx, compute_finish)
+            handle(ResultReceived(arrival, image_id, node_idx, compute_finish=compute_finish))
 
-        def result_delivered(image_id: int, node_idx: int, compute_finish: float) -> None:
-            if triggered[image_id]:
-                return  # late result past the deadline — already zero-filled
-            received[image_id][node_idx] += 1
-            # Results carry the node-side completion timestamp; rate credits
-            # should reflect compute speed, not medium queueing noise.
-            last_arrival[image_id][node_idx] = compute_finish
-            if received[image_id].sum() == records[image_id].allocation.sum():
-                trigger(image_id, by_deadline=False)
-
-        def trigger(image_id: int, by_deadline: bool) -> None:
-            if triggered[image_id]:
+        def emit_telemetry(cmd: EmitTelemetry) -> None:
+            if not tel.enabled:
                 return
-            triggered[image_id] = True
-            rec = records[image_id]
+            labels: dict[str, object] = {}
+            if cmd.node is not None:
+                labels["node"] = self.nodes[cmd.node].name
+            if cmd.op == "count":
+                tel.count(cmd.metric, cmd.value, **labels)
+            elif cmd.op == "gauge":
+                tel.gauge(cmd.metric, cmd.value, **labels)
+            elif cmd.op == "record":
+                fields = {
+                    key: (list(value) if isinstance(value, tuple) else value)
+                    for key, value in cmd.data
+                }
+                if cmd.image_id is not None:
+                    fields["image_id"] = cmd.image_id
+                fields.update(labels)
+                tel.record(sim.now, cmd.metric, **fields)
+                if cmd.metric == "dispatch":
+                    # The Input-partition block's bookkeeping runs on the
+                    # Central node; its cost is folded into the rest-layer
+                    # MACs at trigger time, so the span here carries the
+                    # nominal duration rather than simulated occupancy.
+                    tel.span(STAGE_PARTITION, sim.now,
+                             self.workload.partition_macs / self.central.device.macs_per_second,
+                             node=self.central.name, image_id=cmd.image_id)
+
+        def execute(cmds: list[Command]) -> None:
+            for cmd in cmds:
+                if isinstance(cmd, EmitTelemetry):
+                    emit_telemetry(cmd)
+                elif isinstance(cmd, SendBatch):
+                    send_batch(cmd.image_id, cmd.node, cmd.count, redispatched=False)
+                elif isinstance(cmd, Redispatch):
+                    send_batch(cmd.image_id, cmd.node, cmd.count, redispatched=True)
+                elif isinstance(cmd, ArmDeadline):
+                    rec = records[cmd.image_id]
+                    rec.dispatch_done = sim.now
+                    rec.deadline = cmd.deadline
+                    sim.schedule_at(
+                        cmd.deadline,
+                        lambda i=cmd.image_id: handle(DeadlineFired(sim.now, i)),
+                    )
+                elif isinstance(cmd, TriggerMerge):
+                    finish_image(records[cmd.image_id], cmd)
+                else:  # pragma: no cover - defensive
+                    raise TypeError(f"unhandled controller command: {cmd!r}")
+
+        def finish_image(rec: ImageRecord, cmd: TriggerMerge) -> None:
             rec.trigger_time = sim.now
-            rec.received = received[image_id].copy()
-            rec.zero_filled_tiles = int(rec.allocation.sum() - rec.received.sum())
-            stats.update(self._throughput_counts(rec, last_arrival[image_id], node_start[image_id]))
-            if by_deadline:
-                tel.count("adcnn_deadline_triggers_total")
-                tel.record(sim.now, "deadline", image_id=image_id)
-            if rec.zero_filled_tiles:
-                tel.count("adcnn_tiles_zero_filled_total", rec.zero_filled_tiles)
+            rec.received = np.array(cmd.received, dtype=int)
+            rec.zero_filled_tiles = cmd.zero_filled
             if tel.enabled:
                 # Zero-fill + reassembly are instantaneous in the DES; the
                 # marker span keeps the stage set identical to the process
                 # backend's trace.
                 tel.span(STAGE_MERGE, sim.now, 0.0, node=self.central.name,
-                         image_id=image_id, zero_filled=int(rec.zero_filled_tiles))
+                         image_id=rec.image_id, zero_filled=int(cmd.zero_filled))
             rec.completion = self.central.submit(
                 sim.now, self.workload.rest_macs + self.workload.partition_macs
             )
@@ -396,16 +385,27 @@ class ADCNNSystem:
                     else (sim.now, rec.completion)
                 )
                 tel.span(STAGE_CENTRAL, busy_start, busy_end - busy_start,
-                         node=self.central.name, image_id=image_id)
-                tel.record(rec.completion, "image_done", image_id=image_id,
-                           latency=rec.latency, zero_filled=int(rec.zero_filled_tiles))
+                         node=self.central.name, image_id=rec.image_id)
+                tel.record(rec.completion, "image_done", image_id=rec.image_id,
+                           latency=rec.latency, zero_filled=int(cmd.zero_filled))
                 tel.observe("adcnn_image_latency_seconds", rec.latency)
+
+            def release(image_id: int = rec.image_id) -> None:
+                handle(MergeCompleted(sim.now, image_id))
+                try_dispatch()
+
             # The pipeline window opens when the image *completes* (not at
             # trigger): Figure 9 overlaps transfer/conv of image i+1 with
             # the rest-layer stage of image i, but an unbounded in-flight
             # count would let the Central node's queue grow without limit
-            # whenever the rest layers are the bottleneck stage.
-            sim.schedule_at(rec.completion, lambda: (state.__setitem__("in_flight", state["in_flight"] - 1), try_dispatch()))
+            # whenever the rest layers are the bottleneck stage.  A failed
+            # Central returns a non-finite completion — release the window
+            # immediately instead of parking it on an event that never
+            # fires (which would silently stall every remaining dispatch).
+            if math.isfinite(rec.completion):
+                sim.schedule_at(rec.completion, release)
+            else:
+                sim.schedule(0.0, release)
 
         # Seed the full pipeline window: one dispatch per in-flight slot
         # (try_dispatch itself dispatches at most one image per call).
@@ -415,40 +415,25 @@ class ADCNNSystem:
         self.records = records
         return records
 
-    def _throughput_counts(
-        self, rec: ImageRecord, finishes: np.ndarray, starts: np.ndarray
-    ) -> np.ndarray:
-        """The ``n_k`` fed to Algorithm 2.
-
-        The paper counts results received within the window.  Raw counts can
-        only shrink a node's share (a fast node that finishes its batch early
-        still reports n_k = x_k), so we normalize each node's count by its
-        *busy span* (results carry node-side completion timestamps): a node
-        that returned its tiles in half the window is credited with twice the
-        rate.  When a node uses the full window — the straggler case the
-        paper targets — this reduces exactly to the paper's count.  Credits
-        are capped at the image's tile total.
-        """
-        window = max(rec.trigger_time - rec.dispatch_done, 1e-9)
-        counts = np.zeros(len(self.nodes))
-        for i in range(len(self.nodes)):
-            d = rec.received[i]
-            if d == 0:
-                continue
-            span = finishes[i] - starts[i]
-            span = window if not math.isfinite(span) or span <= 0 else min(span, window)
-            counts[i] = min(d * window / span, float(self.workload.num_tiles))
-        return counts
-
     # ------------------------------------------------------------- analysis
     def mean_latency(self, skip: int = 0) -> float:
-        """Average end-to-end latency (optionally skipping warm-up images)."""
+        """Average end-to-end latency (optionally skipping warm-up images).
+
+        Records whose latency is non-finite (the Central node died before
+        merging that image) are skipped rather than poisoning the mean; if
+        *every* record is non-finite the failure is surfaced as an error.
+        """
         lat = [r.latency for r in self.records[skip:]]
         if not lat:
             raise ValueError("no records — call run() first")
-        return float(np.mean(lat))
+        finite = [x for x in lat if math.isfinite(x)]
+        if not finite:
+            raise ValueError("no finite latencies — every merge failed (dead Central node?)")
+        return float(np.mean(finite))
 
     def total_transferred_bits(self) -> float:
+        if not self._media:
+            raise ValueError("no records — call run() first")
         return sum(m.transferred_bits for m in self._media)
 
     def makespan(self) -> float:

@@ -1,0 +1,15 @@
+"""RL008 fixture: a driver making scheduling decisions behind the controller."""
+
+import numpy as np
+
+from repro.runtime.scheduler import StatisticsCollector, allocate_tiles
+
+
+def plan(num_tiles: int, rates: np.ndarray, collector: StatisticsCollector) -> np.ndarray:
+    allocation = allocate_tiles(num_tiles, rates)
+    collector.update(np.maximum(rates, 0.0))
+    return allocation
+
+
+def finalize(received: np.ndarray, window: float, stats: StatisticsCollector) -> None:
+    stats.update(received / window)

@@ -77,6 +77,21 @@ def test_rl007_import_effects_fixture():
     assert found == [("RL007", 3)]  # main-guard print is allowed
 
 
+def test_rl008_controller_authority_fixture():
+    found = violations_in(FIXTURES / "runtime" / "bad_policy_site.py")
+    assert ("RL008", 9) in found  # direct Algorithm 3 call from a driver
+    assert ("RL008", 10) in found  # EWMA collector fed by hand
+    assert ("RL008", 15) in found  # ditto, via a differently-named receiver
+    assert len(found) == 3
+
+
+def test_rl008_allows_the_controller_layer():
+    src = REPO / "src" / "repro" / "runtime"
+    for allowed in ("controller.py", "policies.py", "scheduler.py"):
+        result = lint_file(src / allowed, default_rules())
+        assert not [v for v in result.violations if v.code == "RL008"]
+
+
 # ------------------------------------------------------------- suppression
 def test_inline_and_preceding_line_suppression():
     assert violations_in(FIXTURES / "nn" / "suppressed.py") == []
