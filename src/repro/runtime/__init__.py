@@ -19,10 +19,11 @@ from .policies import (
     register_policy,
     resolve_policy,
 )
-from .process_backend import InferenceOutcome, ProcessCluster, ProcessClusterConfig
+from .arrivals import burst_arrival_times, poisson_arrival_times, uniform_arrival_times
+from .process_backend import InferenceOutcome, ProcessCluster, ProcessClusterConfig, StreamEngine
 from .scheduler import SchedulingError, StatisticsCollector, allocate_tiles
 from .shm_arena import ShmRef, SlotArena
-from .system import ADCNNConfig, ADCNNSystem, ImageRecord, MediumQueue
+from .system import ADCNNConfig, ADCNNSystem, ImageRecord, MediumQueue, OpenLoopResult
 from .workload import ADCNNWorkload
 from .zero_fill import accuracy_under_tile_loss, forward_with_missing_tiles
 
@@ -58,6 +59,11 @@ __all__ = [
     "ProcessCluster",
     "ProcessClusterConfig",
     "InferenceOutcome",
+    "StreamEngine",
+    "OpenLoopResult",
+    "poisson_arrival_times",
+    "uniform_arrival_times",
+    "burst_arrival_times",
     "forward_with_missing_tiles",
     "accuracy_under_tile_loss",
     "ADCNNDeployment",

@@ -1,0 +1,86 @@
+"""Open-loop arrival processes shared by the DES and the serving bench.
+
+The paper evaluates ADCNN on bounded image batches; a service under real
+traffic sees an *open-loop* arrival process — images arrive whether or not
+the pipeline has capacity, which is exactly what exposes saturation,
+overload, and tail latency.  These helpers generate absolute arrival
+timestamps (seconds from stream start) consumed by
+:meth:`~repro.runtime.system.ADCNNSystem.run_open_loop` in sim-time and by
+``benchmarks/bench_serving.py`` / :mod:`repro.serving` in wall-clock time.
+
+All generators take an explicit :class:`numpy.random.Generator` — workers
+fork these modules, so no module-level RNG (RL001).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "poisson_arrival_times",
+    "uniform_arrival_times",
+    "burst_arrival_times",
+]
+
+
+def poisson_arrival_times(
+    rate_hz: float, num_arrivals: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Absolute arrival times of a Poisson process with mean ``rate_hz``.
+
+    The canonical open-loop workload: exponential inter-arrival gaps, so
+    bursts happen naturally and the offered load is ``rate_hz`` regardless
+    of how fast the system drains — the regime where throughput-vs-offered-
+    load curves show their knee (Parthasarathy & Krishnamachari's framing).
+    """
+    if rate_hz <= 0:
+        raise ValueError("arrival rate must be positive")
+    if num_arrivals < 1:
+        raise ValueError("need at least one arrival")
+    gaps = rng.exponential(scale=1.0 / rate_hz, size=num_arrivals)
+    return np.cumsum(gaps)
+
+
+def uniform_arrival_times(rate_hz: float, num_arrivals: int) -> np.ndarray:
+    """Deterministic evenly-spaced arrivals at ``rate_hz`` (paced clients)."""
+    if rate_hz <= 0:
+        raise ValueError("arrival rate must be positive")
+    if num_arrivals < 1:
+        raise ValueError("need at least one arrival")
+    return (np.arange(num_arrivals, dtype=np.float64) + 1.0) / rate_hz
+
+
+def burst_arrival_times(
+    base_rate_hz: float,
+    burst_rate_hz: float,
+    base_seconds: float,
+    burst_seconds: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Poisson arrivals at ``base_rate_hz``, then a burst, then base again.
+
+    The p99-under-burst workload: a steady phase long enough to reach
+    steady state, a burst phase that overruns the pipelining window (tail
+    latency and shedding show up here), and a recovery phase that shows
+    whether the queue drains back to steady state.
+    """
+    if base_seconds < 0 or burst_seconds <= 0:
+        raise ValueError("need base_seconds >= 0 and burst_seconds > 0")
+    phases = (
+        (base_rate_hz, 0.0, base_seconds),
+        (burst_rate_hz, base_seconds, base_seconds + burst_seconds),
+        (base_rate_hz, base_seconds + burst_seconds, 2 * base_seconds + burst_seconds),
+    )
+    times: list[float] = []
+    for rate, start, end in phases:
+        if rate <= 0 or end <= start:
+            continue
+        t = start
+        while True:
+            t += float(rng.exponential(scale=1.0 / rate))
+            if t >= end:
+                break
+            times.append(t)
+    if not times:
+        raise ValueError("arrival schedule came out empty — rates too low for the phases")
+    return np.asarray(times, dtype=np.float64)

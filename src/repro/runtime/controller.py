@@ -412,8 +412,24 @@ class CentralController:
 
     @property
     def can_dispatch(self) -> bool:
-        """True when the Figure-9 pipeline window has a free slot."""
+        """True when the Figure-9 pipeline window has a free slot.
+
+        This is also the admission-control signal for open-loop serving:
+        arrivals are *not* scheduled by the controller, so a driver feeding
+        it an arrival process (Poisson, trace, live clients) simply holds
+        images back — in a bounded queue, shedding beyond it — until this
+        flips true.
+        """
         return self._in_flight < self._window
+
+    @property
+    def inflight_images(self) -> tuple[int, ...]:
+        """Ids of images currently in flight, oldest dispatch first.
+
+        Serving drains use this to account for every admitted image when
+        shutting down (finish these, then stop the cluster).
+        """
+        return tuple(self._images)
 
     def rates(self) -> np.ndarray:
         """Current Algorithm-2 ``s_k`` estimates (copy)."""

@@ -111,6 +111,11 @@ class TileResult:
     (CLOCK_MONOTONIC — comparable across forked processes on Linux, so the
     Central node can place worker spans on a shared timeline).  All default
     to 0 for results synthesized centrally (zero-fill / local fallback).
+
+    ``ring_fallback`` marks a result whose bytes *could* have used the
+    worker's shared-memory slot ring but shipped inline because every slot
+    was still held by the Central node (back-pressure); the collect loop
+    counts these so benchmarks can see ring exhaustion under load.
     """
 
     image_id: int
@@ -121,6 +126,7 @@ class TileResult:
     compress_seconds: float = 0.0
     t_start: float = 0.0
     t_end: float = 0.0
+    ring_fallback: bool = False
 
 
 @dataclass(frozen=True, slots=True)

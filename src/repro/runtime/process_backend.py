@@ -41,11 +41,13 @@ from __future__ import annotations
 import multiprocessing as mp
 import queue as queue_mod
 import time
+from collections import deque
 from collections.abc import Sequence
 from dataclasses import dataclass, field, replace
+from multiprocessing import connection as mp_connection
 from multiprocessing import shared_memory
 from multiprocessing.synchronize import Semaphore
-from typing import Any
+from typing import Any, TypedDict
 
 import numpy as np
 
@@ -103,10 +105,33 @@ from .shm_arena import (
     write_bytes,
 )
 
-#: Per-image in-flight bookkeeping (tiles, assignment map, results, timing).
-_ImageState = dict[str, Any]
+class _ImageState(TypedDict):
+    """Per-image in-flight bookkeeping (tiles, assignment map, results, timing).
 
-__all__ = ["ProcessClusterConfig", "InferenceOutcome", "ProcessCluster"]
+    ``trigger`` is ``None`` until the controller's :class:`TriggerMerge`
+    command lands — finalize paths must handle both states (a deadline can
+    fire before any result arrives).
+    """
+
+    tiles: list[np.ndarray]
+    allocation: np.ndarray
+    assignment: dict[int, int]
+    results: dict[int, TileResult]
+    received: np.ndarray
+    busy: np.ndarray
+    wall: np.ndarray
+    local: list[int]
+    task_slots: dict[int, shared_memory.SharedMemory]
+    task_refs: dict[int, ShmRef]
+    enqueue_ts: dict[int, float]
+    deadline: float
+    start: float
+    trigger: TriggerMerge | None
+    next_tile: int
+    ipc_tiles: int
+
+
+__all__ = ["ProcessClusterConfig", "InferenceOutcome", "ProcessCluster", "StreamEngine"]
 
 #: Transport modes: ``"shm"`` ships tile data through shared-memory slots
 #: (queues carry only descriptors); ``"pickle"`` is the legacy path where
@@ -120,21 +145,25 @@ def _stage_result(
     attachments: dict[str, shared_memory.SharedMemory],
     result_sem: Semaphore,
     cursor: int,
-) -> tuple[PackedTensor | np.ndarray | ShmRef, int]:
+) -> tuple[PackedTensor | np.ndarray | ShmRef, int, bool]:
     """Move a result's bytes into the worker's slot ring, if possible.
 
-    Returns ``(payload_or_descriptor, cursor)``.  Falls back to the inline
-    (pickled) payload when the ring is full, the bytes outgrow the slot, or
-    the arena has vanished — correctness never depends on slot capacity.
+    Returns ``(payload_or_descriptor, cursor, ring_fallback)``.  Falls back
+    to the inline (pickled) payload when the ring is full, the bytes outgrow
+    the slot, or the arena has vanished — correctness never depends on slot
+    capacity.  The ring-full probe is **non-blocking**: a slow-draining
+    Central node must never stall the worker (head-of-line blocking for
+    every queued tile behind this one); the fallback is reported so the
+    collect loop can count ring exhaustion in telemetry.
     """
     if isinstance(payload, PackedTensor):
         data, raw_bits = payload.packed.buffer, payload.raw_bits
     else:
         data, raw_bits = np.ascontiguousarray(payload), 0
     if data.nbytes > grant.slot_nbytes:
-        return payload, cursor
-    if not result_sem.acquire(timeout=0.25):
-        return payload, cursor  # central is slow to drain; ship inline
+        return payload, cursor, False
+    if not result_sem.acquire(block=False):
+        return payload, cursor, True  # central is slow to drain; ship inline
     name = grant.slot_names[cursor % len(grant.slot_names)]
     try:
         shm = attach_slot(attachments, name)
@@ -144,8 +173,8 @@ def _stage_result(
             ref = write_array(shm, data)
     except Exception:
         result_sem.release()
-        return payload, cursor
-    return ref, cursor + 1
+        return payload, cursor, False
+    return ref, cursor + 1, False
 
 
 def _worker_loop(
@@ -198,8 +227,11 @@ def _worker_loop(
                 )
             else:
                 payload = out
+            ring_fallback = False
             if grant is not None and result_sem is not None:
-                payload, cursor = _stage_result(payload, grant, attachments, result_sem, cursor)
+                payload, cursor, ring_fallback = _stage_result(
+                    payload, grant, attachments, result_sem, cursor
+                )
             t_end = time.perf_counter()
             result_queue.put(
                 TileResult(
@@ -211,6 +243,7 @@ def _worker_loop(
                     compress_seconds=t_end - t_forward,
                     t_start=t_start,
                     t_end=t_end,
+                    ring_fallback=ring_fallback,
                 )
             )
     finally:
@@ -664,6 +697,25 @@ class ProcessCluster:
         return None if obj is None else replace(res, payload=obj)
 
     # -------------------------------------------------------------- inference
+    def validate_image(self, image: np.ndarray) -> np.ndarray:
+        """Coerce one input to float32 and check it against the model.
+
+        Accepts ``model.input_shape`` (a batch dim is added) or
+        ``(N, *model.input_shape)``; anything else raises a clear
+        :class:`ValueError` *here*, instead of a cryptic partition/conv
+        error deep inside a worker process.
+        """
+        img = np.asarray(image, dtype=np.float32)
+        expected = tuple(self.model.input_shape)
+        if img.shape == expected:
+            return img[None]
+        if img.ndim == len(expected) + 1 and img.shape[1:] == expected:
+            return img
+        raise ValueError(
+            f"image shape {img.shape} does not match model input shape {expected}; "
+            f"expected {expected} or (N, *{expected})"
+        )
+
     def infer(self, image: np.ndarray) -> InferenceOutcome:
         """One distributed inference over the live cluster.
 
@@ -672,6 +724,15 @@ class ProcessCluster:
         rest layers.  Worker delivery counts feed Algorithm 2.
         """
         return self.infer_stream([image], pipeline_depth=1)[0]
+
+    def stream_engine(self, window: int = 2) -> "StreamEngine":
+        """An incremental open-loop driver over this cluster (serving mode).
+
+        ``infer_stream`` is the bounded-batch convenience wrapper; the
+        continuous serving front-end (:mod:`repro.serving`) admits images
+        one at a time through the returned engine instead.
+        """
+        return StreamEngine(self, window)
 
     def infer_stream(
         self, images: Sequence[np.ndarray], pipeline_depth: int = 2
@@ -688,154 +749,97 @@ class ProcessCluster:
             raise RuntimeError("cluster not started — use `with ProcessCluster(...)`")
         if pipeline_depth < 1:
             raise ValueError("pipeline_depth must be >= 1")
-        images = [np.asarray(img, dtype=np.float32) for img in images]
-        images = [img[None] if img.ndim == len(self.model.input_shape) else img for img in images]
-
-        self._controller.set_window(pipeline_depth)
-        inflight: dict[int, _ImageState] = {}
+        batch = [self.validate_image(img) for img in images]
+        engine = StreamEngine(self, pipeline_depth)
         outcomes: dict[int, InferenceOutcome] = {}
-        order: list[int] = []
+        idx_of: dict[int, int] = {}
         next_idx = 0
-
-        tel = self.telemetry
-
-        def dispatch(idx: int) -> None:
-            self._supervise(inflight)
-            image_id = self._image_counter
-            self._image_counter += 1
-            t_partition = time.perf_counter()
-            tiles = split_array(images[idx], self.grid)
-            self._ensure_task_arena(tiles, pipeline_depth)
-            now = time.monotonic()
-            alive = tuple(bool(a) for a in self._alive_mask())
-            cmds = self._controller.handle(ImageReady(now, image_id, len(tiles), alive))
-            start = time.perf_counter()
-            if tel.enabled:
-                # Partition + Algorithm 3 run back to back on the Central
-                # node; one span covers the whole Input-partition block.
-                tel.span(STAGE_PARTITION, t_partition, start - t_partition,
-                         node="central", image_id=image_id)
-            st: _ImageState = {
-                "idx": idx,
-                "tiles": tiles,
-                # Shares the controller's live allocation array so fault
-                # re-dispatch adjustments show through to the outcome.
-                "allocation": self._controller.allocation_view(image_id),
-                "assignment": {},
-                "results": {},
-                "received": np.zeros(self.config.num_workers, dtype=int),
-                "busy": np.zeros(self.config.num_workers),
-                "wall": np.zeros(self.config.num_workers),
-                "local": [],
-                "task_slots": {},
-                "task_refs": {},
-                "enqueue_ts": {},
-                "deadline": now + self.config.t_limit,
-                "start": start,
-                "trigger": None,
-                "next_tile": 0,
-                "ipc_tiles": 0,
-            }
-            inflight[image_id] = st
-            order.append(image_id)
-            self._execute(cmds, inflight)
-            # IPC delivery is synchronous: a batch is "on the wire" the
-            # moment ``put`` returns, so every transfer completes at
-            # dispatch time and the deadline arms from here.
-            for cmd in cmds:
-                if isinstance(cmd, SendBatch) and cmd.node != LOCAL_WORKER:
-                    self._execute(
-                        self._controller.handle(BatchDelivered(now, image_id, cmd.node)),
-                        inflight,
-                    )
-            if tel.enabled and st["ipc_tiles"]:
-                # Input tiles cross the IPC "wire" uncompressed.
-                up_bits = tiles[0].nbytes * 8 * st["ipc_tiles"]
-                tel.count("adcnn_bits_wire_total", up_bits, direction="up")
-                tel.count("adcnn_bits_raw_total", up_bits, direction="up")
-
-        def finalize(image_id: int) -> None:
-            st = inflight.pop(image_id)
-            trig: TriggerMerge = st["trigger"]
-            # Reclaim task slots still held (deadline-missed tiles keep
-            # theirs until now).  A straggler worker may later read a
-            # recycled slot and return garbage — harmless, because its
-            # result carries this (now-retired) image_id and gets dropped.
-            self._release_image_slots(st)
-            t_merge = time.perf_counter()
-            out_tiles, missing = self._materialize_tiles(st["tiles"], st["results"])
-            feature_map = reassemble_array(out_tiles, self.grid)
-            t_rest = time.perf_counter()
-            with nn.no_grad():
-                output = self._rest(Tensor(feature_map)).data
-            t_done = time.perf_counter()
-            if st["local"]:
-                tel.count("adcnn_tiles_local_total", len(st["local"]))
-            if tel.enabled:
-                tel.span(STAGE_MERGE, t_merge, t_rest - t_merge, node="central",
-                         image_id=image_id, zero_filled=len(missing))
-                tel.span(STAGE_CENTRAL, t_rest, t_done - t_rest, node="central", image_id=image_id)
-                for res in st["results"].values():
-                    payload = res.payload
-                    # wire_bits first: a PackedTensor has both, and its
-                    # measured buffer length is the honest wire count.
-                    if hasattr(payload, "wire_bits") and hasattr(payload, "raw_bits"):
-                        tel.count("adcnn_bits_wire_total", payload.wire_bits, direction="down")
-                        tel.count("adcnn_bits_raw_total", payload.raw_bits, direction="down")
-                    elif hasattr(payload, "compressed_bits") and hasattr(payload, "raw_bits"):
-                        tel.count("adcnn_bits_wire_total", payload.compressed_bits, direction="down")
-                        tel.count("adcnn_bits_raw_total", payload.raw_bits, direction="down")
-                    elif hasattr(payload, "nbytes"):
-                        tel.count("adcnn_bits_wire_total", payload.nbytes * 8, direction="down")
-                        tel.count("adcnn_bits_raw_total", payload.nbytes * 8, direction="down")
-                latency = t_done - st["start"]
-                tel.record(t_done, "image_done", image_id=image_id,
-                           latency=latency, zero_filled=len(missing))
-                tel.observe("adcnn_image_latency_seconds", latency)
-            outcomes[st["idx"]] = InferenceOutcome(
-                output=output,
-                allocation=st["allocation"],
-                received_per_worker=(
-                    np.array(trig.received, dtype=int) if trig is not None else st["received"]
-                ),
-                zero_filled_tiles=missing,
-                locally_computed_tiles=sorted(st["local"]),
-                wall_seconds=t_done - st["start"],
-                compute_seconds_per_worker=st["busy"].copy(),
-                wall_seconds_per_worker=st["wall"].copy(),
-            )
-            self._execute(
-                self._controller.handle(MergeCompleted(time.monotonic(), image_id)),
-                inflight,
-            )
-
-        while next_idx < len(images) or inflight:
-            while next_idx < len(images) and self._controller.can_dispatch:
-                dispatch(next_idx)
+        while next_idx < len(batch) or engine.in_flight:
+            while next_idx < len(batch) and engine.can_dispatch:
+                idx_of[engine.dispatch(batch[next_idx])] = next_idx
                 next_idx += 1
-            oldest = order[len(outcomes)]
-            st = inflight[oldest]
-            if st["trigger"] is not None:
-                finalize(oldest)
-                continue
-            self._supervise(inflight)
-            if st["trigger"] is not None:
-                finalize(oldest)  # supervision filled the gap locally
-                continue
-            timeout = st["deadline"] - time.monotonic()
-            if timeout <= 0:
-                # T_L expired for the oldest image: the controller settles
-                # the trigger (stats update + zero-fill accounting) and the
-                # merge runs on whatever arrived.
-                self._execute(
-                    self._controller.handle(DeadlineFired(time.monotonic(), oldest)),
-                    inflight,
-                )
-                finalize(oldest)
-                continue
-            if not self._sweep_results(inflight):
-                time.sleep(min(timeout, self.config.poll_interval, 0.005))
-        return [outcomes[i] for i in range(len(images))]
+            for image_id, outcome in engine.pump():
+                outcomes[idx_of[image_id]] = outcome
+        return [outcomes[i] for i in range(len(batch))]
+
+    def _finalize(self, image_id: int, inflight: dict[int, _ImageState]) -> InferenceOutcome:
+        """Merge one image: reclaim slots, zero-fill, rest layers, telemetry."""
+        tel = self.telemetry
+        st = inflight.pop(image_id)
+        trig: TriggerMerge | None = st["trigger"]
+        # Reclaim task slots still held (deadline-missed tiles keep
+        # theirs until now).  A straggler worker may later read a
+        # recycled slot and return garbage — harmless, because its
+        # result carries this (now-retired) image_id and gets dropped.
+        self._release_image_slots(st)
+        t_merge = time.perf_counter()
+        out_tiles, missing = self._materialize_tiles(st["tiles"], st["results"])
+        feature_map = reassemble_array(out_tiles, self.grid)
+        t_rest = time.perf_counter()
+        with nn.no_grad():
+            output = self._rest(Tensor(feature_map)).data
+        t_done = time.perf_counter()
+        if st["local"]:
+            tel.count("adcnn_tiles_local_total", len(st["local"]))
+        if tel.enabled:
+            tel.span(STAGE_MERGE, t_merge, t_rest - t_merge, node="central",
+                     image_id=image_id, zero_filled=len(missing))
+            tel.span(STAGE_CENTRAL, t_rest, t_done - t_rest, node="central", image_id=image_id)
+            for res in st["results"].values():
+                payload = res.payload
+                # wire_bits first: a PackedTensor has both, and its
+                # measured buffer length is the honest wire count.
+                if hasattr(payload, "wire_bits") and hasattr(payload, "raw_bits"):
+                    tel.count("adcnn_bits_wire_total", payload.wire_bits, direction="down")
+                    tel.count("adcnn_bits_raw_total", payload.raw_bits, direction="down")
+                elif hasattr(payload, "compressed_bits") and hasattr(payload, "raw_bits"):
+                    tel.count("adcnn_bits_wire_total", payload.compressed_bits, direction="down")
+                    tel.count("adcnn_bits_raw_total", payload.raw_bits, direction="down")
+                elif hasattr(payload, "nbytes"):
+                    tel.count("adcnn_bits_wire_total", payload.nbytes * 8, direction="down")
+                    tel.count("adcnn_bits_raw_total", payload.nbytes * 8, direction="down")
+            latency = t_done - st["start"]
+            tel.record(t_done, "image_done", image_id=image_id,
+                       latency=latency, zero_filled=len(missing))
+            tel.observe("adcnn_image_latency_seconds", latency)
+        outcome = InferenceOutcome(
+            output=output,
+            allocation=st["allocation"],
+            received_per_worker=(
+                np.array(trig.received, dtype=int) if trig is not None else st["received"]
+            ),
+            zero_filled_tiles=missing,
+            locally_computed_tiles=sorted(st["local"]),
+            wall_seconds=t_done - st["start"],
+            compute_seconds_per_worker=st["busy"].copy(),
+            wall_seconds_per_worker=st["wall"].copy(),
+        )
+        self._execute(
+            self._controller.handle(MergeCompleted(time.monotonic(), image_id)),
+            inflight,
+        )
+        return outcome
+
+    def _wait_results(self, timeout: float) -> bool:
+        """Block until any worker's result pipe is readable, or ``timeout``.
+
+        Uses :func:`multiprocessing.connection.wait` on the result queues'
+        reader connections, so an arriving result wakes the Central loop
+        immediately — the idle path used to busy-poll with a 5 ms sleep,
+        adding up to 5 ms to every result's latency and burning CPU.
+        """
+        readers = [
+            reader
+            for reader in (getattr(q, "_reader", None) for q in self._result_queues)
+            if reader is not None
+        ]
+        if not readers:  # pragma: no cover - queues always expose _reader on CPython
+            time.sleep(min(timeout, self.config.poll_interval))
+            return False
+        try:
+            return bool(mp_connection.wait(readers, timeout=max(timeout, 0.0)))
+        except OSError:
+            return False  # a queue was torn down mid-wait (respawn race)
 
     # ------------------------------------------------------ command execution
     def _execute(self, cmds: list[Command], inflight: dict[int, _ImageState]) -> None:
@@ -950,6 +954,12 @@ class ProcessCluster:
                     break
                 got = True
                 recv = time.perf_counter() if tel.enabled else 0.0
+                if res.ring_fallback:
+                    # The worker wanted a ring slot but every permit was
+                    # held here — back-pressure made it ship inline.
+                    tel.count(
+                        "adcnn_result_ring_fallback_total", node=f"worker{res.worker}"
+                    )
                 # Materialize BEFORE any accept/drop decision: even a result
                 # we end up dropping must have its semaphore permit returned,
                 # or the worker's ring shrinks by one slot forever.
@@ -1024,3 +1034,163 @@ class ProcessCluster:
         if tile.ndim == 3:  # (N, C, L)
             return (tile.shape[0], channels, tile.shape[2] // reduction)
         return (tile.shape[0], channels, tile.shape[2] // reduction, tile.shape[3] // reduction)
+
+
+class StreamEngine:
+    """Incremental, open-loop driver over a live :class:`ProcessCluster`.
+
+    ``ProcessCluster.infer_stream`` is a bounded-batch loop over this class;
+    the continuous serving front-end (:mod:`repro.serving`) drives it
+    directly, one admission decision at a time:
+
+    - :attr:`can_dispatch` mirrors the controller's Figure-9 pipelining
+      window — the admission-control signal for open-loop arrivals;
+    - :meth:`dispatch` partitions one *validated* image, runs the
+      controller's allocation, and enqueues its tiles;
+    - :meth:`pump` advances the collect loop (supervision, deadline firing,
+      result sweeping, oldest-first finalize) and returns every image that
+      finished since the last call.  When idle it blocks on the result
+      queues' readers — never a fixed sleep — so results wake it instantly.
+
+    The engine holds no OS resources of its own; abandoning one mid-stream
+    leaks nothing (in-flight bookkeeping is reclaimed by ``stop()``'s arena
+    teardown), but the owning cluster's controller window stays occupied by
+    any images never pumped to completion.
+    """
+
+    def __init__(self, cluster: ProcessCluster, window: int = 2) -> None:
+        if not cluster._procs:
+            raise RuntimeError("cluster not started — use `with ProcessCluster(...)`")
+        if window < 1:
+            raise ValueError("pipeline window must be >= 1")
+        self._cluster = cluster
+        cluster._controller.set_window(window)
+        self._inflight: dict[int, _ImageState] = {}
+        self._order: deque[int] = deque()
+
+    @property
+    def can_dispatch(self) -> bool:
+        """True when the controller's pipelining window has a free slot."""
+        return self._cluster._controller.can_dispatch
+
+    @property
+    def in_flight(self) -> int:
+        """Images dispatched but not yet finalized."""
+        return len(self._inflight)
+
+    @property
+    def inflight_images(self) -> tuple[int, ...]:
+        """Ids of in-flight images, oldest first (drain bookkeeping)."""
+        return tuple(self._order)
+
+    def dispatch(self, image: np.ndarray) -> int:
+        """Admit one validated ``(N, *input_shape)`` image; returns its id.
+
+        Callers must check :attr:`can_dispatch` first and validate the
+        image via :meth:`ProcessCluster.validate_image`.
+        """
+        cluster = self._cluster
+        if not cluster._controller.can_dispatch:
+            raise RuntimeError("pipeline window is full — check can_dispatch first")
+        cluster._supervise(self._inflight)
+        image_id = cluster._image_counter
+        cluster._image_counter += 1
+        tel = cluster.telemetry
+        t_partition = time.perf_counter()
+        tiles = split_array(image, cluster.grid)
+        cluster._ensure_task_arena(tiles, cluster._controller.window)
+        now = time.monotonic()
+        alive = tuple(bool(a) for a in cluster._alive_mask())
+        cmds = cluster._controller.handle(ImageReady(now, image_id, len(tiles), alive))
+        start = time.perf_counter()
+        if tel.enabled:
+            # Partition + Algorithm 3 run back to back on the Central
+            # node; one span covers the whole Input-partition block.
+            tel.span(STAGE_PARTITION, t_partition, start - t_partition,
+                     node="central", image_id=image_id)
+        st: _ImageState = {
+            "tiles": tiles,
+            # Shares the controller's live allocation array so fault
+            # re-dispatch adjustments show through to the outcome.
+            "allocation": cluster._controller.allocation_view(image_id),
+            "assignment": {},
+            "results": {},
+            "received": np.zeros(cluster.config.num_workers, dtype=int),
+            "busy": np.zeros(cluster.config.num_workers),
+            "wall": np.zeros(cluster.config.num_workers),
+            "local": [],
+            "task_slots": {},
+            "task_refs": {},
+            "enqueue_ts": {},
+            "deadline": now + cluster.config.t_limit,
+            "start": start,
+            "trigger": None,
+            "next_tile": 0,
+            "ipc_tiles": 0,
+        }
+        self._inflight[image_id] = st
+        self._order.append(image_id)
+        cluster._execute(cmds, self._inflight)
+        # IPC delivery is synchronous: a batch is "on the wire" the
+        # moment ``put`` returns, so every transfer completes at
+        # dispatch time and the deadline arms from here.
+        for cmd in cmds:
+            if isinstance(cmd, SendBatch) and cmd.node != LOCAL_WORKER:
+                cluster._execute(
+                    cluster._controller.handle(BatchDelivered(now, image_id, cmd.node)),
+                    self._inflight,
+                )
+        if tel.enabled and st["ipc_tiles"]:
+            # Input tiles cross the IPC "wire" uncompressed.
+            up_bits = tiles[0].nbytes * 8 * st["ipc_tiles"]
+            tel.count("adcnn_bits_wire_total", up_bits, direction="up")
+            tel.count("adcnn_bits_raw_total", up_bits, direction="up")
+        return image_id
+
+    def pump(self, block: bool = True) -> list[tuple[int, InferenceOutcome]]:
+        """Advance collection; returns ``(image_id, outcome)`` pairs done.
+
+        One call makes bounded progress: finalize anything already
+        triggered, supervise worker liveness, sweep the result queues, and
+        (when ``block`` and nothing happened) wait on the queues' readers
+        until the oldest image's deadline or the liveness-poll interval,
+        whichever is sooner.  Callers loop; an empty list is not "stream
+        over", it is "nothing finished yet".
+        """
+        cluster = self._cluster
+        done: list[tuple[int, InferenceOutcome]] = []
+        self._collect(done)
+        if not self._order:
+            return done
+        cluster._supervise(self._inflight)
+        self._collect(done)
+        if cluster._sweep_results(self._inflight):
+            self._collect(done)
+        if done or not block or not self._order:
+            return done
+        head = self._inflight[self._order[0]]
+        timeout = head["deadline"] - time.monotonic()
+        if timeout > 0:
+            if cluster._wait_results(min(timeout, cluster.config.poll_interval)):
+                cluster._sweep_results(self._inflight)
+        self._collect(done)  # the deadline may have expired during the wait
+        return done
+
+    def _collect(self, done: list[tuple[int, InferenceOutcome]]) -> None:
+        """Finalize ready images oldest-first (T_L fires per Figure 9 order)."""
+        cluster = self._cluster
+        while self._order:
+            image_id = self._order[0]
+            st = self._inflight[image_id]
+            if st["trigger"] is None and time.monotonic() >= st["deadline"]:
+                # T_L expired for the oldest image: the controller settles
+                # the trigger (stats update + zero-fill accounting) and the
+                # merge runs on whatever arrived.
+                cluster._execute(
+                    cluster._controller.handle(DeadlineFired(time.monotonic(), image_id)),
+                    self._inflight,
+                )
+            if st["trigger"] is None:
+                return
+            self._order.popleft()
+            done.append((image_id, cluster._finalize(image_id, self._inflight)))

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -65,7 +65,7 @@ from .controller import (
 from .policies import AllocationPolicy
 from .workload import ADCNNWorkload
 
-__all__ = ["ADCNNConfig", "ImageRecord", "ADCNNSystem", "MediumQueue"]
+__all__ = ["ADCNNConfig", "ImageRecord", "ADCNNSystem", "MediumQueue", "OpenLoopResult"]
 
 
 class MediumQueue:
@@ -129,7 +129,13 @@ class ADCNNConfig:
 
 @dataclass
 class ImageRecord:
-    """Per-image outcome of a simulated run."""
+    """Per-image outcome of a simulated run.
+
+    ``arrival_time`` is NaN for closed-loop :meth:`ADCNNSystem.run` records
+    (every image is "available" at t=0); open-loop records carry the
+    arrival-process timestamp, which may precede ``dispatch_start`` by the
+    admission-queue wait.
+    """
 
     image_id: int
     dispatch_start: float
@@ -140,11 +146,69 @@ class ImageRecord:
     completion: float = math.nan
     received: np.ndarray = field(default_factory=lambda: np.zeros(0))
     zero_filled_tiles: int = 0
+    arrival_time: float = math.nan
 
     @property
     def latency(self) -> float:
         """End-to-end (§7.2): partition start -> final output."""
         return self.completion - self.dispatch_start
+
+    @property
+    def queue_wait(self) -> float:
+        """Admission-queue wait (0.0 for closed-loop records)."""
+        if not math.isfinite(self.arrival_time):
+            return 0.0
+        return self.dispatch_start - self.arrival_time
+
+    @property
+    def sojourn(self) -> float:
+        """What an open-loop client sees: arrival -> final output.
+
+        Falls back to :attr:`latency` for closed-loop records, where there
+        is no meaningful arrival instant.
+        """
+        if not math.isfinite(self.arrival_time):
+            return self.latency
+        return self.completion - self.arrival_time
+
+
+@dataclass
+class OpenLoopResult:
+    """Outcome of one :meth:`ADCNNSystem.run_open_loop` run.
+
+    ``records`` hold only *admitted* images; ``shed`` arrivals bounced off
+    the full admission queue (load-shedding) and have no record.
+    """
+
+    records: list[ImageRecord]
+    offered: int
+    shed: int
+    horizon: float  # last completion (or arrival) instant, sim seconds
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for r in self.records if math.isfinite(r.completion))
+
+    @property
+    def throughput(self) -> float:
+        """Completed images per sim-second over the whole run."""
+        return self.completed / self.horizon if self.horizon > 0 else 0.0
+
+    @property
+    def shed_fraction(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+    def sojourns(self) -> np.ndarray:
+        """Finite arrival->completion latencies (seconds), admission order."""
+        vals = [r.sojourn for r in self.records if math.isfinite(r.sojourn)]
+        return np.asarray(vals, dtype=float)
+
+    def sojourn_quantile(self, q: float) -> float:
+        """Tail latency (e.g. ``q=0.99`` for p99); NaN with no completions."""
+        sojourns = self.sojourns()
+        if sojourns.size == 0:
+            return math.nan
+        return float(np.quantile(sojourns, q))
 
 
 class ADCNNSystem:
@@ -217,9 +281,48 @@ class ADCNNSystem:
 
     # ------------------------------------------------------------------ run
     def run(self, num_images: int) -> list[ImageRecord]:
-        """Simulate ``num_images`` consecutive inferences; returns records."""
+        """Simulate ``num_images`` consecutive inferences; returns records.
+
+        Closed-loop: every image is available at t=0 and dispatch is gated
+        only by the pipelining window (the paper's bounded-batch setup).
+        """
         if num_images < 1:
             raise ValueError("need at least one image")
+        return self._drive(num_images, arrivals=None, queue_capacity=None).records
+
+    def run_open_loop(
+        self,
+        arrival_times: Sequence[float] | np.ndarray,
+        queue_capacity: int | None = None,
+    ) -> OpenLoopResult:
+        """Simulate an *open-loop* arrival process (serving regime).
+
+        Images arrive at the given absolute sim-times (e.g. from
+        :func:`repro.runtime.arrivals.poisson_arrival_times`) whether or not
+        the pipeline has capacity.  An arrival that finds the controller's
+        window full waits in a FIFO admission queue; with ``queue_capacity``
+        set, an arrival that finds the queue full is *shed* (counted, never
+        dispatched) instead of growing the queue without bound.  This is the
+        regime where throughput-vs-offered-load and p99-under-burst curves
+        are measurable — at cluster sizes the process backend can't reach.
+        """
+        arrivals = np.asarray(arrival_times, dtype=float)
+        if arrivals.size < 1:
+            raise ValueError("need at least one arrival")
+        if not np.all(np.isfinite(arrivals)) or np.any(arrivals < 0):
+            raise ValueError("arrival times must be finite and non-negative")
+        if np.any(np.diff(arrivals) < 0):
+            raise ValueError("arrival times must be sorted")
+        if queue_capacity is not None and queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1 (or None for unbounded)")
+        return self._drive(int(arrivals.size), arrivals=arrivals, queue_capacity=queue_capacity)
+
+    def _drive(
+        self,
+        num_images: int,
+        arrivals: np.ndarray | None,
+        queue_capacity: int | None,
+    ) -> OpenLoopResult:
         sim = Simulator()
         tel = self.telemetry
         controller = self.build_controller()
@@ -241,14 +344,13 @@ class ADCNNSystem:
         self._media = list({id(m): m for m in up + down}.values())
 
         records: list[ImageRecord] = []
-        state = {"next_image": 0}
+        state = {"next_image": 0, "shed": 0}
+        pending: deque[float] = deque()  # open-loop arrivals awaiting admission
 
         def handle(event: object) -> None:
             execute(controller.handle(event))  # type: ignore[arg-type]
 
-        def try_dispatch() -> None:
-            if state["next_image"] >= num_images or not controller.can_dispatch:
-                return
+        def dispatch_one(arrival_time: float) -> None:
             image_id = state["next_image"]
             state["next_image"] += 1
             alive = tuple(bool(n.is_alive(sim.now)) for n in self.nodes)
@@ -258,9 +360,42 @@ class ADCNNSystem:
             # The record shares the controller's live allocation array so
             # re-dispatch adjustments show through.
             records.append(
-                ImageRecord(image_id, sim.now, controller.allocation_view(image_id))
+                ImageRecord(
+                    image_id,
+                    sim.now,
+                    controller.allocation_view(image_id),
+                    arrival_time=arrival_time,
+                )
             )
             execute(cmds)
+
+        def try_dispatch() -> None:
+            while controller.can_dispatch:
+                if arrivals is None:
+                    # Closed loop: images are inexhaustible until the count
+                    # runs out; keep the historical one-dispatch-per-call
+                    # pacing (callers schedule one call per window slot).
+                    if state["next_image"] >= num_images:
+                        return
+                    dispatch_one(math.nan)
+                    return
+                if not pending:
+                    return
+                dispatch_one(pending.popleft())
+
+        def arrive() -> None:
+            if tel.enabled:
+                tel.count("adcnn_arrivals_total")
+                tel.gauge("adcnn_admission_queue_depth", float(len(pending)))
+            if queue_capacity is not None and len(pending) >= queue_capacity:
+                # Load-shedding: reject at the door rather than queueing
+                # unboundedly — the arrival gets no record.
+                state["shed"] += 1
+                if tel.enabled:
+                    tel.count("adcnn_shed_total")
+                return
+            pending.append(sim.now)
+            try_dispatch()
 
         def send_batch(image_id: int, node_idx: int, count: int, redispatched: bool) -> None:
             bits = count * self.workload.tile_input_bits
@@ -389,6 +524,10 @@ class ADCNNSystem:
                 tel.record(rec.completion, "image_done", image_id=rec.image_id,
                            latency=rec.latency, zero_filled=int(cmd.zero_filled))
                 tel.observe("adcnn_image_latency_seconds", rec.latency)
+                if math.isfinite(rec.arrival_time):
+                    # Open loop: the client-visible latency includes time
+                    # spent waiting in the admission queue.
+                    tel.observe("adcnn_sojourn_seconds", rec.sojourn)
 
             def release(image_id: int = rec.image_id) -> None:
                 handle(MergeCompleted(sim.now, image_id))
@@ -407,13 +546,28 @@ class ADCNNSystem:
             else:
                 sim.schedule(0.0, release)
 
-        # Seed the full pipeline window: one dispatch per in-flight slot
-        # (try_dispatch itself dispatches at most one image per call).
-        for _ in range(self.config.pipeline_depth):
-            sim.schedule(0.0, try_dispatch)
+        if arrivals is None:
+            # Seed the full pipeline window: one dispatch per in-flight slot
+            # (try_dispatch itself dispatches at most one image per call).
+            for _ in range(self.config.pipeline_depth):
+                sim.schedule(0.0, try_dispatch)
+        else:
+            # Open loop: the arrival process drives admission; the window
+            # frees up via MergeCompleted -> try_dispatch.
+            for t in arrivals:
+                sim.schedule_at(float(t), arrive)
         sim.run()
         self.records = records
-        return records
+        horizon = max(
+            [r.completion for r in records if math.isfinite(r.completion)]
+            + ([float(arrivals[-1])] if arrivals is not None else [0.0])
+        )
+        return OpenLoopResult(
+            records=records,
+            offered=num_images,
+            shed=state["shed"],
+            horizon=horizon,
+        )
 
     # ------------------------------------------------------------- analysis
     def mean_latency(self, skip: int = 0) -> float:

@@ -1,0 +1,19 @@
+"""Open-loop, multi-client serving front-end (DESIGN.md §5g)."""
+
+from .frontend import (
+    ClientSession,
+    ClientStats,
+    Overloaded,
+    ServedResult,
+    ServingConfig,
+    ServingFrontEnd,
+)
+
+__all__ = [
+    "Overloaded",
+    "ServingConfig",
+    "ServedResult",
+    "ClientStats",
+    "ClientSession",
+    "ServingFrontEnd",
+]

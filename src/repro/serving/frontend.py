@@ -1,0 +1,426 @@
+"""Continuous multi-client serving front-end over :class:`ProcessCluster`.
+
+The paper's runtime (and ``ProcessCluster.infer_stream``) is closed-loop: a
+bounded batch is known up front and the driver loops until it drains.  A
+deployed edge cluster instead faces an *open-loop* arrival process — images
+arrive from many clients whether or not the pipeline has capacity.  This
+module adds that serving regime without touching the controller's
+decision logic (DESIGN.md §5g):
+
+- :class:`ServingFrontEnd` owns the cluster lifecycle and a single driver
+  thread that pulls admitted images from a bounded FIFO queue and feeds
+  them through a :class:`~repro.runtime.process_backend.StreamEngine` —
+  the controller's Figure-9 pipelining window *is* the admission-control
+  signal, so in-flight concurrency never exceeds the window.
+- :meth:`ServingFrontEnd.submit` is thread-safe and non-blocking: a full
+  admission queue sheds the request with a typed :class:`Overloaded`
+  rejection instead of queueing unboundedly (bounded-queue backpressure).
+- :class:`ClientSession` is the asyncio face: ``await session.submit(img)``
+  from any number of concurrent coroutines, with per-client latency
+  accounting against a configurable SLO.
+- :meth:`ServingFrontEnd.stop` drains gracefully: admission closes first,
+  everything already admitted finishes (bounded by ``drain_timeout``),
+  then the cluster's processes and arenas are torn down.
+
+Thread model: ``submit`` may be called from any thread; all engine calls
+happen on the one driver thread; completion flows back through
+:class:`concurrent.futures.Future`, which ``asyncio.wrap_future`` bridges
+onto the caller's event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import math
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.runtime.process_backend import InferenceOutcome, ProcessCluster, StreamEngine
+
+__all__ = [
+    "Overloaded",
+    "ServingConfig",
+    "ServedResult",
+    "ClientStats",
+    "ClientSession",
+    "ServingFrontEnd",
+]
+
+
+class Overloaded(RuntimeError):
+    """A submission was shed: the admission queue was full (or draining).
+
+    Typed so callers can distinguish load-shedding (retry later, with
+    backoff) from programming errors like a bad image shape
+    (:class:`ValueError`) or submitting after shutdown
+    (:class:`RuntimeError`).
+    """
+
+    def __init__(self, reason: str, queue_depth: int, capacity: int) -> None:
+        super().__init__(
+            f"submission shed ({reason}): admission queue {queue_depth}/{capacity}"
+        )
+        self.reason = reason
+        self.queue_depth = queue_depth
+        self.capacity = capacity
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Front-end knobs; the cluster's own config governs everything below."""
+
+    #: Controller pipelining window (images in flight; Figure 9 overlap).
+    window: int = 2
+    #: Bounded admission-queue capacity; arrivals beyond it are shed with
+    #: :class:`Overloaded`.  Queue + window bound the worst-case sojourn.
+    queue_capacity: int = 8
+    #: Client-visible latency objective (submit -> result).  Misses are
+    #: counted per client and in ``adcnn_serving_slo_miss_total``; infinity
+    #: disables the accounting.
+    slo_seconds: float = math.inf
+    #: Upper bound on graceful drain: how long ``stop()`` waits for
+    #: admitted work to finish before abandoning what remains.
+    drain_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.slo_seconds <= 0:
+            raise ValueError("slo_seconds must be positive (math.inf to disable)")
+        if self.drain_timeout <= 0:
+            raise ValueError("drain_timeout must be positive")
+
+
+@dataclass(frozen=True)
+class ServedResult:
+    """One completed submission, with the client-visible timing envelope."""
+
+    outcome: InferenceOutcome
+    client: str
+    #: submit() call -> dispatched into the pipeline (admission-queue wait).
+    queue_wait_s: float
+    #: submit() call -> result finalized (what the SLO is judged against).
+    latency_s: float
+    slo_miss: bool
+
+
+@dataclass
+class ClientStats:
+    """Per-client serving counters (see :meth:`ServingFrontEnd.client_stats`)."""
+
+    submitted: int = 0
+    completed: int = 0
+    shed: int = 0
+    slo_misses: int = 0
+    latencies_s: list[float] = field(default_factory=list)
+
+    def latency_quantile(self, q: float) -> float:
+        if not self.latencies_s:
+            return math.nan
+        return float(np.quantile(np.asarray(self.latencies_s), q))
+
+
+@dataclass
+class _Pending:
+    """A submission in flight between ``submit`` and finalize."""
+
+    image: np.ndarray
+    client: str
+    submit_ts: float
+    future: concurrent.futures.Future[ServedResult]
+    dispatch_ts: float = math.nan
+
+
+class ServingFrontEnd:
+    """Long-lived open-loop serving loop around one :class:`ProcessCluster`.
+
+    Use as a context manager; the cluster must *not* be started — the
+    front-end owns its lifecycle end to end::
+
+        cluster = ProcessCluster(model, "2x2", pipeline, config)
+        with ServingFrontEnd(cluster, ServingConfig(window=2)) as fe:
+            session = fe.session("camera-3")
+            result = await session.submit(image)
+    """
+
+    def __init__(self, cluster: ProcessCluster, config: ServingConfig | None = None) -> None:
+        if cluster._procs:
+            raise RuntimeError(
+                "cluster is already started — the front-end owns the lifecycle"
+            )
+        self.cluster = cluster
+        self.config = config or ServingConfig()
+        self._queue: queue.Queue[_Pending] = queue.Queue(maxsize=self.config.queue_capacity)
+        self._stats: dict[str, ClientStats] = {}
+        self._stats_lock = threading.Lock()
+        self._admitting = False
+        self._stop_requested = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._engine: StreamEngine | None = None
+        self._driver_error: BaseException | None = None
+        self._drain_started: float | None = None
+
+    # ---------------------------------------------------------- lifecycle
+    def start(self) -> "ServingFrontEnd":
+        if self._thread is not None:
+            raise RuntimeError("front-end already started")
+        self.cluster.start()
+        try:
+            self._engine = self.cluster.stream_engine(self.config.window)
+        except BaseException:
+            self.cluster.stop()
+            raise
+        self._admitting = True
+        self._thread = threading.Thread(
+            target=self._drive, name="adcnn-serving-driver", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Graceful drain: close admission, finish admitted work, stop cluster.
+
+        Safe to call twice.  Submissions racing with shutdown are rejected
+        with :class:`Overloaded` (reason ``"draining"``); anything already
+        admitted gets its future resolved — with the outcome if it finished
+        inside ``drain_timeout``, with :class:`Overloaded` otherwise.
+        """
+        self._admitting = False
+        self._stop_requested.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self.config.drain_timeout + 10.0)
+            if self._thread.is_alive():  # pragma: no cover - defensive
+                raise RuntimeError("serving driver thread failed to stop")
+            self._thread = None
+
+    def __enter__(self) -> "ServingFrontEnd":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # ---------------------------------------------------------- submission
+    def submit(
+        self, image: np.ndarray, client: str = "default"
+    ) -> concurrent.futures.Future[ServedResult]:
+        """Thread-safe, non-blocking submission; never waits for capacity.
+
+        Validates the image shape up front (:class:`ValueError` on
+        mismatch), then either admits it into the bounded queue or sheds it
+        with :class:`Overloaded`.  The returned future resolves when the
+        pipeline finalizes the image (or shutdown abandons it).
+        """
+        if self._driver_error is not None:
+            raise RuntimeError("serving driver died") from self._driver_error
+        img = self.cluster.validate_image(image)
+        stats = self._client(client)
+        if not self._admitting:
+            with self._stats_lock:
+                stats.shed += 1
+            self._count_shed(client, "draining")
+            raise Overloaded("draining", self._queue.qsize(), self.config.queue_capacity)
+        pending = _Pending(
+            image=img,
+            client=client,
+            submit_ts=time.perf_counter(),
+            future=concurrent.futures.Future(),
+        )
+        try:
+            self._queue.put_nowait(pending)
+        except queue.Full:
+            with self._stats_lock:
+                stats.shed += 1
+            self._count_shed(client, "queue_full")
+            raise Overloaded(
+                "queue_full", self.config.queue_capacity, self.config.queue_capacity
+            ) from None
+        with self._stats_lock:
+            stats.submitted += 1
+        tel = self.cluster.telemetry
+        if tel.enabled:
+            tel.count("adcnn_serving_admitted_total", client=client)
+            tel.gauge("adcnn_serving_queue_depth", float(self._queue.qsize()))
+        return pending.future
+
+    def session(self, client: str = "default") -> "ClientSession":
+        """An asyncio-facing handle for one client (see :class:`ClientSession`)."""
+        return ClientSession(self, client)
+
+    # ------------------------------------------------------------- queries
+    def client_stats(self, client: str = "default") -> ClientStats:
+        """Snapshot of one client's counters (copy; safe to keep)."""
+        with self._stats_lock:
+            st = self._stats.get(client, ClientStats())
+            return ClientStats(
+                submitted=st.submitted,
+                completed=st.completed,
+                shed=st.shed,
+                slo_misses=st.slo_misses,
+                latencies_s=list(st.latencies_s),
+            )
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------- internal
+    def _client(self, client: str) -> ClientStats:
+        with self._stats_lock:
+            return self._stats.setdefault(client, ClientStats())
+
+    def _count_shed(self, client: str, reason: str) -> None:
+        tel = self.cluster.telemetry
+        if tel.enabled:
+            tel.count("adcnn_serving_shed_total", client=client, reason=reason)
+
+    def _drive(self) -> None:
+        """Driver-thread main loop: admit -> pump -> repeat, then drain."""
+        engine = self._engine
+        assert engine is not None
+        inflight: dict[int, _Pending] = {}
+        try:
+            while True:
+                draining = self._stop_requested.is_set()
+                self._admit(engine, inflight)
+                if engine.in_flight:
+                    # After _admit either the queue is empty or the window
+                    # is full, so blocking never starves a waiting image;
+                    # pump's wait is bounded by poll_interval / the oldest
+                    # deadline, which also bounds shutdown responsiveness.
+                    for image_id, outcome in engine.pump():
+                        self._complete(inflight.pop(image_id), outcome)
+                elif draining and self._queue.empty():
+                    break
+                else:
+                    # Idle: nothing in flight, so park on the admission
+                    # queue (short timeout keeps shutdown responsive).
+                    try:
+                        pending = self._queue.get(timeout=0.05)
+                    except queue.Empty:
+                        continue
+                    self._dispatch(engine, inflight, pending)
+                if draining and self._drain_deadline_passed():
+                    break
+        except Exception as exc:  # pragma: no cover - defensive
+            self._driver_error = exc
+        finally:
+            self._admitting = False
+            self._abandon(inflight)
+            self.cluster.stop()
+        if self._driver_error is not None:  # pragma: no cover - defensive
+            raise self._driver_error
+
+    def _admit(self, engine: StreamEngine, inflight: dict[int, _Pending]) -> None:
+        while engine.can_dispatch:
+            try:
+                pending = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            self._dispatch(engine, inflight, pending)
+
+    def _dispatch(
+        self, engine: StreamEngine, inflight: dict[int, _Pending], pending: _Pending
+    ) -> None:
+        if not engine.can_dispatch:
+            # Raced with get(): requeue is pointless (we are the only
+            # consumer) — hold it as the next dispatch instead.
+            while not engine.can_dispatch:
+                for image_id, outcome in engine.pump():
+                    self._complete(inflight.pop(image_id), outcome)
+        pending.dispatch_ts = time.perf_counter()
+        image_id = engine.dispatch(pending.image)
+        inflight[image_id] = pending
+        tel = self.cluster.telemetry
+        if tel.enabled:
+            tel.observe(
+                "adcnn_serving_queue_wait_seconds",
+                pending.dispatch_ts - pending.submit_ts,
+                client=pending.client,
+            )
+
+    def _complete(self, pending: _Pending, outcome: InferenceOutcome) -> None:
+        now = time.perf_counter()
+        latency = now - pending.submit_ts
+        queue_wait = (
+            pending.dispatch_ts - pending.submit_ts
+            if math.isfinite(pending.dispatch_ts)
+            else 0.0
+        )
+        slo_miss = latency > self.config.slo_seconds
+        stats = self._client(pending.client)
+        with self._stats_lock:
+            stats.completed += 1
+            stats.latencies_s.append(latency)
+            if slo_miss:
+                stats.slo_misses += 1
+        tel = self.cluster.telemetry
+        if tel.enabled:
+            tel.observe("adcnn_serving_latency_seconds", latency, client=pending.client)
+            if slo_miss:
+                tel.count("adcnn_serving_slo_miss_total", client=pending.client)
+        result = ServedResult(
+            outcome=outcome,
+            client=pending.client,
+            queue_wait_s=queue_wait,
+            latency_s=latency,
+            slo_miss=slo_miss,
+        )
+        if not pending.future.set_running_or_notify_cancel():
+            return  # caller cancelled; nothing to deliver
+        pending.future.set_result(result)
+
+    def _drain_deadline_passed(self) -> bool:
+        if self._drain_started is None:
+            self._drain_started = time.perf_counter()
+        return time.perf_counter() - self._drain_started > self.config.drain_timeout
+
+    def _abandon(self, inflight: dict[int, _Pending]) -> None:
+        """Resolve every future the drain could not finish."""
+        leftovers = list(inflight.values())
+        inflight.clear()
+        while True:
+            try:
+                leftovers.append(self._queue.get_nowait())
+            except queue.Empty:
+                break
+        for pending in leftovers:
+            with self._stats_lock:
+                self._stats.setdefault(pending.client, ClientStats()).shed += 1
+            if pending.future.set_running_or_notify_cancel():
+                pending.future.set_exception(
+                    Overloaded("shutdown", 0, self.config.queue_capacity)
+                )
+
+
+class ClientSession:
+    """Asyncio face of one client over a running :class:`ServingFrontEnd`.
+
+    Any number of sessions (and any number of concurrent ``submit`` calls
+    per session) may run against one front-end; fairness between them is
+    the admission queue's FIFO order.  The session itself holds no
+    resources — it is a name plus a pointer.
+    """
+
+    def __init__(self, frontend: ServingFrontEnd, client: str) -> None:
+        self.frontend = frontend
+        self.client = client
+
+    async def submit(self, image: np.ndarray) -> ServedResult:
+        """Submit one image; resolves when the pipeline finalizes it.
+
+        Raises :class:`Overloaded` immediately when shed — callers decide
+        whether to back off and retry.
+        """
+        future = self.frontend.submit(image, client=self.client)
+        return await asyncio.wrap_future(future)
+
+    @property
+    def stats(self) -> ClientStats:
+        return self.frontend.client_stats(self.client)

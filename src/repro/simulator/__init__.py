@@ -1,6 +1,14 @@
 """Discrete-event edge-cluster simulator (testbed substitute — DESIGN.md §2)."""
 
-from .analysis import StageBreakdown, latency_series, render_timeline, stage_breakdown
+from .analysis import (
+    SaturationPoint,
+    StageBreakdown,
+    latency_series,
+    render_timeline,
+    saturation_knee,
+    saturation_point,
+    stage_breakdown,
+)
 from .core import Simulator
 from .events import Event, EventQueue
 from .network import Link, Medium
@@ -17,7 +25,10 @@ __all__ = [
     "Medium",
     "TraceRecorder",
     "StageBreakdown",
+    "SaturationPoint",
     "stage_breakdown",
     "latency_series",
     "render_timeline",
+    "saturation_point",
+    "saturation_knee",
 ]

@@ -12,7 +12,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["StageBreakdown", "stage_breakdown", "latency_series", "render_timeline"]
+__all__ = [
+    "StageBreakdown",
+    "SaturationPoint",
+    "stage_breakdown",
+    "latency_series",
+    "render_timeline",
+    "saturation_point",
+    "saturation_knee",
+]
 
 
 @dataclass(frozen=True)
@@ -42,6 +50,52 @@ def stage_breakdown(records, skip: int = 0) -> StageBreakdown:
 def latency_series(records) -> np.ndarray:
     """Per-image latency array (seconds) — Figure 15(b)'s curve."""
     return np.array([r.latency for r in records])
+
+
+@dataclass(frozen=True)
+class SaturationPoint:
+    """One offered-load point on a throughput-vs-offered-load curve.
+
+    Built from an open-loop run (:meth:`ADCNNSystem.run_open_loop`): the
+    offered rate is the arrival process's nominal rate, everything else is
+    measured.  Below saturation ``throughput ~= offered_rate_hz`` and the
+    sojourn quantiles sit near the closed-loop latency; past the knee the
+    throughput plateaus while the sojourn tail and shed fraction climb.
+    """
+
+    offered_rate_hz: float
+    throughput_hz: float
+    p50_sojourn_s: float
+    p99_sojourn_s: float
+    shed_fraction: float
+
+    @property
+    def goodput_ratio(self) -> float:
+        """Delivered / offered throughput (1.0 until the knee)."""
+        if self.offered_rate_hz <= 0:
+            return 0.0
+        return self.throughput_hz / self.offered_rate_hz
+
+
+def saturation_point(offered_rate_hz: float, result) -> SaturationPoint:
+    """Summarise an :class:`~repro.runtime.system.OpenLoopResult`."""
+    return SaturationPoint(
+        offered_rate_hz=float(offered_rate_hz),
+        throughput_hz=result.throughput,
+        p50_sojourn_s=result.sojourn_quantile(0.5),
+        p99_sojourn_s=result.sojourn_quantile(0.99),
+        shed_fraction=result.shed_fraction,
+    )
+
+
+def saturation_knee(points, goodput_threshold: float = 0.9) -> SaturationPoint | None:
+    """First point (by offered rate) whose goodput ratio drops below the
+    threshold — the knee of the curve.  ``None`` if the sweep never
+    saturates (raise the top offered rate)."""
+    for pt in sorted(points, key=lambda p: p.offered_rate_hz):
+        if pt.goodput_ratio < goodput_threshold:
+            return pt
+    return None
 
 
 def render_timeline(records, width: int = 60, max_rows: int = 20) -> str:

@@ -102,6 +102,15 @@ _COUNTERS = (
     "adcnn_redispatch_total",
     "adcnn_worker_restarts_total",
     "adcnn_deadline_triggers_total",
+    # Open-loop serving (repro.serving / run_open_loop, DESIGN.md §5g):
+    # admitted vs shed shows where load control kicked in; ring fallbacks
+    # count result-slot exhaustion under back-pressure.
+    "adcnn_serving_admitted_total",
+    "adcnn_serving_shed_total",
+    "adcnn_serving_slo_miss_total",
+    "adcnn_result_ring_fallback_total",
+    "adcnn_arrivals_total",
+    "adcnn_shed_total",
 )
 
 

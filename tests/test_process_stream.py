@@ -69,3 +69,123 @@ class TestInferStream:
         with ProcessCluster(model, TileGrid(2, 2), config=ProcessClusterConfig(num_workers=1)) as cluster:
             outcomes = cluster.infer_stream([RNG.normal(size=(3, 24, 24)).astype(np.float32)])
         assert outcomes[0].output.shape == (1, 3)
+
+
+class TestHotLoopFixes:
+    """Regression tests for the ISSUE 6 hot-loop latency bugfixes."""
+
+    def test_stage_result_ring_full_is_nonblocking(self):
+        """A full result ring must fall back inline immediately — the old
+        code parked the worker on ``acquire(timeout=0.25)`` per tile."""
+        import multiprocessing as mp
+
+        from repro.runtime.messages import ArenaGrant
+        from repro.runtime.process_backend import _stage_result
+
+        grant = ArenaGrant(("bogus-slot",), 1 << 20)
+        payload = np.ones((8, 8), dtype=np.float32)
+        sem = mp.get_context("fork").Semaphore(0)  # ring exhausted
+        t0 = time.perf_counter()
+        out, cursor, ring_fallback = _stage_result(payload, grant, {}, sem, 3)
+        elapsed = time.perf_counter() - t0
+        assert out is payload  # shipped inline, not as a ShmRef
+        assert cursor == 3  # slot not consumed
+        assert ring_fallback  # reported so telemetry can count it
+        assert elapsed < 0.1, f"ring-full probe blocked for {elapsed:.3f}s"
+
+    def test_stage_result_oversized_payload_not_a_fallback(self):
+        """Payloads that never fit a slot are inline by design, not ring
+        exhaustion — they must not inflate the fallback counter."""
+        import multiprocessing as mp
+
+        from repro.runtime.messages import ArenaGrant
+        from repro.runtime.process_backend import _stage_result
+
+        grant = ArenaGrant(("bogus-slot",), 16)  # slot smaller than payload
+        payload = np.ones((8, 8), dtype=np.float32)
+        sem = mp.get_context("fork").Semaphore(1)
+        out, cursor, ring_fallback = _stage_result(payload, grant, {}, sem, 0)
+        assert out is payload
+        assert cursor == 0
+        assert not ring_fallback
+
+    def test_tile_result_carries_ring_fallback_flag(self):
+        from repro.runtime import TileResult
+
+        res = TileResult(image_id=0, tile_id=0, payload=None, worker=0)
+        assert res.ring_fallback is False
+
+    def test_wait_results_blocks_then_wakes(self):
+        """The idle wait must block on the result-queue readers (no 5 ms
+        sleep floor) and wake as soon as any worker posts a result."""
+        model = small_model()
+        with ProcessCluster(model, TileGrid(2, 2),
+                            config=ProcessClusterConfig(num_workers=2)) as cluster:
+            t0 = time.perf_counter()
+            assert cluster._wait_results(0.2) is False  # nothing pending
+            assert time.perf_counter() - t0 >= 0.15
+            cluster._result_queues[0].put("sentinel")
+            t0 = time.perf_counter()
+            assert cluster._wait_results(5.0) is True  # woke on the reader
+            assert time.perf_counter() - t0 < 1.0
+            assert cluster._result_queues[0].get(timeout=5.0) == "sentinel"
+
+    def test_stream_engine_deadline_zero_fill(self):
+        """T_L fires through the StreamEngine collect path (the formerly
+        mistyped ``trigger: None`` state) and zero-fills the stragglers."""
+        model = small_model()
+        cfg = ProcessClusterConfig(num_workers=2, t_limit=1.0, delay_per_tile=(0.0, 5.0))
+        with ProcessCluster(model, TileGrid(2, 2), config=cfg) as cluster:
+            engine = cluster.stream_engine(window=1)
+            engine.dispatch(cluster.validate_image(RNG.normal(size=(1, 3, 24, 24))))
+            done = []
+            while not done:
+                done = engine.pump()
+            (image_id, out), = done
+        assert len(out.zero_filled_tiles) > 0
+        assert np.isfinite(out.output).all()
+
+    def test_stream_engine_admission_window(self):
+        """can_dispatch mirrors the controller window; over-dispatch raises."""
+        model = small_model()
+        cfg = ProcessClusterConfig(num_workers=2, t_limit=30.0, delay_per_tile=(0.02, 0.02))
+        with ProcessCluster(model, TileGrid(2, 2), config=cfg) as cluster:
+            engine = cluster.stream_engine(window=2)
+            img = cluster.validate_image(RNG.normal(size=(1, 3, 24, 24)))
+            assert engine.can_dispatch
+            engine.dispatch(img)
+            assert engine.can_dispatch
+            engine.dispatch(img)
+            assert not engine.can_dispatch  # window full
+            with pytest.raises(RuntimeError, match="window is full"):
+                engine.dispatch(img)
+            while engine.in_flight:
+                engine.pump()
+            assert engine.can_dispatch
+
+
+class TestImageValidation:
+    def test_infer_stream_rejects_wrong_shape(self):
+        """Wrong-shaped inputs fail fast with a clear error, before any
+        tile reaches a worker (the old path crashed mid-pipeline)."""
+        model = small_model()
+        with ProcessCluster(model, TileGrid(2, 2),
+                            config=ProcessClusterConfig(num_workers=1)) as cluster:
+            with pytest.raises(ValueError, match="does not match model input shape"):
+                cluster.infer_stream([np.zeros((1, 3, 7, 7), np.float32)])
+            with pytest.raises(ValueError, match="does not match model input shape"):
+                cluster.infer_stream([
+                    np.zeros((1, 3, 24, 24), np.float32),  # good
+                    np.zeros((5, 5), np.float32),          # bad: whole batch rejected
+                ])
+            # nothing was dispatched: the cluster still serves good input
+            out = cluster.infer_stream([np.zeros((1, 3, 24, 24), np.float32)])
+            assert out[0].output.shape == (1, 3)
+
+    def test_validate_image_accepts_and_coerces(self):
+        model = small_model()
+        cluster = ProcessCluster(model, TileGrid(2, 2))
+        batched = cluster.validate_image(np.zeros((2, 3, 24, 24), np.float64))
+        assert batched.shape == (2, 3, 24, 24) and batched.dtype == np.float32
+        unbatched = cluster.validate_image(np.zeros((3, 24, 24), np.float32))
+        assert unbatched.shape == (1, 3, 24, 24)
