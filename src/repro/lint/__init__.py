@@ -1,10 +1,10 @@
 """Project-invariant static analysis for the ADCNN runtime (DESIGN.md §5e).
 
-Run as ``python -m repro.lint [paths...]``; rules RL001–RL007 check the
+Run as ``python -m repro.lint [paths...]``; rules RL001–RL009 check the
 cross-process invariants (fork safety, queue-message hygiene, shm slot
 pairing, telemetry discipline, numeric hygiene, worker targets, import-time
-effects) that generic linters cannot express.  Suppress with
-``# repro-lint: disable=RLxxx``.
+effects, controller authority, metric naming) that generic linters cannot
+express.  Suppress with ``# repro-lint: disable=RLxxx``.
 """
 
 from .core import (

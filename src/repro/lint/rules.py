@@ -1,4 +1,4 @@
-"""The project-invariant rule set (RL001–RL008), one class per code.
+"""The project-invariant rule set (RL001–RL009), one class per code.
 
 Each rule encodes an invariant the distributed runtime depends on; see
 DESIGN.md §5e for the failure mode behind every code.  Rules are scoped by
@@ -8,6 +8,7 @@ path fragment so e.g. numeric-hygiene checks only run on the hot kernels.
 from __future__ import annotations
 
 import ast
+import re
 
 from .core import ModuleContext, Rule, Walker
 
@@ -36,8 +37,15 @@ STAGES = (
     "merge",
     "central_layers",
 )
+#: Trace-tree stages layered on top of the pipeline schema (§5h): the
+#: per-request root span and the admission-wait span.  Kept out of
+#: ``STAGES`` so per-stage pipeline reports are unchanged, but legal as
+#: span names.
+REQUEST_STAGES = ("request", "queue_wait")
 STAGE_CONSTANT_NAMES = frozenset(
     {
+        "STAGE_REQUEST",
+        "STAGE_QUEUE_WAIT",
         "STAGE_PARTITION",
         "STAGE_COMPRESS",
         "STAGE_TRANSFER",
@@ -385,12 +393,13 @@ class TelemetryDisciplineRule(Rule):
                         "telemetry schema",
                     )
             elif isinstance(first, ast.Constant) and isinstance(first.value, str):
-                if first.value not in STAGES:
+                if first.value not in STAGES and first.value not in REQUEST_STAGES:
                     ctx.report(
                         self.code,
                         first,
                         f"span name {first.value!r} is outside the fixed schema "
-                        f"{STAGES} (free-form spans fall out of every report)",
+                        f"{STAGES + REQUEST_STAGES} (free-form spans fall out of "
+                        "every report)",
                     )
 
 
@@ -571,6 +580,84 @@ class ControllerAuthorityRule(Rule):
                 )
 
 
+# ---------------------------------------------------------------------- RL009
+class MetricNameRule(Rule):
+    """Metric names fed to the registry are literal ``adcnn_*`` strings.
+
+    Prometheus/Grafana dashboards and the run report key on metric names;
+    a dynamically-built or off-convention name silently creates a new
+    series no dashboard is watching.  Every ``count``/``gauge``/``observe``
+    (and registry ``counter``/``gauge``/``histogram``) call must pass a
+    string literal matching ``adcnn_[a-z0-9_]+``, as must the name in a
+    controller ``EmitTelemetry("count"|"gauge", ...)`` command.  The two
+    driver sites that *relay* an already-validated controller name use an
+    inline ``repro-lint: disable=RL009``.
+    """
+
+    code = "RL009"
+    name = "metric-name"
+    description = "metric names are adcnn_* string literals at every emission site"
+    include = ("repro/runtime", "repro/telemetry", "repro/serving", "repro/simulator")
+    #: The registry/recorder internals and the flight ring pass names
+    #: through by construction; emission *sites* are what the rule guards.
+    exclude = (
+        "telemetry/recorder.py",
+        "telemetry/metrics.py",
+        "telemetry/flight.py",
+    )
+
+    _METRIC_METHODS = frozenset({"count", "observe", "counter", "gauge", "histogram"})
+    _RECEIVER_HINTS = ("tel", "telemetry", "metric", "registry", "reg", "recorder", "sink")
+    _NAME_RE = re.compile(r"adcnn_[a-z0-9_]+")
+
+    def visit(self, node: ast.AST, ctx: ModuleContext, walker: Walker) -> None:
+        if not isinstance(node, ast.Call):
+            return
+        dotted = _dotted(node.func)
+        if dotted.rsplit(".", 1)[-1] == "EmitTelemetry":
+            self._check_emit(node, ctx)
+            return
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in self._METRIC_METHODS:
+            return
+        recv = _receiver_text(func.value).lower()
+        if not any(h in recv for h in self._RECEIVER_HINTS):
+            return
+        if node.args:
+            self._check_name(node.args[0], ctx, f"{recv}.{func.attr}")
+
+    def _check_emit(self, node: ast.Call, ctx: ModuleContext) -> None:
+        # Only "count"/"gauge" commands carry a metric name; "record" ops
+        # carry an event kind ("dispatch", "deadline", ...) instead.
+        op = node.args[0] if node.args else None
+        if not (isinstance(op, ast.Constant) and op.value in ("count", "gauge")):
+            return
+        metric = node.args[1] if len(node.args) > 1 else None
+        if metric is None:
+            for kw in node.keywords:
+                if kw.arg == "metric":
+                    metric = kw.value
+        if metric is not None:
+            self._check_name(metric, ctx, f'EmitTelemetry("{op.value}")')
+
+    def _check_name(self, name_node: ast.AST, ctx: ModuleContext, site: str) -> None:
+        if not (isinstance(name_node, ast.Constant) and isinstance(name_node.value, str)):
+            ctx.report(
+                self.code,
+                name_node,
+                f"dynamic metric name at {site} (names must be string literals so "
+                "dashboards and the report can key on a closed series set)",
+            )
+            return
+        if not self._NAME_RE.fullmatch(name_node.value):
+            ctx.report(
+                self.code,
+                name_node,
+                f"metric name {name_node.value!r} does not match adcnn_[a-z0-9_]+ "
+                "(the exporter namespace every dashboard scrapes)",
+            )
+
+
 RULE_CLASSES: tuple[type[Rule], ...] = (
     ForkSafetyRule,
     QueueMessageRule,
@@ -580,6 +667,7 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     WorkerTargetRule,
     ImportEffectsRule,
     ControllerAuthorityRule,
+    MetricNameRule,
 )
 
 

@@ -31,6 +31,8 @@ if TYPE_CHECKING:
 
 import numpy as np
 
+from repro.telemetry.trace import TraceContext
+
 from .shm_arena import ShmRef
 
 __all__ = ["TileTask", "TileResult", "Shutdown", "ArenaGrant", "LOCAL_WORKER", "drain_queue"]
@@ -54,6 +56,12 @@ class TileTask:
     ``probe`` marks a recovery-probe tile: a single tile handed to a node
     whose ``s_k`` statistic has decayed to zero so it can demonstrate it is
     healthy again.  Workers treat probes exactly like normal tasks.
+
+    ``trace`` is the request's frozen :class:`TraceContext` (DESIGN.md
+    §5h): minted once at admission, carried across the IPC boundary here,
+    and echoed back verbatim on the :class:`TileResult` so every worker
+    span joins the request's span tree.  ``None`` when tracing is off —
+    the field costs nothing on the NullRecorder path.
     """
 
     image_id: int
@@ -61,6 +69,7 @@ class TileTask:
     tile: np.ndarray | None = None
     probe: bool = False
     slot: ShmRef | None = None
+    trace: TraceContext | None = None
 
     def __post_init__(self) -> None:
         if self.image_id < 0 or self.tile_id < 0:
@@ -127,6 +136,9 @@ class TileResult:
     t_start: float = 0.0
     t_end: float = 0.0
     ring_fallback: bool = False
+    #: Echo of the dispatching task's trace context (``None`` for results
+    #: synthesized centrally or when tracing is off).
+    trace: TraceContext | None = None
 
 
 @dataclass(frozen=True, slots=True)

@@ -38,6 +38,7 @@ Fault tolerance (beyond the paper's zero-fill-only story):
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing as mp
 import queue as queue_mod
 import time
@@ -68,10 +69,16 @@ from repro.telemetry import (
     STAGE_CONV_COMPUTE,
     STAGE_MERGE,
     STAGE_PARTITION,
+    STAGE_QUEUE_WAIT,
+    STAGE_REQUEST,
     STAGE_RESULT_TRANSFER,
     STAGE_TRANSFER,
+    ClusterHealth,
     NullRecorder,
     Recorder,
+    TraceContext,
+    TraceScope,
+    node_health_scores,
 )
 
 from .controller import (
@@ -129,6 +136,7 @@ class _ImageState(TypedDict):
     trigger: TriggerMerge | None
     next_tile: int
     ipc_tiles: int
+    scope: TraceScope | None
 
 
 __all__ = ["ProcessClusterConfig", "InferenceOutcome", "ProcessCluster", "StreamEngine"]
@@ -244,6 +252,7 @@ def _worker_loop(
                     t_start=t_start,
                     t_end=t_end,
                     ring_fallback=ring_fallback,
+                    trace=msg.trace,
                 )
             )
     finally:
@@ -356,6 +365,15 @@ class ProcessCluster:
         #: ``infer_stream`` call so the Algorithm-2 ``s_k`` statistics carry
         #: over between streams (the historical behavior of this backend).
         self._controller = self.build_controller()
+        #: Per-request trace ids (DESIGN.md §5h).  Monotonic within this
+        #: cluster; the serving front-end mints through :meth:`mint_trace`
+        #: so ids stay unique across bare and served dispatches alike.
+        self._trace_ids = itertools.count()
+        # A flight recorder (duck-typed: any sink exposing bind_decisions)
+        # snapshots the controller's decision journal into its dumps.
+        bind = getattr(self.telemetry, "bind_decisions", None)
+        if callable(bind):
+            bind(self._controller)
         #: Tile ids awaiting re-dispatch, keyed by image id — filled right
         #: before a ``WorkerDied`` event, consumed by ``Redispatch`` commands.
         self._redispatch_tids: dict[int, list[int]] = {}
@@ -498,6 +516,42 @@ class ProcessCluster:
     def __exit__(self, *exc: object) -> None:
         self.stop()
 
+    # ---------------------------------------------------------- introspection
+    def mint_trace(self, start: float) -> TraceContext:
+        """Mint a fresh request trace identity (entry-point hook, §5h).
+
+        ``start`` is the ``perf_counter`` reading at which the request
+        entered the system; the front-end calls this at ``submit()`` so
+        queue wait is part of the trace, while ``StreamEngine.dispatch``
+        mints lazily for bare (unserved) dispatches.
+        """
+        return TraceContext(trace_id=next(self._trace_ids), start=start)
+
+    def health(self) -> ClusterHealth:
+        """Live cluster snapshot: per-node health scores + pipeline depth.
+
+        Safe to call from any thread at any time (reads controller EWMA
+        stats and process liveness; allocates nothing on the hot path).
+        """
+        num = self.config.num_workers
+        rates = self._controller.rates()
+        alive = (
+            [bool(p.is_alive()) for p in self._procs] if self._procs else [False] * num
+        )
+        restarts = self._restart_counts or [0] * num
+        return ClusterHealth(
+            nodes=node_health_scores(
+                [f"worker{i}" for i in range(num)],
+                alive,
+                [float(r) for r in rates],
+                restarts,
+            ),
+            in_flight=self._controller.in_flight,
+            window=self._controller.window,
+            transport=self._transport,
+            images_dispatched=self._image_counter,
+        )
+
     # ------------------------------------------------------------ supervision
     @property
     def worker_rates(self) -> np.ndarray:
@@ -637,6 +691,10 @@ class ProcessCluster:
         valid, so a re-queued task re-ships only the (tiny) descriptor.
         """
         tile = st["tiles"][tile_id]
+        # Tasks carry the request's frozen trace context across the IPC
+        # boundary; the worker echoes it back on the TileResult (§5h).
+        scope = st["scope"]
+        trace = scope.context() if scope is not None else None
         if self._transport == "shm" and self._task_arena is not None:
             ref = st["task_refs"].get(tile_id)
             if ref is None and tile.nbytes <= self._task_arena.slot_nbytes:
@@ -646,8 +704,8 @@ class ProcessCluster:
                     st["task_slots"][tile_id] = slot
                     st["task_refs"][tile_id] = ref
             if ref is not None:
-                return TileTask(image_id, tile_id, probe=probe, slot=ref)
-        return TileTask(image_id, tile_id, np.ascontiguousarray(tile), probe=probe)
+                return TileTask(image_id, tile_id, probe=probe, slot=ref, trace=trace)
+        return TileTask(image_id, tile_id, np.ascontiguousarray(tile), probe=probe, trace=trace)
 
     def _release_task_slot(self, st: _ImageState, tile_id: int) -> None:
         slot = st["task_slots"].pop(tile_id, None)
@@ -781,10 +839,13 @@ class ProcessCluster:
         t_done = time.perf_counter()
         if st["local"]:
             tel.count("adcnn_tiles_local_total", len(st["local"]))
+        scope = st["scope"]
         if tel.enabled:
             tel.span(STAGE_MERGE, t_merge, t_rest - t_merge, node="central",
-                     image_id=image_id, zero_filled=len(missing))
-            tel.span(STAGE_CENTRAL, t_rest, t_done - t_rest, node="central", image_id=image_id)
+                     image_id=image_id, zero_filled=len(missing),
+                     **(scope.child_fields() if scope is not None else {}))
+            tel.span(STAGE_CENTRAL, t_rest, t_done - t_rest, node="central", image_id=image_id,
+                     **(scope.child_fields() if scope is not None else {}))
             for res in st["results"].values():
                 payload = res.payload
                 # wire_bits first: a PackedTensor has both, and its
@@ -799,8 +860,15 @@ class ProcessCluster:
                     tel.count("adcnn_bits_wire_total", payload.nbytes * 8, direction="down")
                     tel.count("adcnn_bits_raw_total", payload.nbytes * 8, direction="down")
             latency = t_done - st["start"]
+            done_fields: dict[str, Any] = {}
+            if scope is not None:
+                # Close the trace: the ``request`` root span covers the
+                # image's whole residence (admission → final output).
+                tel.span(STAGE_REQUEST, scope.start, t_done - scope.start,
+                         node="central", image_id=image_id, **scope.root_fields())
+                done_fields["trace_id"] = scope.trace_id
             tel.record(t_done, "image_done", image_id=image_id,
-                       latency=latency, zero_filled=len(missing))
+                       latency=latency, zero_filled=len(missing), **done_fields)
             tel.observe("adcnn_image_latency_seconds", latency)
         outcome = InferenceOutcome(
             output=output,
@@ -853,9 +921,9 @@ class ProcessCluster:
                 if cmd.node is not None:
                     labels["node"] = f"worker{cmd.node}"
                 if cmd.op == "count":
-                    tel.count(cmd.metric, cmd.value, **labels)
+                    tel.count(cmd.metric, cmd.value, **labels)  # repro-lint: disable=RL009
                 elif cmd.op == "gauge":
-                    tel.gauge(cmd.metric, cmd.value, **labels)
+                    tel.gauge(cmd.metric, cmd.value, **labels)  # repro-lint: disable=RL009
                 elif cmd.op == "record":
                     fields = {
                         key: (list(value) if isinstance(value, tuple) else value)
@@ -863,6 +931,12 @@ class ProcessCluster:
                     }
                     if cmd.image_id is not None:
                         fields["image_id"] = cmd.image_id
+                        # Controller commands inherit the request's trace
+                        # identity so scheduling events correlate with the
+                        # span tree they acted on (§5h).
+                        target = inflight.get(cmd.image_id)
+                        if target is not None and target["scope"] is not None:
+                            fields["trace_id"] = target["scope"].trace_id
                     fields.update(labels)
                     tel.record(time.perf_counter(), cmd.metric, **fields)
             elif isinstance(cmd, SendBatch):
@@ -997,18 +1071,33 @@ class ProcessCluster:
         """
         tel = self.telemetry
         node = f"worker{res.worker}"
+        scope = st["scope"]
+        ctx = res.trace
+
+        def _trace_fields() -> dict[str, int]:
+            # Trace identity comes from the context the *worker echoed*
+            # (proof the id crossed the IPC boundary and back); span ids
+            # are allocated driver-side where the scope lives.
+            if ctx is None or scope is None:
+                return {}
+            return {
+                "trace_id": ctx.trace_id,
+                "span_id": scope.next_span_id(),
+                "parent_id": ctx.span_id,
+            }
+
         enqueued = st["enqueue_ts"].get(res.tile_id)
         if enqueued is not None:
             tel.span(STAGE_TRANSFER, enqueued, max(res.t_start - enqueued, 0.0),
-                     node=node, image_id=res.image_id, tile_id=res.tile_id)
+                     node=node, image_id=res.image_id, tile_id=res.tile_id, **_trace_fields())
         forward = max(res.compute_seconds - res.compress_seconds, 0.0)
         tel.span(STAGE_CONV_COMPUTE, res.t_start, forward,
-                 node=node, image_id=res.image_id, tile_id=res.tile_id)
+                 node=node, image_id=res.image_id, tile_id=res.tile_id, **_trace_fields())
         if res.compress_seconds > 0:
             tel.span(STAGE_COMPRESS, res.t_start + forward, res.compress_seconds,
-                     node=node, image_id=res.image_id, tile_id=res.tile_id)
+                     node=node, image_id=res.image_id, tile_id=res.tile_id, **_trace_fields())
         tel.span(STAGE_RESULT_TRANSFER, res.t_end, max(recv - res.t_end, 0.0),
-                 node=node, image_id=res.image_id, tile_id=res.tile_id)
+                 node=node, image_id=res.image_id, tile_id=res.tile_id, **_trace_fields())
 
     def _materialize_tiles(
         self, tiles: list[np.ndarray], results: dict[int, TileResult]
@@ -1083,11 +1172,14 @@ class StreamEngine:
         """Ids of in-flight images, oldest first (drain bookkeeping)."""
         return tuple(self._order)
 
-    def dispatch(self, image: np.ndarray) -> int:
+    def dispatch(self, image: np.ndarray, trace: TraceContext | None = None) -> int:
         """Admit one validated ``(N, *input_shape)`` image; returns its id.
 
         Callers must check :attr:`can_dispatch` first and validate the
-        image via :meth:`ProcessCluster.validate_image`.
+        image via :meth:`ProcessCluster.validate_image`.  ``trace`` is the
+        request's identity when one was already minted upstream (the
+        serving front-end mints at ``submit()`` so queue wait is traced);
+        bare dispatches mint their own here.
         """
         cluster = self._cluster
         if not cluster._controller.can_dispatch:
@@ -1097,17 +1189,26 @@ class StreamEngine:
         cluster._image_counter += 1
         tel = cluster.telemetry
         t_partition = time.perf_counter()
+        scope: TraceScope | None = None
+        if tel.enabled:
+            if trace is None:
+                trace = cluster.mint_trace(t_partition)
+            scope = TraceScope.from_context(trace)
         tiles = split_array(image, cluster.grid)
         cluster._ensure_task_arena(tiles, cluster._controller.window)
         now = time.monotonic()
         alive = tuple(bool(a) for a in cluster._alive_mask())
         cmds = cluster._controller.handle(ImageReady(now, image_id, len(tiles), alive))
         start = time.perf_counter()
-        if tel.enabled:
+        if tel.enabled and scope is not None and trace is not None:
+            if t_partition > trace.start:
+                # Time between admission (trace minted) and this dispatch.
+                tel.span(STAGE_QUEUE_WAIT, trace.start, t_partition - trace.start,
+                         node="central", image_id=image_id, **scope.child_fields())
             # Partition + Algorithm 3 run back to back on the Central
             # node; one span covers the whole Input-partition block.
             tel.span(STAGE_PARTITION, t_partition, start - t_partition,
-                     node="central", image_id=image_id)
+                     node="central", image_id=image_id, **scope.child_fields())
         st: _ImageState = {
             "tiles": tiles,
             # Shares the controller's live allocation array so fault
@@ -1127,6 +1228,7 @@ class StreamEngine:
             "trigger": None,
             "next_tile": 0,
             "ipc_tiles": 0,
+            "scope": scope,
         }
         self._inflight[image_id] = st
         self._order.append(image_id)

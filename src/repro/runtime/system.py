@@ -40,10 +40,13 @@ from repro.telemetry import (
     STAGE_CONV_COMPUTE,
     STAGE_MERGE,
     STAGE_PARTITION,
+    STAGE_QUEUE_WAIT,
+    STAGE_REQUEST,
     STAGE_RESULT_TRANSFER,
     STAGE_TRANSFER,
     NullRecorder,
     Recorder,
+    TraceScope,
 )
 
 from .controller import (
@@ -326,6 +329,11 @@ class ADCNNSystem:
         sim = Simulator()
         tel = self.telemetry
         controller = self.build_controller()
+        # A flight recorder (duck-typed) snapshots the controller's
+        # decision journal into its dumps.
+        bind = getattr(tel, "bind_decisions", None)
+        if callable(bind):
+            bind(controller)
         # Prefer the measured packed-buffer size for result transfers; fall
         # back to the accounted token-stream size when nothing was measured.
         out_bits = self.workload.tile_output_wire_bits or self.workload.tile_output_bits
@@ -344,8 +352,12 @@ class ADCNNSystem:
         self._media = list({id(m): m for m in up + down}.values())
 
         records: list[ImageRecord] = []
-        state = {"next_image": 0, "shed": 0}
+        state = {"next_image": 0, "shed": 0, "next_trace": 0}
         pending: deque[float] = deque()  # open-loop arrivals awaiting admission
+        # Per-request trace scopes (§5h), same schema as the process backend
+        # but deterministic sim-time ids.  Kept for the whole run so spans
+        # recorded after late/bounced results still join their tree.
+        scopes: dict[int, TraceScope] = {}
 
         def handle(event: object) -> None:
             execute(controller.handle(event))  # type: ignore[arg-type]
@@ -353,6 +365,18 @@ class ADCNNSystem:
         def dispatch_one(arrival_time: float) -> None:
             image_id = state["next_image"]
             state["next_image"] += 1
+            if tel.enabled:
+                # The trace starts at *arrival* (open loop) so queue wait is
+                # part of the request's span tree; closed-loop images have no
+                # meaningful arrival instant and start at dispatch.
+                t0 = arrival_time if math.isfinite(arrival_time) else sim.now
+                scope = TraceScope(state["next_trace"], t0)
+                state["next_trace"] += 1
+                scopes[image_id] = scope
+                if math.isfinite(arrival_time) and sim.now > arrival_time:
+                    tel.span(STAGE_QUEUE_WAIT, arrival_time, sim.now - arrival_time,
+                             node=self.central.name, image_id=image_id,
+                             **scope.child_fields())
             alive = tuple(bool(n.is_alive(sim.now)) for n in self.nodes)
             cmds = controller.handle(
                 ImageReady(sim.now, image_id, self.workload.num_tiles, alive)
@@ -404,7 +428,10 @@ class ADCNNSystem:
             def on_up(t: float, i: int = node_idx, c: int = count, b: float = bits,
                       t00: float = t0) -> None:
                 if tel.enabled:
-                    extra = {"redispatch": True} if redispatched else {}
+                    extra: dict[str, object] = {"redispatch": True} if redispatched else {}
+                    scope = scopes.get(image_id)
+                    if scope is not None:
+                        extra.update(scope.child_fields())
                     tel.span(STAGE_TRANSFER, t00, t - t00, node=self.nodes[i].name,
                              image_id=image_id, bits=b, **extra)
                     # Input tiles ship uncompressed: raw == wire.
@@ -423,8 +450,10 @@ class ADCNNSystem:
                 if math.isfinite(finish):
                     if tel.enabled:
                         busy_start, busy_end = node.busy_intervals[-1]
+                        scope = scopes.get(image_id)
                         tel.span(STAGE_CONV_COMPUTE, busy_start, busy_end - busy_start,
-                                 node=node.name, image_id=image_id)
+                                 node=node.name, image_id=image_id,
+                                 **(scope.child_fields() if scope is not None else {}))
                     sim.schedule_at(
                         finish,
                         lambda i=image_id, n=node_idx, f=finish: down[n].request(
@@ -445,8 +474,10 @@ class ADCNNSystem:
         def result_arrived(image_id: int, node_idx: int, compute_finish: float,
                            arrival: float) -> None:
             if tel.enabled:
+                scope = scopes.get(image_id)
                 tel.span(STAGE_RESULT_TRANSFER, compute_finish, arrival - compute_finish,
-                         node=self.nodes[node_idx].name, image_id=image_id, bits=out_bits)
+                         node=self.nodes[node_idx].name, image_id=image_id, bits=out_bits,
+                         **(scope.child_fields() if scope is not None else {}))
                 tel.count("adcnn_bits_wire_total", out_bits, direction="down")
                 tel.count("adcnn_bits_raw_total", raw_out_bits, direction="down")
             handle(ResultReceived(arrival, image_id, node_idx, compute_finish=compute_finish))
@@ -457,10 +488,11 @@ class ADCNNSystem:
             labels: dict[str, object] = {}
             if cmd.node is not None:
                 labels["node"] = self.nodes[cmd.node].name
+            scope = scopes.get(cmd.image_id) if cmd.image_id is not None else None
             if cmd.op == "count":
-                tel.count(cmd.metric, cmd.value, **labels)
+                tel.count(cmd.metric, cmd.value, **labels)  # repro-lint: disable=RL009
             elif cmd.op == "gauge":
-                tel.gauge(cmd.metric, cmd.value, **labels)
+                tel.gauge(cmd.metric, cmd.value, **labels)  # repro-lint: disable=RL009
             elif cmd.op == "record":
                 fields = {
                     key: (list(value) if isinstance(value, tuple) else value)
@@ -468,6 +500,11 @@ class ADCNNSystem:
                 }
                 if cmd.image_id is not None:
                     fields["image_id"] = cmd.image_id
+                    if scope is not None:
+                        # Controller commands inherit the request's trace
+                        # identity so scheduling events correlate with the
+                        # span tree they acted on (§5h).
+                        fields["trace_id"] = scope.trace_id
                 fields.update(labels)
                 tel.record(sim.now, cmd.metric, **fields)
                 if cmd.metric == "dispatch":
@@ -477,7 +514,8 @@ class ADCNNSystem:
                     # nominal duration rather than simulated occupancy.
                     tel.span(STAGE_PARTITION, sim.now,
                              self.workload.partition_macs / self.central.device.macs_per_second,
-                             node=self.central.name, image_id=cmd.image_id)
+                             node=self.central.name, image_id=cmd.image_id,
+                             **(scope.child_fields() if scope is not None else {}))
 
         def execute(cmds: list[Command]) -> None:
             for cmd in cmds:
@@ -504,12 +542,14 @@ class ADCNNSystem:
             rec.trigger_time = sim.now
             rec.received = np.array(cmd.received, dtype=int)
             rec.zero_filled_tiles = cmd.zero_filled
+            scope = scopes.get(rec.image_id)
             if tel.enabled:
                 # Zero-fill + reassembly are instantaneous in the DES; the
                 # marker span keeps the stage set identical to the process
                 # backend's trace.
                 tel.span(STAGE_MERGE, sim.now, 0.0, node=self.central.name,
-                         image_id=rec.image_id, zero_filled=int(cmd.zero_filled))
+                         image_id=rec.image_id, zero_filled=int(cmd.zero_filled),
+                         **(scope.child_fields() if scope is not None else {}))
             rec.completion = self.central.submit(
                 sim.now, self.workload.rest_macs + self.workload.partition_macs
             )
@@ -520,9 +560,20 @@ class ADCNNSystem:
                     else (sim.now, rec.completion)
                 )
                 tel.span(STAGE_CENTRAL, busy_start, busy_end - busy_start,
-                         node=self.central.name, image_id=rec.image_id)
+                         node=self.central.name, image_id=rec.image_id,
+                         **(scope.child_fields() if scope is not None else {}))
+                done_fields: dict[str, object] = {}
+                if scope is not None:
+                    # Close the trace: the ``request`` root covers arrival
+                    # (open loop) or dispatch (closed loop) → completion, so
+                    # its duration IS the record's sojourn/latency.
+                    tel.span(STAGE_REQUEST, scope.start, rec.completion - scope.start,
+                             node=self.central.name, image_id=rec.image_id,
+                             **scope.root_fields())
+                    done_fields["trace_id"] = scope.trace_id
                 tel.record(rec.completion, "image_done", image_id=rec.image_id,
-                           latency=rec.latency, zero_filled=int(cmd.zero_filled))
+                           latency=rec.latency, zero_filled=int(cmd.zero_filled),
+                           **done_fields)
                 tel.observe("adcnn_image_latency_seconds", rec.latency)
                 if math.isfinite(rec.arrival_time):
                     # Open loop: the client-visible latency includes time

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.runtime.process_backend import InferenceOutcome, ProcessCluster, StreamEngine
+from repro.telemetry import ServingStatus, StreamingQuantiles, TraceContext
 
 __all__ = [
     "Overloaded",
@@ -136,6 +137,9 @@ class _Pending:
     submit_ts: float
     future: concurrent.futures.Future[ServedResult]
     dispatch_ts: float = math.nan
+    #: Trace identity minted at submit() so admission-queue wait is part of
+    #: the request's span tree (None when telemetry is off).
+    trace: TraceContext | None = None
 
 
 class ServingFrontEnd:
@@ -160,6 +164,10 @@ class ServingFrontEnd:
         self._queue: queue.Queue[_Pending] = queue.Queue(maxsize=self.config.queue_capacity)
         self._stats: dict[str, ClientStats] = {}
         self._stats_lock = threading.Lock()
+        # Streaming (P²) latency digests feeding status(); O(1) memory no
+        # matter how long the front-end serves.
+        self._latency_q = StreamingQuantiles()
+        self._queue_wait_q = StreamingQuantiles()
         self._admitting = False
         self._stop_requested = threading.Event()
         self._thread: threading.Thread | None = None
@@ -226,11 +234,17 @@ class ServingFrontEnd:
                 stats.shed += 1
             self._count_shed(client, "draining")
             raise Overloaded("draining", self._queue.qsize(), self.config.queue_capacity)
+        # Mint the trace *before* enqueueing: the span tree's root starts at
+        # submit(), so admission-queue wait is visible as queue_wait.
+        tel = self.cluster.telemetry
+        submit_ts = time.perf_counter()
+        trace = self.cluster.mint_trace(submit_ts) if tel.enabled else None
         pending = _Pending(
             image=img,
             client=client,
-            submit_ts=time.perf_counter(),
+            submit_ts=submit_ts,
             future=concurrent.futures.Future(),
+            trace=trace,
         )
         try:
             self._queue.put_nowait(pending)
@@ -243,7 +257,6 @@ class ServingFrontEnd:
             ) from None
         with self._stats_lock:
             stats.submitted += 1
-        tel = self.cluster.telemetry
         if tel.enabled:
             tel.count("adcnn_serving_admitted_total", client=client)
             tel.gauge("adcnn_serving_queue_depth", float(self._queue.qsize()))
@@ -269,6 +282,37 @@ class ServingFrontEnd:
     @property
     def queue_depth(self) -> int:
         return self._queue.qsize()
+
+    def status(self) -> ServingStatus:
+        """One-call live snapshot of the serving loop (DESIGN.md §5h).
+
+        Thread-safe and cheap (no engine calls, no allocation proportional
+        to history): counters are aggregated across clients under the stats
+        lock and latency quantiles come from the O(1) P² digests, so this
+        can be polled at UI refresh rates while serving.
+        """
+        engine = self._engine
+        with self._stats_lock:
+            submitted = sum(st.submitted for st in self._stats.values())
+            completed = sum(st.completed for st in self._stats.values())
+            shed = sum(st.shed for st in self._stats.values())
+            slo_misses = sum(st.slo_misses for st in self._stats.values())
+            latency = self._latency_q.snapshot()
+            queue_wait = self._queue_wait_q.snapshot()
+            clients = tuple(sorted(self._stats))
+        return ServingStatus(
+            admitting=self._admitting,
+            queue_depth=self._queue.qsize(),
+            queue_capacity=self.config.queue_capacity,
+            in_flight=engine.in_flight if engine is not None else 0,
+            submitted=submitted,
+            completed=completed,
+            shed=shed,
+            slo_misses=slo_misses,
+            latency=latency,
+            queue_wait=queue_wait,
+            clients=clients,
+        )
 
     # ------------------------------------------------------------- internal
     def _client(self, client: str) -> ClientStats:
@@ -335,7 +379,7 @@ class ServingFrontEnd:
                 for image_id, outcome in engine.pump():
                     self._complete(inflight.pop(image_id), outcome)
         pending.dispatch_ts = time.perf_counter()
-        image_id = engine.dispatch(pending.image)
+        image_id = engine.dispatch(pending.image, trace=pending.trace)
         inflight[image_id] = pending
         tel = self.cluster.telemetry
         if tel.enabled:
@@ -360,6 +404,8 @@ class ServingFrontEnd:
             stats.latencies_s.append(latency)
             if slo_miss:
                 stats.slo_misses += 1
+            self._latency_q.observe(latency)
+            self._queue_wait_q.observe(queue_wait)
         tel = self.cluster.telemetry
         if tel.enabled:
             tel.observe("adcnn_serving_latency_seconds", latency, client=pending.client)

@@ -1,9 +1,18 @@
-"""Observability for both ADCNN runtime backends (DESIGN.md §5c).
+"""Observability for both ADCNN runtime backends (DESIGN.md §5c, §5h).
 
 - :class:`TelemetryRecorder` — span + event recording on one shared schema
   (wall-clock in the process backend, sim-time in the DES) with a labeled
   metrics registry (counters / gauges / p50-p95-p99 histograms).
 - :class:`NullRecorder` — the zero-cost default sink.
+- Tracing (§5h) — :class:`TraceContext` / :class:`TraceScope` give every
+  image one rooted span tree across the fork/IPC boundary;
+  :func:`assemble_traces` + :func:`critical_path` answer "why was this
+  image slow?".
+- :class:`FlightRecorder` — bounded ring of recent events, auto-dumped to
+  JSONL on worker death / shed / deadline fire.
+- Live introspection — :class:`ServingStatus` / :class:`ClusterHealth`
+  snapshots with P² streaming quantiles; ``python -m repro.telemetry.top``
+  renders them.
 - Exporters — Chrome trace-event JSON (open in Perfetto, one track per
   node), Prometheus text, JSONL; ``python -m repro.telemetry.report``
   renders a run summary from the JSONL artifact.
@@ -18,6 +27,16 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
 )
+from .flight import FlightRecorder
+from .live import (
+    ClusterHealth,
+    NodeHealth,
+    P2Quantile,
+    QuantileSnapshot,
+    ServingStatus,
+    StreamingQuantiles,
+    node_health_scores,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .recorder import (
     STAGE_CENTRAL,
@@ -25,6 +44,8 @@ from .recorder import (
     STAGE_CONV_COMPUTE,
     STAGE_MERGE,
     STAGE_PARTITION,
+    STAGE_QUEUE_WAIT,
+    STAGE_REQUEST,
     STAGE_RESULT_TRANSFER,
     STAGE_TRANSFER,
     STAGES,
@@ -32,6 +53,16 @@ from .recorder import (
     Recorder,
     TelemetryRecorder,
 )
+from .trace import (
+    CriticalPath,
+    Span,
+    TraceContext,
+    TraceScope,
+    TraceTree,
+    assemble_traces,
+    critical_path,
+)
+
 #: Report helpers are loaded lazily so ``python -m repro.telemetry.report``
 #: does not import the module twice (once here, once as ``__main__``).
 _REPORT_EXPORTS = ("RunSummary", "StageStats", "render", "summarize")
@@ -49,11 +80,14 @@ __all__ = [
     "TelemetryRecorder",
     "NullRecorder",
     "Recorder",
+    "FlightRecorder",
     "MetricsRegistry",
     "Counter",
     "Gauge",
     "Histogram",
     "STAGES",
+    "STAGE_REQUEST",
+    "STAGE_QUEUE_WAIT",
     "STAGE_PARTITION",
     "STAGE_COMPRESS",
     "STAGE_TRANSFER",
@@ -61,6 +95,20 @@ __all__ = [
     "STAGE_RESULT_TRANSFER",
     "STAGE_MERGE",
     "STAGE_CENTRAL",
+    "TraceContext",
+    "TraceScope",
+    "TraceTree",
+    "Span",
+    "CriticalPath",
+    "assemble_traces",
+    "critical_path",
+    "P2Quantile",
+    "StreamingQuantiles",
+    "QuantileSnapshot",
+    "NodeHealth",
+    "ClusterHealth",
+    "ServingStatus",
+    "node_health_scores",
     "to_chrome_trace",
     "validate_chrome_trace",
     "write_chrome_trace",

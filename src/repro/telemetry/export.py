@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import json
 import re
+import warnings
 from collections.abc import Iterable
 from pathlib import Path
 from typing import Any
@@ -201,14 +202,29 @@ def _json_default(obj: Any) -> Any:
 
 
 def read_jsonl(path: str | Path) -> tuple[list[dict[str, Any]], list[dict[str, Any]]]:
-    """Inverse of :func:`write_jsonl`: ``(events, metric_rows)``."""
+    """Inverse of :func:`write_jsonl`: ``(events, metric_rows)``.
+
+    A truncated *final* line — a flight-recorder dump cut short by the
+    crash it was recording — is tolerated with a warning; malformed JSON
+    anywhere else still raises.
+    """
     events: list[dict[str, Any]] = []
     metric_rows: list[dict[str, Any]] = []
     with open(path) as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            row = json.loads(line)
-            (metric_rows if row.get("kind") == "metric" else events).append(row)
+        lines = fh.read().splitlines()
+    populated = [i for i, line in enumerate(lines) if line.strip()]
+    last = populated[-1] if populated else -1
+    for i in populated:
+        try:
+            row = json.loads(lines[i])
+        except json.JSONDecodeError:
+            if i == last:
+                warnings.warn(
+                    f"{path}: discarding truncated final line ({len(lines[i])} bytes)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                break
+            raise
+        (metric_rows if row.get("kind") == "metric" else events).append(row)
     return events, metric_rows

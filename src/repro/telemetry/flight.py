@@ -1,0 +1,210 @@
+"""Flight recorder: bounded event ring with crash-triggered JSONL dumps.
+
+Post-mortems rarely need a full run trace — they need *the last few
+seconds before things went wrong*.  :class:`FlightRecorder` is a telemetry
+sink that keeps only a bounded ring of recent events (spans + instant
+records), its own metrics registry for delta reporting, and — when bound
+to a :class:`~repro.runtime.controller.CentralController` — a view of the
+controller's ``decisions`` journal.  On a trigger event (worker death, an
+``Overloaded`` shed, a deadline fire) it automatically dumps everything to
+a JSONL file shaped like a normal telemetry artifact, so
+:func:`repro.telemetry.export.read_jsonl` and the report CLI parse dumps
+with no special casing.
+
+It composes: pass ``inner=TelemetryRecorder()`` to keep full always-on
+export *and* get crash dumps, or ``inner=None`` for ring-only recording
+with near-constant memory.  Zero-cost-when-disabled is unaffected — the
+default sink everywhere remains :class:`~.recorder.NullRecorder`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from pathlib import Path
+from typing import Any, Protocol
+
+from .metrics import MetricsRegistry
+from .recorder import Recorder
+
+__all__ = ["FlightRecorder", "DUMP_TRIGGER_KINDS", "DUMP_TRIGGER_COUNTERS"]
+
+#: Instant-event kinds that trigger an automatic dump.
+DUMP_TRIGGER_KINDS = frozenset({"worker_dead"})
+
+#: Counter names whose increment triggers an automatic dump (deadline
+#: fires and load-shedding in either backend).
+DUMP_TRIGGER_COUNTERS = frozenset(
+    {
+        "adcnn_deadline_triggers_total",
+        "adcnn_serving_shed_total",
+        "adcnn_shed_total",
+    }
+)
+
+
+class _DecisionSource(Protocol):
+    decisions: list[Any]
+
+
+class FlightRecorder:
+    """Ring-buffered telemetry sink with automatic post-mortem dumps.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum events retained (oldest evicted first).
+    inner:
+        Optional sink every call is forwarded to (e.g. a
+        :class:`~.recorder.TelemetryRecorder` for full export).
+    dump_dir:
+        Directory dump files are written into (created on first dump).
+    max_dumps:
+        Cap on automatic dump files per recorder — a flapping worker or a
+        shed storm must not fill the disk.  Explicit :meth:`dump` calls
+        also count toward the cap.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        inner: Recorder | None = None,
+        dump_dir: str | Path = "flight-dumps",
+        max_dumps: int = 8,
+        trigger_kinds: frozenset[str] = DUMP_TRIGGER_KINDS,
+        trigger_counters: frozenset[str] = DUMP_TRIGGER_COUNTERS,
+    ) -> None:
+        self.ring: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self.inner = inner
+        self.dump_dir = Path(dump_dir)
+        self.max_dumps = max_dumps
+        self.trigger_kinds = trigger_kinds
+        self.trigger_counters = trigger_counters
+        self.metrics = MetricsRegistry()
+        self.dumps: list[Path] = []
+        self._decision_sources: list[_DecisionSource] = []
+        self._last_counters: dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------- recording
+    def record(self, time: float, kind: str, **fields: Any) -> None:
+        self.ring.append({"time": time, "kind": kind, **fields})
+        if self.inner is not None:
+            self.inner.record(time, kind, **fields)
+        if kind in self.trigger_kinds:
+            self.dump(reason=kind, now=time)
+
+    def span(self, kind: str, start: float, duration: float, node: str | None = None,
+             image_id: int | None = None, **fields: Any) -> None:
+        ev: dict[str, Any] = {"time": start, "kind": kind, "duration": duration}
+        if node is not None:
+            ev["node"] = node
+        if image_id is not None:
+            ev["image_id"] = image_id
+        if fields:
+            ev.update(fields)
+        self.ring.append(ev)
+        if self.inner is not None:
+            self.inner.span(kind, start, duration, node=node, image_id=image_id, **fields)
+
+    def count(self, name: str, value: float = 1.0, **labels: Any) -> None:
+        self.metrics.counter(name, **labels).inc(value)
+        if self.inner is not None:
+            self.inner.count(name, value, **labels)
+        if name in self.trigger_counters:
+            self.dump(reason=name)
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        self.metrics.gauge(name, **labels).set(value)
+        if self.inner is not None:
+            self.inner.gauge(name, value, **labels)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        self.metrics.histogram(name, **labels).observe(value)
+        if self.inner is not None:
+            self.inner.observe(name, value, **labels)
+
+    # ------------------------------------------------------------- decisions
+    def bind_decisions(self, source: _DecisionSource) -> None:
+        """Attach a controller whose ``decisions`` journal dumps include.
+
+        Both backend drivers call this duck-typed (``getattr(telemetry,
+        "bind_decisions", None)``) right after building their controller,
+        so an ordinary :class:`~.recorder.TelemetryRecorder` needs no
+        stub method.
+        """
+        self._decision_sources.append(source)
+
+    # ----------------------------------------------------------------- dumps
+    def dump(self, reason: str, now: float | None = None) -> Path | None:
+        """Write ring + metric deltas + decisions to a fresh JSONL file.
+
+        Returns the path written, or ``None`` once ``max_dumps`` is
+        reached.  Safe to call from any thread; never raises on a full
+        ring or missing decisions.
+        """
+        with self._lock:
+            if len(self.dumps) >= self.max_dumps:
+                return None
+            seq = len(self.dumps)
+            events = list(self.ring)
+            if now is None:
+                now = events[-1]["time"] if events else 0.0
+            rows: list[dict[str, Any]] = [
+                {
+                    "time": now,
+                    "kind": "flight_dump",
+                    "reason": reason,
+                    "sequence": seq,
+                    "events": len(events),
+                }
+            ]
+            rows.extend(events)
+            for source in self._decision_sources:
+                for d in getattr(source, "decisions", []):
+                    rows.append(
+                        {
+                            "time": now,
+                            "kind": "decision",
+                            "decision_kind": d.kind,
+                            "image_id": d.image_id,
+                            "values": list(d.values),
+                        }
+                    )
+            snapshot_rows = self.metrics.snapshot()
+            for row in snapshot_rows:
+                if row.get("metric_kind") == "counter":
+                    key = json.dumps(
+                        [row["name"], sorted(row.get("labels", {}).items())], sort_keys=True
+                    )
+                    value = float(row.get("value", 0.0))
+                    row = dict(row)
+                    row["delta"] = value - self._last_counters.get(key, 0.0)
+                    self._last_counters[key] = value
+                rows.append(row)
+            self.dump_dir.mkdir(parents=True, exist_ok=True)
+            path = self.dump_dir / f"flight-{seq:03d}-{_slug(reason)}.jsonl"
+            from .export import write_jsonl
+
+            write_jsonl(rows, path)
+            self.dumps.append(path)
+            return path
+
+    # ------------------------------------------------------------ inspection
+    def of_kind(self, kind: str) -> list[dict[str, Any]]:
+        return [e for e in self.ring if e["kind"] == kind]
+
+    def clear(self) -> None:
+        self.ring.clear()
+        self.metrics = MetricsRegistry()
+        self._last_counters.clear()
+
+    def __len__(self) -> int:
+        return len(self.ring)
+
+
+def _slug(reason: str) -> str:
+    return "".join(c if c.isalnum() else "-" for c in reason)[:48] or "dump"

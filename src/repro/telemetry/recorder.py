@@ -24,6 +24,8 @@ from .metrics import MetricsRegistry
 
 __all__ = [
     "STAGES",
+    "STAGE_REQUEST",
+    "STAGE_QUEUE_WAIT",
     "STAGE_PARTITION",
     "STAGE_COMPRESS",
     "STAGE_TRANSFER",
@@ -35,6 +37,14 @@ __all__ = [
     "NullRecorder",
     "TelemetryRecorder",
 ]
+
+# Request-envelope spans (DESIGN.md §5h): ``request`` is the per-image
+# root span covering admission → final output; ``queue_wait`` covers
+# admission → dispatch.  Neither is a pipeline *processing* stage, so they
+# are deliberately NOT part of :data:`STAGES` (report row order, RL004's
+# closed span schema for processing stages).
+STAGE_REQUEST = "request"
+STAGE_QUEUE_WAIT = "queue_wait"
 
 STAGE_PARTITION = "partition"
 STAGE_COMPRESS = "compress"

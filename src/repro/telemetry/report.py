@@ -80,18 +80,37 @@ def stage_stats(events: Iterable[dict[str, Any]]) -> list[StageStats]:
 
 
 def node_utilization(events: Iterable[dict[str, Any]]) -> dict[str, float]:
-    """Busy fraction per node: compute(+compress) span time / run span."""
+    """Busy fraction per node: compute(+compress) busy time / run span.
+
+    Overlapping spans on one node (pipelined images, or compress nested
+    inside the compute interval) are union-merged before summing, so the
+    busy fraction is genuine wall-clock occupancy and never exceeds 1.0.
+    """
     events = [e for e in events if "time" in e]
     if not events:
         return {}
     start = min(e["time"] for e in events)
     end = max(e["time"] + e.get("duration", 0.0) for e in events)
     window = max(end - start, 1e-12)
-    busy: dict[str, float] = {}
+    intervals: dict[str, list[tuple[float, float]]] = {}
     for ev in events:
         if ev.get("kind") in (STAGE_CONV_COMPUTE, STAGE_COMPRESS) and "duration" in ev:
             node = str(ev.get("node", "?"))
-            busy[node] = busy.get(node, 0.0) + float(ev["duration"])
+            t0 = float(ev["time"])
+            intervals.setdefault(node, []).append((t0, t0 + max(float(ev["duration"]), 0.0)))
+    busy: dict[str, float] = {}
+    for node, spans in intervals.items():
+        spans.sort()
+        total = 0.0
+        cur_start, cur_end = spans[0]
+        for t0, t1 in spans[1:]:
+            if t0 > cur_end:
+                total += cur_end - cur_start
+                cur_start, cur_end = t0, t1
+            else:
+                cur_end = max(cur_end, t1)
+        total += cur_end - cur_start
+        busy[node] = total
     return {node: b / window for node, b in sorted(busy.items())}
 
 

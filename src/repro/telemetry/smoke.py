@@ -1,11 +1,14 @@
 """Telemetry smoke run: ``python -m repro.telemetry.smoke --out DIR``.
 
 Drives a real 2-worker process-backend inference stream with the §4
-compression pipeline, records full telemetry, exports every format —
-``trace.json`` (Chrome trace-event, open in Perfetto), ``metrics.prom``
-(Prometheus text), ``events.jsonl`` — validates the Chrome trace against
-the schema, and prints the run summary.  CI runs this and uploads the
-directory as a workflow artifact.
+compression pipeline, records full telemetry through a
+:class:`FlightRecorder` ring, exports every format — ``trace.json``
+(Chrome trace-event, open in Perfetto), ``metrics.prom`` (Prometheus
+text), ``events.jsonl``, plus a ``flight-*.jsonl`` post-mortem dump —
+then validates the Chrome trace against the schema, checks that every
+image produced one complete §5h span tree whose critical path sums to the
+end-to-end latency, and prints the run summary.  CI runs this and uploads
+the directory as a workflow artifact.
 """
 
 from __future__ import annotations
@@ -16,9 +19,11 @@ from pathlib import Path
 
 import numpy as np
 
-from .export import parse_prometheus_text, validate_chrome_trace
+from .export import parse_prometheus_text, read_jsonl, validate_chrome_trace
+from .flight import FlightRecorder
 from .recorder import STAGES, TelemetryRecorder
 from .report import render, summarize
+from .trace import assemble_traces, critical_path
 
 
 def run_smoke(out_dir: Path, num_workers: int = 2, num_images: int = 4, seed: int = 0) -> TelemetryRecorder:
@@ -31,12 +36,16 @@ def run_smoke(out_dir: Path, num_workers: int = 2, num_images: int = 4, seed: in
     rng = np.random.default_rng(seed)
     images = rng.normal(size=(num_images, 1, 3, 24, 24)).astype(np.float32)
     telemetry = TelemetryRecorder()
+    # The flight ring sits in front of the full recorder: same run exercises
+    # the crash-dump path (explicit dump below) and the always-on exports.
+    flight = FlightRecorder(inner=telemetry, dump_dir=out_dir)
     config = ProcessClusterConfig(num_workers=num_workers, t_limit=30.0)
     with ProcessCluster(model, "2x2", pipeline=CompressionPipeline(), config=config,
-                        telemetry=telemetry) as cluster:
+                        telemetry=flight) as cluster:
         cluster.infer_stream(list(images), pipeline_depth=2)
 
     out_dir.mkdir(parents=True, exist_ok=True)
+    flight.dump("smoke")
     telemetry.write_chrome_trace(out_dir / "trace.json")
     telemetry.write_prometheus(out_dir / "metrics.prom")
     telemetry.write_jsonl(out_dir / "events.jsonl")
@@ -59,6 +68,29 @@ def check_artifacts(out_dir: Path, num_workers: int) -> None:
     samples = parse_prometheus_text((out_dir / "metrics.prom").read_text())
     if not any(name == "adcnn_tiles_dispatched_total" for name, _ in samples):
         raise SystemExit("metrics.prom missing adcnn_tiles_dispatched_total")
+    # §5h acceptance: one complete, orphan-free span tree per image, with
+    # critical-path attribution summing to the root (end-to-end) duration.
+    jsonl_events, _ = read_jsonl(out_dir / "events.jsonl")
+    done = [e for e in jsonl_events if e.get("kind") == "image_done"]
+    trees = assemble_traces(jsonl_events)
+    if len(trees) != len(done) or not done:
+        raise SystemExit(f"expected {len(done)} span trees, assembled {len(trees)}")
+    for tree in trees.values():
+        if not tree.complete:
+            raise SystemExit(
+                f"trace {tree.trace_id} incomplete: {len(tree.roots)} roots, "
+                f"{len(tree.orphans)} orphans"
+            )
+        cp = critical_path(tree)
+        if abs(sum(cp.breakdown.values()) - cp.total) > 0.01 * cp.total:
+            raise SystemExit(f"trace {tree.trace_id} critical path does not sum to root")
+    dumps = sorted(out_dir.glob("flight-*.jsonl"))
+    if not dumps:
+        raise SystemExit("no flight dump written")
+    for dump in dumps:
+        dump_events, _ = read_jsonl(dump)  # every dump must parse as JSONL
+        if not any(e.get("kind") == "flight_dump" for e in dump_events):
+            raise SystemExit(f"{dump} missing its flight_dump header row")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -73,11 +105,17 @@ def main(argv: list[str] | None = None) -> int:
     out_dir = Path(args.out)
     telemetry = run_smoke(out_dir, num_workers=args.workers, num_images=args.images)
     check_artifacts(out_dir, args.workers)
-    from .export import read_jsonl
-
     events, metric_rows = read_jsonl(out_dir / "events.jsonl")
     print(render(summarize(events, metric_rows)))
-    print(f"\nwrote {out_dir}/trace.json (load at ui.perfetto.dev), metrics.prom, events.jsonl")
+    trees = assemble_traces(events)
+    print(f"\n{len(trees)} complete span trees; per-image critical path:")
+    for tid in sorted(trees):
+        cp = critical_path(trees[tid])
+        top = ", ".join(f"{k}={v * 1e3:.2f}ms" for k, v in
+                        sorted(cp.breakdown.items(), key=lambda kv: -kv[1])[:3])
+        print(f"  trace {tid}: {cp.total * 1e3:.2f}ms total — {top}")
+    print(f"\nwrote {out_dir}/trace.json (load at ui.perfetto.dev), metrics.prom, "
+          "events.jsonl, flight-*.jsonl")
     return 0
 
 

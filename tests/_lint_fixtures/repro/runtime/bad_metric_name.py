@@ -1,0 +1,14 @@
+"""RL009 fixture: off-convention and dynamic metric names."""
+
+
+def emit(tel, registry, kind: str) -> None:
+    tel.count("tiles_dispatched")  # missing adcnn_ prefix
+    tel.gauge("adcnn_Window", 2.0)  # uppercase breaks the name charset
+    registry.counter(f"adcnn_{kind}_total")  # dynamic name
+    tel.observe("adcnn_latency_seconds", 0.5)  # clean: literal, on convention
+
+
+def command(EmitTelemetry):
+    bad = EmitTelemetry("count", "deadline_triggers")  # count op, bad name
+    ok = EmitTelemetry("record", "deadline")  # record op carries an event kind
+    return bad, ok

@@ -85,6 +85,16 @@ def test_rl008_controller_authority_fixture():
     assert len(found) == 3
 
 
+def test_rl009_metric_name_fixture():
+    found = violations_in(FIXTURES / "runtime" / "bad_metric_name.py")
+    assert ("RL009", 5) in found  # missing adcnn_ prefix
+    assert ("RL009", 6) in found  # uppercase in the name
+    assert ("RL009", 7) in found  # dynamic (f-string) name
+    assert ("RL009", 12) in found  # EmitTelemetry count op with a bad name
+    assert all(code == "RL009" for code, _ in found)
+    assert len(found) == 4  # the literal observe() and the record op are clean
+
+
 def test_rl008_allows_the_controller_layer():
     src = REPO / "src" / "repro" / "runtime"
     for allowed in ("controller.py", "policies.py", "scheduler.py"):
@@ -136,7 +146,7 @@ def test_rule_registry_well_formed():
     codes = [cls.code for cls in RULE_CLASSES]
     assert len(codes) == len(set(codes))
     assert all(code.startswith("RL") for code in codes)
-    assert 6 <= len(codes) <= 8
+    assert 6 <= len(codes) <= 10
     assert all(cls.name and cls.description for cls in RULE_CLASSES)
 
 

@@ -295,6 +295,25 @@ class TestSummarize:
         out = render(summarize(t.events, t.metrics.snapshot()))
         assert "conv_compute" in out and "utilization" in out
 
+    def test_node_utilization_merges_overlapping_spans(self):
+        from repro.telemetry.report import node_utilization
+
+        # Regression: pipelined images overlap compute spans on one node;
+        # summing raw durations used to report >100% busy.
+        t = TelemetryRecorder()
+        t.record(0.0, "dispatch")  # pins the run-window start
+        t.span("conv_compute", 0.0, 8.0, node="worker0")
+        t.span("conv_compute", 4.0, 6.0, node="worker0")  # overlaps [4, 8]
+        t.span("compress", 9.0, 1.0, node="worker0")  # disjoint tail
+        t.span("conv_compute", 0.0, 30.0, node="worker1")  # would be 300%
+        t.span("conv_compute", 5.0, 5.0, node="worker1")  # fully nested
+        t.record(10.0, "image_done")
+        util = node_utilization(t.events)
+        # worker0: union([0,8] ∪ [4,10]) = [0,10] -> 10 busy over window 30.
+        assert util["worker0"] == pytest.approx(10.0 / 30.0)
+        assert util["worker1"] == pytest.approx(1.0)
+        assert all(0.0 <= u <= 1.0 for u in util.values())
+
 
 class TestDesBackendTelemetry:
     def test_same_event_kinds_as_process_backend(self):
