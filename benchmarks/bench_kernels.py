@@ -4,8 +4,11 @@ These use pytest-benchmark's statistical timing (multiple rounds) — the
 numbers to watch when optimizing the NumPy engine.
 """
 
+import time
+
 import numpy as np
 
+import repro.nn as nn
 import repro.nn.functional as F
 from repro.compression import (
     CompressionPipeline,
@@ -16,10 +19,24 @@ from repro.compression import (
 )
 from repro.models import vgg_mini
 from repro.nn import Tensor
+from repro.nn.fused import fused_clip_quantize, try_compile
 from repro.partition import TileGrid, fdsp_forward
+from repro.partition.geometry import split_array
 from repro.runtime import allocate_tiles
 
 RNG = np.random.default_rng(0)
+
+
+def _timed(fn, repeats=50):
+    """Best-of-3 mean lap: robust against scheduler noise on shared CI."""
+    fn()  # warm caches / BLAS threads
+    laps = []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            fn()
+        laps.append((time.perf_counter() - t0) / repeats)
+    return min(laps)
 
 
 def test_conv2d_forward(benchmark):
@@ -99,3 +116,78 @@ def test_fdsp_tile_forward(benchmark):
     stack = model.separable_part()
     x = RNG.normal(size=(1, 3, 48, 48)).astype(np.float32)
     benchmark(lambda: fdsp_forward(stack, x, TileGrid(4, 4)))
+
+
+# ------------------------------------------------- batched/fused hot path
+def test_batched_tile_forward_speedup(benchmark):
+    """CI gate (DESIGN.md §5i): the worker's batched+fused grid forward
+    must be >= 2x the seed per-tile loop on a 2x2-grid vgg_mini.
+
+    The looped lap is the seed worker hot path (one Tensor graph + one
+    GEMM sequence per tile); the batched lap is the shipped one (stack the
+    grid, one fused no-grad pass, slice) including the concatenate cost.
+    """
+    model = vgg_mini(input_size=24, base_width=6).eval()
+    stack = model.separable_part()
+    fused = try_compile(stack)
+    assert fused is not None
+    grid = TileGrid(2, 2)
+    x = RNG.normal(size=(1, 3, 24, 24)).astype(np.float32)
+    tiles = split_array(x, grid)
+
+    def looped():
+        with nn.no_grad():
+            return [stack(Tensor(t)).data for t in tiles]
+
+    def batched():
+        out = fused(np.concatenate(tiles, axis=0))
+        return [out[i : i + 1] for i in range(grid.num_tiles)]
+
+    np.testing.assert_array_equal(np.concatenate(batched(), axis=0), np.concatenate(looped(), axis=0))
+    t_looped = _timed(looped)
+    t_batched = _timed(batched)
+    speedup = t_looped / t_batched
+    assert speedup >= 2.0, (
+        f"batched grid forward only {speedup:.2f}x the per-tile loop "
+        f"(looped {t_looped * 1e3:.3f} ms, batched {t_batched * 1e3:.3f} ms)"
+    )
+    benchmark(batched)
+
+
+def test_looped_tile_forward_baseline(benchmark):
+    """The seed per-tile path, kept as the trend baseline for the gate above."""
+    model = vgg_mini(input_size=24, base_width=6).eval()
+    stack = model.separable_part()
+    tiles = split_array(RNG.normal(size=(1, 3, 24, 24)).astype(np.float32), TileGrid(2, 2))
+
+    def looped():
+        with nn.no_grad():
+            return [stack(Tensor(t)).data for t in tiles]
+
+    benchmark(looped)
+
+
+def test_fused_clip_quantize_speedup(benchmark):
+    """CI gate: the single-pass clip+quantize must beat the two-stage
+    composition at feature-map scale (in-place ops drop ~4 temporaries)."""
+    pipe = CompressionPipeline(lower=0.0, upper=6.0, bits=4)
+    x = np.maximum(RNG.normal(loc=-1.0, size=(128, 48, 48)), 0).astype(np.float32)
+
+    def unfused():
+        return pipe.quantizer.quantize(pipe.clip(x))
+
+    def fused():
+        return fused_clip_quantize(
+            x, pipe.lower, pipe.upper, pipe.quantizer.step,
+            pipe.quantizer.num_levels, pipe.quantizer.level_dtype,
+        )
+
+    np.testing.assert_array_equal(fused(), unfused())
+    t_unfused = _timed(unfused, repeats=100)
+    t_fused = _timed(fused, repeats=100)
+    speedup = t_unfused / t_fused
+    assert speedup >= 1.2, (
+        f"fused clip+quantize only {speedup:.2f}x the composition "
+        f"(unfused {t_unfused * 1e6:.0f} us, fused {t_fused * 1e6:.0f} us)"
+    )
+    benchmark(fused)

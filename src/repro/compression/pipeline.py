@@ -15,6 +15,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.nn.fused import fused_clip_quantize
+
 from .quantize import UniformQuantizer
 from .rle import RLEStream, rle_decode, rle_encode
 from .wire import PackedStream, pack_levels, unpack
@@ -123,11 +125,22 @@ class CompressionPipeline:
         """ReLU_[a,b] — §4.1."""
         return np.clip(x, self.lower, self.upper) - self.lower
 
+    def _levels(self, x: np.ndarray) -> np.ndarray:
+        """clip → quantize as one fused array pass (bitwise the same levels
+        as ``quantizer.quantize(self.clip(x))``, fewer temporaries)."""
+        return fused_clip_quantize(
+            x,
+            self.lower,
+            self.upper,
+            self.quantizer.step,
+            self.quantizer.num_levels,
+            self.quantizer.level_dtype,
+        )
+
     def compress(self, x: np.ndarray) -> CompressedTensor:
         """Full pipeline: clip → quantize → RLE."""
         x = np.asarray(x, dtype=np.float32)
-        levels = self.quantizer.quantize(self.clip(x))
-        stream = rle_encode(levels, value_bits=self.quantizer.bits, run_bits=self.run_bits)
+        stream = rle_encode(self._levels(x), value_bits=self.quantizer.bits, run_bits=self.run_bits)
         return CompressedTensor(stream=stream, raw_bits=x.size * 32)
 
     def compress_packed(self, x: np.ndarray) -> PackedTensor:
@@ -137,8 +150,7 @@ class CompressionPipeline:
         same levels (and the same ``compressed_bits``) as :meth:`compress`.
         """
         x = np.asarray(x, dtype=np.float32)
-        levels = self.quantizer.quantize(self.clip(x))
-        packed = pack_levels(levels, value_bits=self.quantizer.bits, run_bits=self.run_bits)
+        packed = pack_levels(self._levels(x), value_bits=self.quantizer.bits, run_bits=self.run_bits)
         return PackedTensor(packed=packed, raw_bits=x.size * 32)
 
     def decompress(

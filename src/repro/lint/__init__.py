@@ -1,6 +1,6 @@
 """Project-invariant static analysis for the ADCNN runtime (DESIGN.md §5e).
 
-Run as ``python -m repro.lint [paths...]``; rules RL001–RL009 check the
+Run as ``python -m repro.lint [paths...]``; rules RL001–RL010 check the
 cross-process invariants (fork safety, queue-message hygiene, shm slot
 pairing, telemetry discipline, numeric hygiene, worker targets, import-time
 effects, controller authority, metric naming) that generic linters cannot

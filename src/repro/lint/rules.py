@@ -1,4 +1,4 @@
-"""The project-invariant rule set (RL001–RL009), one class per code.
+"""The project-invariant rule set (RL001–RL010), one class per code.
 
 Each rule encodes an invariant the distributed runtime depends on; see
 DESIGN.md §5e for the failure mode behind every code.  Rules are scoped by
@@ -415,7 +415,7 @@ class NumericHygieneRule(Rule):
     code = "RL005"
     name = "numeric-hygiene"
     description = "no float64 literals or dtype-less allocations in hot kernels"
-    include = ("repro/compression", "repro/nn/functional.py")
+    include = ("repro/compression", "repro/nn/functional.py", "repro/nn/fused.py")
 
     _ALLOC_FUNCS = frozenset({"zeros", "ones", "empty", "full", "arange"})
 
@@ -658,6 +658,121 @@ class MetricNameRule(Rule):
             )
 
 
+# ---------------------------------------------------------------------- RL010
+class TileLoopForwardRule(Rule):
+    """Per-tile Python-loop forwards are forbidden outside the sanctioned
+    batched helpers.
+
+    FDSP tiles within a grid are identically shaped, so the hot path stacks
+    them into one block and runs the separable stack *once*
+    (``split_stacked``/``fdsp_forward``, DESIGN.md §5i).  A
+    ``separable(t) for t in tiles``-shaped loop reintroduces per-tile layer
+    dispatch, graph construction, and one GEMM call per tile — silently
+    undoing the batched win.  The sanctioned per-tile reference
+    (``fdsp._fdsp_forward_looped``) carries an inline disable; benign
+    per-tile bookkeeping (attribute access, builtins, constructors) is not
+    flagged.
+    """
+
+    code = "RL010"
+    name = "tile-loop-forward"
+    description = "no per-tile Python-loop forwards outside the sanctioned batched helpers"
+    include = ("repro/partition", "repro/runtime", "repro/nn", "repro/models", "repro/training")
+
+    #: Calls that *produce* per-tile iterables.
+    _TILE_SPLITTERS = frozenset({"split_tensor", "split_array"})
+    #: Variable names that hold per-tile iterables.
+    _TILE_NAME_RE = re.compile(r"(^|_)tiles$")
+    #: Callees that never run a forward pass over a tile.
+    _BENIGN_CALLEES = frozenset(
+        {
+            "len", "min", "max", "sum", "abs", "sorted", "reversed", "list",
+            "tuple", "set", "frozenset", "iter", "next", "enumerate", "zip",
+            "print", "id", "type", "float", "int", "str", "bool", "repr",
+            "range", "isinstance", "hash", "getattr", "hasattr",
+        }
+    )
+
+    def visit(self, node: ast.AST, ctx: ModuleContext, walker: Walker) -> None:
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            targets: set[str] = set()
+            for gen in node.generators:
+                if self._is_tile_iter(gen.iter):
+                    targets |= self._target_names(gen.target)
+            if targets:
+                for sub in ast.walk(node):
+                    self._check_call(sub, targets, ctx)
+        elif isinstance(node, ast.For):
+            if not self._is_tile_iter(node.iter):
+                return
+            targets = self._target_names(node.target)
+            if not targets:
+                return
+            for stmt in node.body:
+                for sub in self._body_nodes(stmt):
+                    self._check_call(sub, targets, ctx)
+
+    def _check_call(self, node: ast.AST, targets: set[str], ctx: ModuleContext) -> None:
+        # The forbidden shape: a bare-Name callable applied to the loop's
+        # tile variable (``separable(t)``, ``clip(sep(t))``...).  Uppercase
+        # names are constructors (``Tensor(t)``) — wrapping, not forwarding.
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)):
+            return
+        fn = node.func.id
+        if fn in self._BENIGN_CALLEES or fn[:1].isupper():
+            return
+        for arg in node.args:
+            if isinstance(arg, ast.Name) and arg.id in targets:
+                ctx.report(
+                    self.code,
+                    node,
+                    f"per-tile loop forward {fn}({arg.id}) — stack the grid with "
+                    "split_stacked/fdsp_forward (one batched pass, DESIGN.md §5i) "
+                    "instead of looping over tiles",
+                )
+                return
+
+    def _is_tile_iter(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Call):
+            last = _dotted(node.func).rsplit(".", 1)[-1]
+            if last in self._TILE_SPLITTERS:
+                return True
+            if last == "enumerate" and node.args:
+                return self._is_tile_iter(node.args[0])
+            return False
+        name = _dotted(node)
+        if name:
+            return bool(self._TILE_NAME_RE.search(name.rsplit(".", 1)[-1]))
+        return False
+
+    @staticmethod
+    def _target_names(target: ast.AST) -> set[str]:
+        if isinstance(target, ast.Name):
+            return {target.id}
+        if isinstance(target, (ast.Tuple, ast.List)):
+            out: set[str] = set()
+            for elt in target.elts:
+                out |= TileLoopForwardRule._target_names(elt)
+            return out
+        return set()
+
+    @staticmethod
+    def _body_nodes(stmt: ast.AST) -> list[ast.AST]:
+        """Every node under a loop-body statement, nested function/lambda
+        bodies excluded (they are scanned when the walker reaches them)."""
+        out: list[ast.AST] = [stmt]
+
+        def rec(n: ast.AST) -> None:
+            for child in ast.iter_child_nodes(n):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                    continue
+                out.append(child)
+                rec(child)
+
+        rec(stmt)
+        return out
+
+
 RULE_CLASSES: tuple[type[Rule], ...] = (
     ForkSafetyRule,
     QueueMessageRule,
@@ -668,6 +783,7 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     ImportEffectsRule,
     ControllerAuthorityRule,
     MetricNameRule,
+    TileLoopForwardRule,
 )
 
 

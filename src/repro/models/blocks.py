@@ -52,6 +52,14 @@ class LayerBlock(nn.Module):
             x = self.pool(x)
         return x
 
+    def fused_steps(self, compile_module):
+        """Fused-compiler hook (:mod:`repro.nn.fused`): forward order as a
+        flat kernel chain."""
+        steps = compile_module(self.conv) + compile_module(self.bn) + compile_module(self.act)
+        if self.pool is not None:
+            steps += compile_module(self.pool)
+        return steps
+
 
 class ResidualBlock(nn.Module):
     """Basic ResNet block — Figure 2(b)/(c).
@@ -93,6 +101,28 @@ class ResidualBlock(nn.Module):
         out = self.bn2(self.conv2(out))
         return self.act(out + self.shortcut(x))
 
+    def fused_steps(self, compile_module):
+        """Fused-compiler hook: main path and shortcut as sub-chains joined
+        by an in-place residual add (same ufunc order as :meth:`forward`)."""
+        from repro.nn.fused import run_steps
+
+        main = (
+            compile_module(self.conv1)
+            + compile_module(self.bn1)
+            + compile_module(self.act)
+            + compile_module(self.conv2)
+            + compile_module(self.bn2)
+        )
+        short = compile_module(self.shortcut)
+        act = compile_module(self.act)
+
+        def run(x: np.ndarray) -> np.ndarray:
+            out = run_steps(main, x)
+            np.add(out, run_steps(short, x), out=out)
+            return run_steps(act, out, owned=True)
+
+        return [(run, False)]
+
 
 class ConvBlock1d(nn.Module):
     """CONV1d + BN + ReLU (+ optional max pool) for CharCNN."""
@@ -122,6 +152,13 @@ class ConvBlock1d(nn.Module):
         if self.pool is not None:
             x = self.pool(x)
         return x
+
+    def fused_steps(self, compile_module):
+        """Fused-compiler hook: forward order as a flat kernel chain."""
+        steps = compile_module(self.conv) + compile_module(self.bn) + compile_module(self.act)
+        if self.pool is not None:
+            steps += compile_module(self.pool)
+        return steps
 
 
 class PartitionableCNN(nn.Module):

@@ -4,7 +4,8 @@ Provides the autograd tensor, layers, optimizers, and losses that the whole
 ADCNN reproduction is built on (PyTorch replacement; see DESIGN.md §2).
 """
 
-from . import functional, init, losses, optim, serialization, utils
+from . import functional, fused, init, losses, optim, serialization, utils
+from .fused import FusedSeparable, fused_clip_quantize, try_compile
 from .modules import (
     AvgPool2d,
     BatchNorm1d,
@@ -32,6 +33,10 @@ from .tensor import Parameter, Tensor, no_grad
 
 __all__ = [
     "functional",
+    "fused",
+    "FusedSeparable",
+    "fused_clip_quantize",
+    "try_compile",
     "init",
     "losses",
     "optim",

@@ -2,11 +2,23 @@
 
 The convolution kernels here are the computational heart of the reproduction:
 they run both the per-tile FDSP forward passes on (emulated) Conv nodes and
-the retraining loops of Algorithm 1.  Convolution is implemented with
-``sliding_window_view`` + ``tensordot`` (an im2col formulation that never
-copies the input), and its input gradient uses the dilated transposed-
-convolution identity so every path stays vectorized — per the HPC guide:
-no Python loops over pixels anywhere.
+the retraining loops of Algorithm 1.  Convolution is implemented as im2col
+(``sliding_window_view``, zero-copy) followed by a GEMM over the flattened
+output rows, and its input gradient uses the dilated transposed-convolution
+identity so every path stays vectorized: no Python loops over pixels.
+
+The GEMM is dispatched in *fixed-shape chunks* — every BLAS call is exactly
+``(_GEMM_CHUNK_ROWS, C·kh·kw) @ (C·kh·kw, O)``, the last chunk zero-padded
+to size — and that shape discipline is a deliberate invariant, not an
+accident: BLAS picks different kernels (hence different summation orders)
+for different matrix sizes, so a variable-``M`` GEMM makes an output
+pixel's bits depend on how many rows share its call (batch size, tile
+area).  With every call identically shaped, each output pixel is a pure
+function of its own im2col row, which buys two bitwise guarantees at once
+(DESIGN.md §5i): stacking a grid's K tiles into one (K·N, C, h, w) block
+yields exactly the bits of K separate forwards, and a tile's interior
+pixels equal the unpartitioned whole-image forward exactly (the FDSP
+exactness contract of §3.2).
 """
 
 from __future__ import annotations
@@ -39,6 +51,33 @@ def _as_pair(v) -> tuple[int, int]:
 # --------------------------------------------------------------------------
 # Raw NumPy convolution helpers (shared by forward and backward passes).
 # --------------------------------------------------------------------------
+#: Fixed GEMM height.  Every conv BLAS call is exactly this many rows (the
+#: last chunk zero-padded), so kernel selection — and therefore summation
+#: order — never varies with batch size or tile area.  See module docstring.
+_GEMM_CHUNK_ROWS = 256
+
+
+def _chunked_matmul(cols: np.ndarray, wmat: np.ndarray) -> np.ndarray:
+    """``cols (M, K) @ wmat (K, O)`` via fixed-shape GEMM calls.
+
+    Both operands must be C-contiguous.  Each output row depends only on
+    the corresponding input row, bitwise, regardless of ``M``.
+    """
+    rows, k = cols.shape
+    out = np.empty((rows, wmat.shape[1]), dtype=cols.dtype)
+    pad_buf: np.ndarray | None = None
+    for start in range(0, rows, _GEMM_CHUNK_ROWS):
+        stop = min(start + _GEMM_CHUNK_ROWS, rows)
+        if stop - start == _GEMM_CHUNK_ROWS:
+            out[start:stop] = cols[start:stop] @ wmat
+        else:
+            if pad_buf is None:
+                pad_buf = np.zeros((_GEMM_CHUNK_ROWS, k), dtype=cols.dtype)
+            pad_buf[: stop - start] = cols[start:stop]
+            out[start:stop] = (pad_buf @ wmat)[: stop - start]
+    return out
+
+
 def _conv2d_raw(x: np.ndarray, w: np.ndarray, stride: tuple[int, int], pad: tuple[int, int]) -> np.ndarray:
     """Cross-correlate ``x`` (N,C,H,W) with ``w`` (O,C,kh,kw)."""
     sh, sw = stride
@@ -50,9 +89,16 @@ def _conv2d_raw(x: np.ndarray, w: np.ndarray, stride: tuple[int, int], pad: tupl
     win = sliding_window_view(x, (kh, kw), axis=(2, 3))
     if sh != 1 or sw != 1:
         win = win[:, :, ::sh, ::sw]
-    # Contract channel and kernel dims: -> (N, Ho, Wo, O) -> (N, O, Ho, Wo).
-    out = np.tensordot(win, w, axes=([1, 4, 5], [1, 2, 3]))
-    return np.ascontiguousarray(out.transpose(0, 3, 1, 2))
+    n, c, ho, wo = win.shape[:4]
+    o = w.shape[0]
+    # im2col + fixed-shape chunked GEMM: every BLAS call sees one layout
+    # and one shape, making each output pixel a pure function of its own
+    # im2col row (see module docstring).  Both operands are made
+    # C-contiguous so slicing by the caller can't change the layout.
+    cols = np.ascontiguousarray(win.transpose(0, 2, 3, 1, 4, 5)).reshape(n * ho * wo, c * kh * kw)
+    wmat = np.ascontiguousarray(w.transpose(1, 2, 3, 0)).reshape(c * kh * kw, o)
+    out = _chunked_matmul(cols, wmat)
+    return np.ascontiguousarray(out.reshape(n, ho, wo, o).transpose(0, 3, 1, 2))
 
 
 def _dilate(g: np.ndarray, stride: tuple[int, int]) -> np.ndarray:

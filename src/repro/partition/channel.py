@@ -10,10 +10,15 @@ arithmetic for any spec.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.models.specs import ModelSpec
+
 __all__ = ["channel_partition_traffic", "channel_traffic_per_block"]
 
 
-def channel_traffic_per_block(spec, num_devices: int) -> list[dict]:
+def channel_traffic_per_block(spec: ModelSpec, num_devices: int) -> list[dict[str, Any]]:
     """Per-block all-gather traffic (elements) for K-way channel partition.
 
     Each device produces ``ofmap/K`` and must send it to the other K-1
@@ -23,7 +28,7 @@ def channel_traffic_per_block(spec, num_devices: int) -> list[dict]:
     """
     if num_devices < 2:
         raise ValueError("channel partitioning needs at least 2 devices")
-    out = []
+    out: list[dict[str, Any]] = []
     for blk in spec.block_geometry():
         if blk["macs"] == 0 or blk["out_hw"] == (1, 1):
             traffic = 0  # FC blocks run centrally
@@ -41,7 +46,7 @@ def channel_traffic_per_block(spec, num_devices: int) -> list[dict]:
     return out
 
 
-def channel_partition_traffic(spec, num_devices: int, num_blocks: int | None = None) -> int:
+def channel_partition_traffic(spec: ModelSpec, num_devices: int, num_blocks: int | None = None) -> int:
     """Total all-gather elements over the first ``num_blocks`` blocks."""
     per_block = channel_traffic_per_block(spec, num_devices)
     if num_blocks is None:

@@ -27,19 +27,22 @@ import numpy as np
 import repro.nn as nn
 from repro.models.blocks import ConvBlock1d, LayerBlock, PartitionableCNN, ResidualBlock
 from repro.nn import Tensor
+from repro.nn.modules import Dropout, _BatchNorm
 
 from .geometry import (
     SegmentGrid,
     TileGrid,
     grid_for_model,
     reassemble_tensor,
+    split_stacked,
     split_tensor,
+    unstack,
 )
 
 __all__ = ["receptive_border", "interior_mask", "fdsp_forward", "FDSPModel"]
 
 
-def _primitive_ops(block) -> list[tuple[str, int, int]]:
+def _primitive_ops(block: nn.Module) -> list[tuple[str, int, int]]:
     """Flatten a layer block into ('conv', k, stride) / ('pool', size, _) ops.
 
     For residual blocks the main path dominates the border growth (the
@@ -65,7 +68,7 @@ def _primitive_ops(block) -> list[tuple[str, int, int]]:
     return ops
 
 
-def receptive_border(blocks) -> int:
+def receptive_border(blocks: nn.Module) -> int:
     """Width (in output pixels) of the tile-border band whose values may
     differ from unpartitioned execution.
 
@@ -109,17 +112,57 @@ def interior_mask(
     return np.tile(tile_mask, (grid.rows, grid.cols))
 
 
-def fdsp_forward(separable: nn.Sequential, x: Tensor | np.ndarray, grid) -> Tensor:
+def _fdsp_forward_looped(
+    separable: nn.Sequential, x: Tensor, grid: TileGrid | SegmentGrid
+) -> Tensor:
+    """The sanctioned per-tile reference path (one forward per tile).
+
+    Semantically this *is* FDSP; the batched path below is an execution
+    strategy over it.  It stays authoritative for two reasons: property
+    tests assert the batched path matches it bitwise, and training-mode
+    batch norm must see per-tile batch statistics (a stacked block would
+    change both the statistics and the running-stat update cadence).
+    """
+    tiles = split_tensor(x, grid)
+    outs = [separable(t) for t in tiles]  # repro-lint: disable=RL010
+    return reassemble_tensor(outs, grid)
+
+
+def _needs_looped_path(separable: nn.Module) -> bool:
+    """True when stacking tiles would change semantics: training-mode BN
+    (batch statistics + running-stat updates are per-forward) or
+    training-mode dropout (one RNG draw per forward)."""
+    return any(
+        isinstance(m, (_BatchNorm, Dropout)) and m.training for m in separable.modules()
+    )
+
+
+def fdsp_forward(
+    separable: nn.Sequential,
+    x: Tensor | np.ndarray,
+    grid: TileGrid | SegmentGrid,
+    *,
+    batched: bool = True,
+) -> Tensor:
     """Run the separable stack independently per tile and reassemble.
 
     Accepts a Tensor (autograd flows through the tiles — the retraining
     path) or a plain ndarray (inference).
+
+    By default the K identically-shaped tiles are stacked along the batch
+    axis and the stack runs *once* (DESIGN.md §5i) — bit-identical to the
+    per-tile loop because convolution dispatches one GEMM per sample
+    (:mod:`repro.nn.functional`).  The loop is kept as the sanctioned
+    reference (``batched=False``) and is selected automatically whenever a
+    training-mode BN/dropout would make stacking change semantics, so the
+    retraining graph is unaffected.
     """
     if not isinstance(x, Tensor):
         x = Tensor(x)
-    tiles = split_tensor(x, grid)
-    outs = [separable(t) for t in tiles]
-    return reassemble_tensor(outs, grid)
+    if not batched or _needs_looped_path(separable):
+        return _fdsp_forward_looped(separable, x, grid)
+    out = separable(split_stacked(x, grid))
+    return reassemble_tensor(unstack(out, grid, x.shape[0]), grid)
 
 
 class FDSPModel(nn.Module):

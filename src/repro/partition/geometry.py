@@ -15,10 +15,14 @@ from __future__ import annotations
 from collections.abc import Mapping
 from dataclasses import dataclass
 from types import MappingProxyType
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.nn import Tensor
+
+if TYPE_CHECKING:
+    from repro.models.blocks import PartitionableCNN
 
 __all__ = [
     "TileGrid",
@@ -29,6 +33,8 @@ __all__ = [
     "reassemble_array",
     "split_tensor",
     "reassemble_tensor",
+    "split_stacked",
+    "unstack",
 ]
 
 #: The five partition options evaluated in Figure 10.  Read-only: worker
@@ -148,7 +154,7 @@ class SegmentGrid:
         return [slice(i * seg, (i + 1) * seg) for i in range(self.num_segments)]
 
 
-def grid_for_model(model, spec: str | TileGrid):
+def grid_for_model(model: PartitionableCNN, spec: str | TileGrid) -> TileGrid | SegmentGrid:
     """Return the right grid type (TileGrid or SegmentGrid) for a model."""
     grid = TileGrid.parse(spec) if isinstance(spec, str) else spec
     if len(model.input_shape) == 2:  # 1-D model (CharCNN)
@@ -197,3 +203,34 @@ def reassemble_tensor(tiles: list[Tensor], grid: TileGrid | SegmentGrid) -> Tens
         for r in range(grid.rows)
     ]
     return Tensor.concatenate(rows, axis=2)
+
+
+# ---------------------------------------------------------------------------
+# Batch-axis stacking (DESIGN.md §5i — the tile-batched forward).
+# ---------------------------------------------------------------------------
+def split_stacked(x: Tensor, grid: TileGrid | SegmentGrid) -> Tensor:
+    """Stack the grid's tiles along the batch axis: (N, ...) → (K·N, ...).
+
+    All K tiles of a grid are identically shaped, so the stacked block lets
+    the separable stack run *one* layer dispatch (and one identically-shaped
+    GEMM per sample, see :mod:`repro.nn.functional`) for the whole grid.
+    Tile ``i`` occupies rows ``[i*N, (i+1)*N)`` — row-major tile order, the
+    same order :func:`split_tensor` returns.  Autograd flows through
+    (concatenate of slice views), so the retraining graph can use it too.
+    """
+    return Tensor.concatenate(split_tensor(x, grid), axis=0)
+
+
+def unstack(y: Tensor, grid: TileGrid | SegmentGrid, batch: int) -> list[Tensor]:
+    """Invert :func:`split_stacked` on the *output* side.
+
+    Slices a (K·N, ...) stacked map back into the K per-tile tensors of
+    batch size ``batch`` (= N), in the same row-major tile order.
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    if y.shape[0] != grid.num_tiles * batch:
+        raise ValueError(
+            f"stacked batch {y.shape[0]} != {grid.num_tiles} tiles x batch {batch}"
+        )
+    return [y[i * batch : (i + 1) * batch] for i in range(grid.num_tiles)]

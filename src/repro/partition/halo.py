@@ -10,11 +10,13 @@ the communication accounting that motivates FDSP.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
 import repro.nn as nn
 from repro.models.blocks import LayerBlock, ResidualBlock
+from repro.models.specs import ModelSpec
 from repro.nn import Tensor
 
 from .geometry import TileGrid, reassemble_array, split_array
@@ -43,13 +45,13 @@ def _tile_halo_elements(grid: TileGrid, h: int, w: int, channels: int, halo: int
     return total * channels
 
 
-def halo_elements_per_layer(spec, grid: TileGrid) -> list[dict]:
+def halo_elements_per_layer(spec: ModelSpec, grid: TileGrid) -> list[dict[str, Any]]:
     """Per-block halo traffic (elements) for a paper-scale ModelSpec.
 
     Each conv with kernel k needs a (k//2)-wide halo of its *ifmap*.
     Returns one entry per block with ``name`` and ``halo_elements``.
     """
-    out = []
+    out: list[dict[str, Any]] = []
     geo = spec.block_geometry()
     if spec.is_1d:
         raise ValueError("halo accounting is defined for 2-D specs")
@@ -74,7 +76,7 @@ def halo_elements_per_layer(spec, grid: TileGrid) -> list[dict]:
     return out
 
 
-def naive_spatial_traffic(spec, grid: TileGrid, num_blocks: int | None = None) -> int:
+def naive_spatial_traffic(spec: ModelSpec, grid: TileGrid, num_blocks: int | None = None) -> int:
     """Total halo elements exchanged across the first ``num_blocks`` blocks."""
     per_layer = halo_elements_per_layer(spec, grid)
     if num_blocks is None:
@@ -97,7 +99,7 @@ class HaloExchangeForward:
     grid: TileGrid
 
     def __post_init__(self) -> None:
-        self.exchanged_elements = 0
+        self.exchanged_elements: int = 0
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         """Run (N, C, H, W) through the stack; returns the exact output."""
@@ -108,7 +110,7 @@ class HaloExchangeForward:
         return feat
 
     # ------------------------------------------------------------------ impl
-    def _run_block(self, block, feat: np.ndarray) -> np.ndarray:
+    def _run_block(self, block: nn.Module, feat: np.ndarray) -> np.ndarray:
         if isinstance(block, LayerBlock):
             halo = block.conv.kernel_size // 2
             self._account(feat, halo)

@@ -10,6 +10,10 @@ and transfer volume; the latency-optimal search lives in
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.models.specs import ModelSpec
 
 __all__ = ["SplitPoint", "enumerate_split_points"]
 
@@ -29,7 +33,7 @@ class SplitPoint:
     transfer_elements: int
 
 
-def enumerate_split_points(spec) -> list[SplitPoint]:
+def enumerate_split_points(spec: ModelSpec) -> list[SplitPoint]:
     """All ``num_blocks + 1`` cut points for a paper-scale ModelSpec."""
     geo = spec.block_geometry()
     total = sum(b["macs"] for b in geo)

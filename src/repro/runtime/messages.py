@@ -125,6 +125,13 @@ class TileResult:
     worker's shared-memory slot ring but shipped inline because every slot
     was still held by the Central node (back-pressure); the collect loop
     counts these so benchmarks can see ring exhaustion under load.
+
+    ``dropped`` marks a *non*-result: the worker could not attach the
+    task's shm slot because it was unlinked under it (shutdown race), so no
+    tile was computed and ``payload`` is ``None``.  The collect loop counts
+    these (``adcnn_worker_dropped_tasks_total``) instead of treating them
+    as answers — the tile stays unanswered and follows the normal
+    re-dispatch/zero-fill path.
     """
 
     image_id: int
@@ -136,6 +143,7 @@ class TileResult:
     t_start: float = 0.0
     t_end: float = 0.0
     ring_fallback: bool = False
+    dropped: bool = False
     #: Echo of the dispatching task's trace context (``None`` for results
     #: synthesized centrally or when tracing is off).
     trace: TraceContext | None = None

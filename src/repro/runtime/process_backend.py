@@ -185,6 +185,31 @@ def _stage_result(
     return ref, cursor + 1, False
 
 
+def _drain_same_image(
+    first: TileTask, task_queue: mp.Queue
+) -> tuple[list[TileTask], Any]:
+    """Coalesce every immediately-available task for ``first``'s image.
+
+    Returns the batch plus a *carry*: the first message that broke the run
+    (different image, grant, shutdown, or ``None`` when the queue emptied).
+    The carry is re-processed before the next blocking get, so queue order
+    is preserved exactly.
+    """
+    batch = [first]
+    carry: Any = None
+    while True:
+        try:
+            nxt = task_queue.get_nowait()
+        except queue_mod.Empty:
+            break
+        if isinstance(nxt, TileTask) and nxt.image_id == first.image_id:
+            batch.append(nxt)
+        else:
+            carry = nxt
+            break
+    return batch, carry
+
+
 def _worker_loop(
     worker_id: int,
     separable: nn.Sequential,
@@ -200,61 +225,124 @@ def _worker_loop(
     worker computes straight from a zero-copy view of the slot).  Results
     go back through the worker's granted slot ring when one is available,
     as packed codec bytes (pipeline on) or a raw array (pipeline off).
+
+    All immediately-available tasks for the *same image* are coalesced into
+    one stacked forward (identically-shaped tiles, DESIGN.md §5i) through
+    the fused no-grad kernels when the stack compiles, with the emulated
+    per-tile delay scaled by the batch size.  Timing attribution telescopes
+    the batch envelope into per-tile spans: each tile is credited an equal
+    share of the one stacked forward plus its own measured compress time,
+    so the per-tile ``compute_seconds`` still sum exactly to the measured
+    wall time (the telemetry invariant the tracing tests assert).
+
+    A task whose shm slot was unlinked under us (shutdown race) produces a
+    ``dropped`` marker result instead of vanishing silently, so the Central
+    node can count it; the tile itself stays unanswered and follows the
+    normal re-dispatch/zero-fill path.
     """
     separable.eval()
+    fused = nn.try_compile(separable)
     attachments: dict[str, shared_memory.SharedMemory] = {}
     grant: ArenaGrant | None = None
     cursor = 0
+    carry: Any = None
     try:
         while True:
-            msg = task_queue.get()
+            if carry is not None:
+                msg, carry = carry, None
+            else:
+                msg = task_queue.get()
             if isinstance(msg, Shutdown):
                 break
             if isinstance(msg, ArenaGrant):
                 grant, cursor = msg, 0
                 continue
             assert isinstance(msg, TileTask)
+            batch, carry = _drain_same_image(msg, task_queue)
             t_start = time.perf_counter()
-            if delay_per_tile > 0:
-                time.sleep(delay_per_tile)  # emulated slow device (cpulimit stand-in)
-            if msg.tile is not None:
-                tile = msg.tile
-            else:
-                try:
-                    tile = attach_array(attachments, msg.slot)
-                except FileNotFoundError:
-                    continue  # slot unlinked under us (shutdown race): drop the task
-            with nn.no_grad():
-                out = separable(Tensor(tile)).data
+            tiles: list[np.ndarray | None] = []
+            for task in batch:
+                if task.tile is not None:
+                    tiles.append(task.tile)
+                else:
+                    try:
+                        tiles.append(attach_array(attachments, task.slot))
+                    except FileNotFoundError:
+                        tiles.append(None)  # slot unlinked under us: mark dropped
+            live = [t for t in tiles if t is not None]
+            if delay_per_tile > 0 and live:
+                # Emulated slow device (cpulimit stand-in), one sleep for
+                # the whole batch: k tiles cost k * delay, as before.
+                time.sleep(delay_per_tile * len(live))
+            outs: list[np.ndarray] = []
+            if live:
+                block = live[0] if len(live) == 1 else np.concatenate(live, axis=0)
+                if fused is not None:
+                    out_block = fused(block)
+                else:
+                    with nn.no_grad():
+                        out_block = separable(Tensor(block)).data
+                if len(live) == 1:
+                    outs = [out_block]
+                else:
+                    n = live[0].shape[0]
+                    outs = [out_block[i * n : (i + 1) * n] for i in range(len(live))]
             t_forward = time.perf_counter()
-            if pipeline is not None:
-                # With a slot ring granted, serialize to real wire bytes;
-                # otherwise the legacy tuple codec rides the pickle channel.
-                payload = (
-                    pipeline.compress_packed(out) if grant is not None else pipeline.compress(out)
+            # Telescoped per-tile spans: equal share of the stacked forward
+            # (incl. delay + attach) + each tile's own compress time.  The
+            # spans tile [t_start, last put] contiguously and exactly.
+            share = (t_forward - t_start) / len(live) if live else 0.0
+            span_start = t_start
+            prev = t_forward
+            out_iter = iter(outs)
+            for task, tile in zip(batch, tiles):
+                if tile is None:
+                    result_queue.put(
+                        TileResult(
+                            image_id=task.image_id,
+                            tile_id=task.tile_id,
+                            payload=None,
+                            worker=worker_id,
+                            dropped=True,
+                            trace=task.trace,
+                        )
+                    )
+                    continue
+                out = next(out_iter)
+                if pipeline is not None:
+                    # With a slot ring granted, serialize to real wire bytes;
+                    # otherwise the legacy tuple codec rides the pickle channel.
+                    payload = (
+                        pipeline.compress_packed(out)
+                        if grant is not None
+                        else pipeline.compress(out)
+                    )
+                else:
+                    payload = out
+                ring_fallback = False
+                if grant is not None and result_sem is not None:
+                    payload, cursor, ring_fallback = _stage_result(
+                        payload, grant, attachments, result_sem, cursor
+                    )
+                now = time.perf_counter()
+                compress_seconds = now - prev
+                prev = now
+                span_end = span_start + share + compress_seconds
+                result_queue.put(
+                    TileResult(
+                        image_id=task.image_id,
+                        tile_id=task.tile_id,
+                        payload=payload,
+                        worker=worker_id,
+                        compute_seconds=span_end - span_start,
+                        compress_seconds=compress_seconds,
+                        t_start=span_start,
+                        t_end=span_end,
+                        ring_fallback=ring_fallback,
+                        trace=task.trace,
+                    )
                 )
-            else:
-                payload = out
-            ring_fallback = False
-            if grant is not None and result_sem is not None:
-                payload, cursor, ring_fallback = _stage_result(
-                    payload, grant, attachments, result_sem, cursor
-                )
-            t_end = time.perf_counter()
-            result_queue.put(
-                TileResult(
-                    image_id=msg.image_id,
-                    tile_id=msg.tile_id,
-                    payload=payload,
-                    worker=worker_id,
-                    compute_seconds=t_end - t_start,
-                    compress_seconds=t_end - t_forward,
-                    t_start=t_start,
-                    t_end=t_end,
-                    ring_fallback=ring_fallback,
-                    trace=msg.trace,
-                )
-            )
+                span_start = span_end
     finally:
         close_attachments(attachments)
 
@@ -382,6 +470,7 @@ class ProcessCluster:
         self._result_queues: list[mp.Queue] = []
         self._procs: list[mp.Process] = []
         self._separable: nn.Sequential | None = None
+        self._fused: nn.FusedSeparable | None = None
         self._delays: tuple[float, ...] = ()
         self._image_counter = 0
         self._known_dead: set[int] = set()
@@ -429,6 +518,7 @@ class ProcessCluster:
             raise RuntimeError("cluster already started")
         self._separable = self.model.separable_part()
         self._separable.eval()
+        self._fused = nn.try_compile(self._separable)
         self._delays = self.config.delay_per_tile or (0.0,) * self.config.num_workers
         self._known_dead = set()
         self._restart_counts = [0] * self.config.num_workers
@@ -639,8 +729,11 @@ class ProcessCluster:
 
     def _local_payload(self, tile: np.ndarray) -> Any:
         """Central-node fallback: run the separable block in-process."""
-        with nn.no_grad():
-            out = self._separable(Tensor(np.ascontiguousarray(tile))).data
+        if self._fused is not None:
+            out = self._fused(np.ascontiguousarray(tile))
+        else:
+            with nn.no_grad():
+                out = self._separable(Tensor(np.ascontiguousarray(tile))).data
         return self.pipeline.compress(out) if self.pipeline is not None else out
 
     # --------------------------------------------------------- shm transport
@@ -1034,6 +1127,15 @@ class ProcessCluster:
                     tel.count(
                         "adcnn_result_ring_fallback_total", node=f"worker{res.worker}"
                     )
+                if res.dropped:
+                    # The worker could not attach the task's shm slot
+                    # (unlinked mid-shutdown) — no tile was computed.
+                    # Count it and leave the tile unanswered so the normal
+                    # re-dispatch/zero-fill machinery covers it.
+                    tel.count(
+                        "adcnn_worker_dropped_tasks_total", node=f"worker{res.worker}"
+                    )
+                    continue
                 # Materialize BEFORE any accept/drop decision: even a result
                 # we end up dropping must have its semaphore permit returned,
                 # or the worker's ring shrinks by one slot forever.

@@ -30,23 +30,25 @@ def forward_with_missing_tiles(
     """FDSP inference with the listed tile results replaced by zeros.
 
     Mirrors the Central node's behaviour exactly: the separable stack (plus
-    clip/quantize) runs per tile, then zero maps stand in for the missing
-    tile ids before the rest layers run.
+    clip/quantize) runs per tile — batched over the stacked tile block
+    (DESIGN.md §5i), bit-identical to a per-tile loop because clip/quantize
+    are elementwise and the conv GEMM is dispatched per sample — then zero
+    maps stand in for the missing tile ids before the rest layers run.
     """
     missing = set(missing_tiles)
     if not all(0 <= t < fdsp.grid.num_tiles for t in missing):
         raise ValueError(f"tile ids out of range for grid {fdsp.grid}")
     if not isinstance(x, Tensor):
         x = Tensor(x)
-    tiles = split_tensor(x, fdsp.grid)
     separable = fdsp.model.separable_part()
-    outs = []
-    for tile_id, tile in enumerate(tiles):
-        out = fdsp.quant(fdsp.clip(separable(tile)))
-        if tile_id in missing:
-            out = Tensor(np.zeros_like(out.data))
-        outs.append(out)
-    feature_map = reassemble_tensor(outs, fdsp.grid)
+    feature_map = fdsp.quant(fdsp.clip(fdsp_forward(separable, x, fdsp.grid)))
+    if missing:
+        tiles = split_tensor(feature_map, fdsp.grid)
+        outs = [
+            Tensor(np.zeros_like(t.data)) if tile_id in missing else t
+            for tile_id, t in enumerate(tiles)
+        ]
+        feature_map = reassemble_tensor(outs, fdsp.grid)
     return fdsp.model.rest_part()(feature_map)
 
 

@@ -1,0 +1,14 @@
+"""RL010 fixture: per-tile Python-loop forwards (and benign look-alikes)."""
+
+
+def looped_forward(separable, x, grid, tiles):
+    outs = [separable(t) for t in tiles]
+    more = [separable(t) for t in split_tensor(x, grid)]
+    for tile_id, tile in enumerate(tiles):
+        outs.append(process(tile))
+    gen = (quant(clip(seg)) for seg in split_array(x, grid))
+    shapes = [t.shape for t in tiles]
+    sizes = [len(t) for t in tiles]
+    wrapped = [Tensor(t) for t in tiles]
+    safe = [forward(b) for b in batches]
+    return outs, more, gen, shapes, sizes, wrapped, safe

@@ -1,0 +1,129 @@
+"""Fused no-grad inference kernels (repro.nn.fused): bit-identity with the
+module/Tensor path, dtype discipline, training-mode refusal, and graceful
+fallback for stacks without kernels."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.compression import CompressionPipeline
+from repro.models import charcnn_mini, fcn_mini, resnet_mini, vgg_mini, yolo_mini
+from repro.nn import Tensor
+from repro.nn.fused import FusedSeparable, UnsupportedModule, compile_module, try_compile
+
+RNG = np.random.default_rng(7)
+
+BUILDERS = {
+    "vgg_mini": lambda: vgg_mini(num_classes=3, input_size=24, base_width=6),
+    "resnet_mini": lambda: resnet_mini(num_classes=3, input_size=24, base_width=6),
+    "yolo_mini": lambda: yolo_mini(num_classes=3, input_size=24, base_width=6),
+    "fcn_mini": lambda: fcn_mini(num_classes=3, input_size=24, base_width=6),
+    "charcnn_mini": lambda: charcnn_mini(num_classes=3, base_width=8),
+}
+
+
+def _input_for(model, batch=2):
+    return RNG.normal(size=(batch, *model.input_shape)).astype(np.float32)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("name", sorted(BUILDERS))
+    def test_fused_matches_module_path(self, name):
+        """fused(x) == separable(Tensor(x)).data bitwise, for every family."""
+        model = BUILDERS[name]().eval()
+        separable = model.separable_part()
+        fused = try_compile(separable)
+        assert fused is not None, f"{name} separable stack should compile"
+        x = _input_for(model)
+        with nn.no_grad():
+            expected = separable(Tensor(x)).data
+        got = fused(x)
+        np.testing.assert_array_equal(got, expected)
+        assert got.dtype == expected.dtype
+
+    def test_input_buffer_not_mutated(self):
+        model = BUILDERS["vgg_mini"]().eval()
+        fused = try_compile(model.separable_part())
+        x = _input_for(model)
+        before = x.copy()
+        fused(x)
+        np.testing.assert_array_equal(x, before)
+
+    def test_tracks_weight_updates(self):
+        """Kernels close over modules, not captured weights: editing a BN
+        parameter after compilation must change the output accordingly."""
+        model = BUILDERS["vgg_mini"]().eval()
+        separable = model.separable_part()
+        fused = try_compile(separable)
+        x = _input_for(model, batch=1)
+        bn = next(m for m in separable.modules() if isinstance(m, nn.BatchNorm2d))
+        bn.gamma.data[:] = bn.gamma.data * 1.5 + 0.25
+        with nn.no_grad():
+            expected = separable(Tensor(x)).data
+        np.testing.assert_array_equal(fused(x), expected)
+
+    def test_integer_input_coerced_like_tensor(self):
+        """Non-float input follows Tensor.__init__'s float32 coercion."""
+        model = BUILDERS["vgg_mini"]().eval()
+        separable = model.separable_part()
+        fused = try_compile(separable)
+        x = RNG.integers(-3, 4, size=(1, *model.input_shape)).astype(np.int64)
+        with nn.no_grad():
+            expected = separable(Tensor(x)).data
+        np.testing.assert_array_equal(fused(x), expected)
+
+
+class TestGuardsAndFallback:
+    def test_training_mode_refused(self):
+        model = BUILDERS["vgg_mini"]()  # fresh: BN modules still training
+        fused = try_compile(model.separable_part())
+        x = _input_for(model, batch=1)
+        with pytest.raises(RuntimeError, match="inference-only"):
+            fused(x)
+
+    def test_unsupported_module_raises_and_try_compile_none(self):
+        class Odd(nn.Module):
+            def forward(self, x):
+                return x
+
+        stack = nn.Sequential(nn.ReLU(), Odd())
+        with pytest.raises(UnsupportedModule):
+            compile_module(stack)
+        assert try_compile(stack) is None
+
+    def test_empty_and_identity_stacks(self):
+        fused = try_compile(nn.Sequential(nn.Identity()))
+        assert isinstance(fused, FusedSeparable)
+        x = RNG.normal(size=(2, 3, 4, 4)).astype(np.float32)
+        np.testing.assert_array_equal(fused(x), x)
+
+
+class TestFusedClipQuantize:
+    @pytest.mark.parametrize("bits", [2, 4, 8, 12])
+    def test_matches_pipeline_reference(self, bits):
+        from repro.nn.fused import fused_clip_quantize
+
+        pipe = CompressionPipeline(lower=0.0, upper=6.0, bits=bits)
+        x = RNG.normal(scale=4.0, size=(3, 5, 17)).astype(np.float32)
+        expected = pipe.quantizer.quantize(pipe.clip(x))
+        got = fused_clip_quantize(
+            x, pipe.lower, pipe.upper, pipe.quantizer.step,
+            pipe.quantizer.num_levels, pipe.quantizer.level_dtype,
+        )
+        np.testing.assert_array_equal(got, expected)
+        assert got.dtype == expected.dtype
+
+    def test_pipeline_levels_route_through_fusion(self):
+        """compress/compress_packed produce the same streams as the seed
+        clip→quantize→encode composition."""
+        from repro.compression.rle import rle_decode, rle_encode
+
+        pipe = CompressionPipeline(bits=4)
+        x = RNG.normal(scale=3.0, size=(1, 4, 12, 12)).astype(np.float32)
+        seed_stream = rle_encode(
+            pipe.quantizer.quantize(pipe.clip(x)), value_bits=4, run_bits=pipe.run_bits
+        )
+        got_stream = pipe.compress(x).stream
+        assert got_stream.encoded_bits == seed_stream.encoded_bits
+        np.testing.assert_array_equal(rle_decode(got_stream), rle_decode(seed_stream))
+        np.testing.assert_array_equal(pipe.apply(x), pipe.reference_values(x))

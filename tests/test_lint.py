@@ -95,6 +95,18 @@ def test_rl009_metric_name_fixture():
     assert len(found) == 4  # the literal observe() and the record op are clean
 
 
+def test_rl010_tile_loop_fixture():
+    found = violations_in(FIXTURES / "partition" / "bad_tile_loop.py")
+    assert ("RL010", 5) in found  # comprehension forward over a tiles name
+    assert ("RL010", 6) in found  # comprehension forward over split_tensor(...)
+    assert ("RL010", 8) in found  # for-body forward over enumerate(tiles)
+    assert ("RL010", 9) in found  # generator forward over split_array(...)
+    assert all(code == "RL010" for code, _ in found)
+    # attribute access, benign builtins, constructors, and non-tile
+    # iterables are all clean
+    assert len(found) == 4
+
+
 def test_rl008_allows_the_controller_layer():
     src = REPO / "src" / "repro" / "runtime"
     for allowed in ("controller.py", "policies.py", "scheduler.py"):

@@ -169,3 +169,143 @@ class TestLifecycleAndValidation:
         with ProcessCluster(model, TileGrid(2, 2), config=ProcessClusterConfig(num_workers=1)) as cluster:
             out = cluster.infer(RNG.normal(size=(3, 24, 24)).astype(np.float32))
         assert out.output.shape == (1, 3)
+
+
+class TestWorkerCoalescing:
+    """The worker's same-image batching, driven directly in a thread.
+
+    ``_worker_loop`` only needs the queue get/put API, so a ``queue.Queue``
+    stands in for the mp queues and the whole protocol runs in-process.
+    """
+
+    @staticmethod
+    def _run_worker(model, tasks, pipeline=None, delay=0.0):
+        import queue
+        import threading
+
+        from repro.runtime.messages import Shutdown
+        from repro.runtime.process_backend import _worker_loop
+
+        tq, rq = queue.Queue(), queue.Queue()
+        for t in tasks:
+            tq.put(t)
+        tq.put(Shutdown())
+        sep = model.separable_part()
+        th = threading.Thread(
+            target=_worker_loop, args=(0, sep, pipeline, tq, rq, delay), daemon=True
+        )
+        th.start()
+        th.join(timeout=30)
+        assert not th.is_alive()
+        results = []
+        while True:
+            try:
+                results.append(rq.get_nowait())
+            except queue.Empty:
+                break
+        return results
+
+    def test_coalesced_batch_matches_per_tile_reference(self):
+        """One stacked forward over the drained batch == per-tile forwards."""
+        from repro.partition.geometry import split_array
+
+        model = small_model()
+        grid = TileGrid(2, 2)
+        x = RNG.normal(size=(1, 3, 24, 24)).astype(np.float32)
+        tiles = split_array(x, grid)
+        tasks = [TileTask(image_id=0, tile_id=i, tile=t) for i, t in enumerate(tiles)]
+        results = self._run_worker(model, tasks)
+        assert [r.tile_id for r in results] == [0, 1, 2, 3]
+        sep = model.separable_part()
+        sep.eval()
+        with nn.no_grad():
+            for res, tile in zip(results, tiles):
+                np.testing.assert_array_equal(res.payload, sep(Tensor(tile)).data)
+
+    def test_coalesced_spans_tile_the_batch_envelope(self):
+        """Telescoped per-tile spans are contiguous, sum to the measured
+        wall envelope, and the emulated delay scales with the batch size."""
+        from repro.partition.geometry import split_array
+
+        model = small_model()
+        grid = TileGrid(2, 2)
+        x = RNG.normal(size=(1, 3, 24, 24)).astype(np.float32)
+        tiles = split_array(x, grid)
+        tasks = [TileTask(image_id=0, tile_id=i, tile=t) for i, t in enumerate(tiles)]
+        delay = 0.01
+        results = self._run_worker(model, tasks, delay=delay)
+        assert len(results) == 4
+        for res in results:
+            assert res.compute_seconds == pytest.approx(res.t_end - res.t_start)
+            assert res.compute_seconds > 0
+        for prev, nxt in zip(results, results[1:]):
+            assert nxt.t_start == prev.t_end  # exact: span_start carries over
+        envelope = results[-1].t_end - results[0].t_start
+        assert sum(r.compute_seconds for r in results) == pytest.approx(envelope, abs=1e-9)
+        assert envelope >= 4 * delay  # one sleep covering the whole batch
+
+    def test_mixed_image_queue_order_preserved(self):
+        """A different-image task breaks the batch; nothing is reordered."""
+        from repro.partition.geometry import split_array
+
+        model = small_model()
+        grid = TileGrid(2, 2)
+        tiles = split_array(RNG.normal(size=(1, 3, 24, 24)).astype(np.float32), grid)
+        tasks = [
+            TileTask(image_id=0, tile_id=0, tile=tiles[0]),
+            TileTask(image_id=0, tile_id=1, tile=tiles[1]),
+            TileTask(image_id=1, tile_id=2, tile=tiles[2]),
+            TileTask(image_id=1, tile_id=3, tile=tiles[3]),
+        ]
+        results = self._run_worker(model, tasks)
+        assert [(r.image_id, r.tile_id) for r in results] == [(0, 0), (0, 1), (1, 2), (1, 3)]
+        sep = model.separable_part()
+        sep.eval()
+        with nn.no_grad():
+            for res, tile in zip(results, tiles):
+                np.testing.assert_array_equal(res.payload, sep(Tensor(tile)).data)
+
+    def test_unattachable_slot_yields_dropped_marker(self):
+        """A slot unlinked under the worker produces a counted marker, not
+        a silent skip, and does not poison the rest of the batch."""
+        from repro.partition.geometry import split_array
+        from repro.runtime.shm_arena import ShmRef
+
+        model = small_model()
+        grid = TileGrid(2, 2)
+        tiles = split_array(RNG.normal(size=(1, 3, 24, 24)).astype(np.float32), grid)
+        bogus = ShmRef(
+            name="adcnn_test_unlinked_slot",
+            nbytes=tiles[1].nbytes,
+            kind="raw",
+            shape=tiles[1].shape,
+            dtype="float32",
+        )
+        tasks = [
+            TileTask(image_id=0, tile_id=0, tile=tiles[0]),
+            TileTask(image_id=0, tile_id=1, slot=bogus),
+        ]
+        results = self._run_worker(model, tasks)
+        by_id = {r.tile_id: r for r in results}
+        assert by_id[1].dropped and by_id[1].payload is None
+        assert not by_id[0].dropped
+        sep = model.separable_part()
+        sep.eval()
+        with nn.no_grad():
+            np.testing.assert_array_equal(by_id[0].payload, sep(Tensor(tiles[0])).data)
+
+    def test_sweep_counts_dropped_results(self):
+        """The collect loop counts dropped markers and leaves the tile
+        unanswered (no entry lands in any image's results)."""
+        import queue
+
+        from repro.runtime.messages import TileResult
+        from repro.telemetry import TelemetryRecorder
+
+        tel = TelemetryRecorder()
+        cluster = ProcessCluster(small_model(), TileGrid(2, 2), telemetry=tel)
+        rq = queue.Queue()
+        rq.put(TileResult(image_id=0, tile_id=0, payload=None, worker=0, dropped=True))
+        cluster._result_queues.append(rq)
+        assert cluster._sweep_results({}) is True
+        assert tel.metrics.counter_total("adcnn_worker_dropped_tasks_total") == 1.0

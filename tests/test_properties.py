@@ -138,3 +138,84 @@ class TestDeviceProperties:
         t_plain = plain.submit(0.0, work)
         t_throttled = throttled.submit(0.0, work)
         assert t_throttled >= t_plain - 1e-9
+
+
+class TestBatchedFDSPBitIdentity:
+    """Tentpole invariant (DESIGN.md §5i): the tile-batched grid forward is
+    bit-identical to the per-tile reference loop — per architecture family,
+    grid shape, batch size, and zero-fill pattern.  Holds because clip and
+    quantize are elementwise and the conv GEMM is dispatched per sample.
+    """
+
+    _GRIDS = {
+        "vgg_mini": ("2x2", "3x3", "4x4", "2x3", "1x4"),
+        "resnet_mini": ("2x2", "3x3", "2x1"),
+        "yolo_mini": ("2x2", "4x4"),
+        "fcn_mini": ("2x2", "3x3"),
+        "charcnn_mini": ("2x2", "1x4", "2x1"),  # → SegmentGrid
+    }
+    _CACHE = {}
+
+    @classmethod
+    def _fdsp(cls, name, grid_spec):
+        import repro.nn as nn
+        from repro.models import charcnn_mini, fcn_mini, resnet_mini, vgg_mini, yolo_mini
+        from repro.partition import FDSPModel
+
+        key = (name, grid_spec)
+        if key not in cls._CACHE:
+            builders = {
+                "vgg_mini": lambda: vgg_mini(num_classes=3, input_size=48, base_width=6),
+                "resnet_mini": lambda: resnet_mini(num_classes=3, input_size=48, base_width=6),
+                "yolo_mini": lambda: yolo_mini(num_classes=3, input_size=48, base_width=6),
+                "fcn_mini": lambda: fcn_mini(num_classes=3, input_size=48, base_width=6),
+                "charcnn_mini": lambda: charcnn_mini(num_classes=3, base_width=8),
+            }
+            fdsp = FDSPModel(
+                builders[name](),
+                grid_spec,
+                clipped_relu=nn.ClippedReLU(0.0, 6.0),
+                quantizer=nn.QuantizeSTE(bits=4, max_value=6.0),
+            )
+            fdsp.eval()
+            cls._CACHE[key] = fdsp
+        return cls._CACHE[key]
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_batched_equals_looped_with_zero_fill(self, data):
+        import repro.nn as nn
+        from repro.nn import Tensor
+        from repro.partition.fdsp import _fdsp_forward_looped, fdsp_forward
+        from repro.partition.geometry import reassemble_tensor, split_tensor
+        from repro.runtime.zero_fill import forward_with_missing_tiles
+
+        name = data.draw(st.sampled_from(sorted(self._GRIDS)), label="model")
+        grid_spec = data.draw(st.sampled_from(self._GRIDS[name]), label="grid")
+        batch = data.draw(st.integers(1, 2), label="batch")
+        seed = data.draw(st.integers(0, 2**16), label="seed")
+        fdsp = self._fdsp(name, grid_spec)
+        num_tiles = fdsp.grid.num_tiles
+        missing = data.draw(
+            st.sets(st.integers(0, num_tiles - 1), max_size=num_tiles), label="missing"
+        )
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(batch, *fdsp.model.input_shape)).astype(np.float32)
+        separable = fdsp.model.separable_part()
+        separable.eval()
+        with nn.no_grad():
+            # 1) the raw separable forward: batched == looped, bitwise
+            batched = fdsp_forward(separable, Tensor(x), fdsp.grid).data
+            looped = _fdsp_forward_looped(separable, Tensor(x), fdsp.grid).data
+            np.testing.assert_array_equal(batched, looped)
+            # 2) the full zero-fill path == the seed per-tile reference
+            got = forward_with_missing_tiles(fdsp, x, missing).data
+            outs = []
+            for tile_id, tile in enumerate(split_tensor(Tensor(x), fdsp.grid)):
+                out = fdsp.quant(fdsp.clip(separable(tile)))
+                if tile_id in missing:
+                    out = Tensor(np.zeros_like(out.data))
+                outs.append(out)
+            feature_map = reassemble_tensor(outs, fdsp.grid)
+            expected = fdsp.model.rest_part()(feature_map).data
+            np.testing.assert_array_equal(got, expected)
