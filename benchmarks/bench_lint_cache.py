@@ -1,0 +1,79 @@
+"""Self-benchmark for the incremental lint cache (DESIGN.md §5j).
+
+Runs the full two-phase analyzer over ``src/`` twice against the same
+cache file and asserts the warm run (a) reuses every per-file result and
+(b) is faster than the cold run.  CI's static-analysis job runs this as a
+plain script (``python benchmarks/bench_lint_cache.py`` — that job has no
+pytest), so the assertion logic lives in :func:`run_cold_warm` and both
+entry points share it.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+if str(REPO / "src") not in sys.path:  # plain-script entry without PYTHONPATH
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.lint import analyze_paths  # noqa: E402
+
+
+def run_cold_warm(cache_path: Path, target: Path | None = None) -> dict[str, float]:
+    """Cold-then-warm analyzer timing over one tree; returns the numbers."""
+    target = target or REPO / "src"
+    t0 = time.perf_counter()
+    cold = analyze_paths([str(target)], cache_path=cache_path)
+    t1 = time.perf_counter()
+    warm = analyze_paths([str(target)], cache_path=cache_path)
+    t2 = time.perf_counter()
+
+    assert cold.files_checked > 0
+    assert cold.stats["parsed"] == cold.files_checked, "cold run must parse everything"
+    assert warm.stats["reused"] == warm.files_checked, "warm run must reuse every file"
+    assert warm.stats["parsed"] == 0
+    assert [v.format() for v in warm.violations] == [v.format() for v in cold.violations]
+
+    cold_s, warm_s = t1 - t0, t2 - t1
+    assert warm_s < cold_s, f"warm ({warm_s:.3f}s) not faster than cold ({cold_s:.3f}s)"
+    return {
+        "files": float(cold.files_checked),
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": cold_s / warm_s if warm_s else float("inf"),
+    }
+
+
+def test_lint_cache_warm_run_is_faster(tmp_path):
+    stats = run_cold_warm(tmp_path / "lint-cache.json")
+    assert stats["speedup"] > 1.0
+
+
+def main() -> int:
+    import argparse
+    import tempfile
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--cache",
+        default=None,
+        help="cache file to use (default: a fresh temp file, i.e. guaranteed cold start)",
+    )
+    args = parser.parse_args()
+    if args.cache:
+        cache_path = Path(args.cache)
+    else:
+        cache_path = Path(tempfile.mkdtemp(prefix="repro-lint-bench-")) / "cache.json"
+    stats = run_cold_warm(cache_path)
+    print(
+        f"lint self-benchmark: {stats['files']:.0f} files  "
+        f"cold {stats['cold_s'] * 1e3:.1f} ms  warm {stats['warm_s'] * 1e3:.1f} ms  "
+        f"speedup {stats['speedup']:.1f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

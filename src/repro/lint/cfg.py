@@ -1,0 +1,374 @@
+"""Per-function control-flow graphs for path-sensitive lint rules (§5j).
+
+The per-file rules up to RL013 are syntactic: they look at one statement at
+a time.  RL014 (shm slot lifecycle) needs more — "this acquired slot leaks"
+is a statement about *paths*, not statements: an early ``return`` between
+``acquire()`` and ``release()`` leaks even though both calls appear in the
+function.  :func:`build_cfg` lowers one function body into a small
+statement-level CFG that the path walk in :func:`leaked_acquires` (and any
+future path-sensitive rule) can traverse:
+
+- one node per statement; compound statements (``if``/``for``/``try``...)
+  contribute a *header* node that evaluates only their test/iterable, with
+  their bodies lowered recursively;
+- ``return``/``raise``/``break``/``continue`` edges are routed **through
+  every enclosing ``finally`` body** (re-lowered per jump, the classic
+  duplication scheme) before reaching their target, so try/finally cleanup
+  is visible on every exit path;
+- every statement inside a ``try`` gets a conservative exception edge to
+  each handler of that ``try`` (explicit ``raise`` also gets an
+  exit-through-finally edge — the handler might re-raise);
+- ``if`` edges carry their test expression and branch sense so a walk can
+  refine facts like "on this edge the acquired slot is known ``None``".
+
+Implicit exceptions (any call can raise) are deliberately *not* modeled:
+doing so would make nearly every path exceptional and drown the signal.
+The CFG over-approximates explicit control flow only.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["CFG", "Edge", "build_cfg", "leaked_acquires"]
+
+#: Synthetic node id for the single function exit.
+EXIT = -1
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """One CFG edge.  ``test``/``branch`` annotate conditional edges: the
+    ``if``/``while`` test expression and which way it went."""
+
+    dst: int
+    test: ast.expr | None = None
+    branch: bool | None = None
+
+
+@dataclass(slots=True)
+class CFG:
+    """Statement-level control-flow graph of one function body."""
+
+    entry: int = EXIT
+    #: node id -> the statement it executes (headers map to the compound stmt).
+    stmts: dict[int, ast.stmt] = field(default_factory=dict)
+    succ: dict[int, list[Edge]] = field(default_factory=dict)
+
+    def node_effect(self, nid: int) -> list[ast.AST]:
+        """The AST actually *executed at* this node.
+
+        For simple statements that is the whole statement; for compound
+        headers only the part evaluated before branching (the ``if`` test,
+        the ``for`` iterable, the ``with`` items, the ``return`` value...).
+        Nested function/lambda bodies never count — they run later.
+        """
+        stmt = self.stmts.get(nid)
+        if stmt is None:
+            return []
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return []
+        if isinstance(stmt, (ast.If, ast.While)):
+            roots: list[ast.AST] = [stmt.test]
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            roots = [stmt.iter, stmt.target]
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            roots = list(stmt.items)
+        elif isinstance(stmt, ast.Try):
+            roots = []
+        elif isinstance(stmt, ast.Match):
+            roots = [stmt.subject]
+        else:
+            roots = [stmt]
+        out: list[ast.AST] = []
+        for root in roots:
+            for node in ast.walk(root):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                    continue
+                out.append(node)
+        return out
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self._next = 0
+
+    # ----------------------------------------------------------- primitives
+    def _node(self, stmt: ast.stmt) -> int:
+        nid = self._next
+        self._next += 1
+        self.cfg.stmts[nid] = stmt
+        self.cfg.succ[nid] = []
+        return nid
+
+    def _edge(self, src: int, dst: int, test: ast.expr | None = None, branch: bool | None = None) -> None:
+        self.cfg.succ[src].append(Edge(dst, test, branch))
+
+    def _through_finallies(self, frames: list[dict], target: int) -> int:
+        """Chain the pending ``finally`` bodies (innermost first) onto a jump
+        target, re-lowering each body so every jump gets its own copy."""
+        for frame in reversed(frames):
+            if frame["kind"] == "finally" and frame["body"]:
+                target = self._seq(frame["body"], target, frame["outer"])
+        return target
+
+    # ------------------------------------------------------------- lowering
+    def _seq(self, stmts: list[ast.stmt], follow: int, frames: list[dict]) -> int:
+        """Lower a statement list; returns its entry node id.  ``follow`` is
+        where control goes after the last statement falls through."""
+        entry = follow
+        for stmt in reversed(stmts):
+            entry = self._stmt(stmt, entry, frames)
+        return entry
+
+    def _stmt(self, stmt: ast.stmt, follow: int, frames: list[dict]) -> int:
+        nid = self._node(stmt)
+        # Conservative exception edges: any statement inside a try body may
+        # transfer to that try's handlers.
+        for frame in reversed(frames):
+            if frame["kind"] == "try":
+                for handler_entry in frame["handlers"]:
+                    self._edge(nid, handler_entry)
+                break  # innermost try catches first; outer tries see re-raises
+
+        if isinstance(stmt, ast.If):
+            then_entry = self._seq(stmt.body, follow, frames)
+            else_entry = self._seq(stmt.orelse, follow, frames) if stmt.orelse else follow
+            self._edge(nid, then_entry, stmt.test, True)
+            self._edge(nid, else_entry, stmt.test, False)
+        elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            after = self._seq(stmt.orelse, follow, frames) if stmt.orelse else follow
+            loop_frames = frames + [{"kind": "loop", "head": nid, "after": after, "outer": frames}]
+            body_entry = self._seq(stmt.body, nid, loop_frames)
+            test = stmt.test if isinstance(stmt, ast.While) else None
+            self._edge(nid, body_entry, test, True if test is not None else None)
+            self._edge(nid, after, test, False if test is not None else None)
+        elif isinstance(stmt, ast.Try):
+            final_frames = frames
+            if stmt.finalbody:
+                final_frames = frames + [{"kind": "finally", "body": stmt.finalbody, "outer": frames}]
+            normal_follow = (
+                self._seq(stmt.finalbody, follow, frames) if stmt.finalbody else follow
+            )
+            handler_entries: list[int] = []
+            for handler in stmt.handlers:
+                handler_entries.append(self._seq(handler.body, normal_follow, final_frames))
+            else_entry = (
+                self._seq(stmt.orelse, normal_follow, final_frames)
+                if stmt.orelse
+                else normal_follow
+            )
+            try_frames = final_frames + [
+                {"kind": "try", "handlers": handler_entries, "outer": final_frames}
+            ]
+            body_entry = self._seq(stmt.body, else_entry, try_frames)
+            self._edge(nid, body_entry)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            body_entry = self._seq(stmt.body, follow, frames)
+            self._edge(nid, body_entry)
+        elif isinstance(stmt, ast.Match):
+            for case in stmt.cases:
+                self._edge(nid, self._seq(case.body, follow, frames))
+            self._edge(nid, follow)  # no case matched
+        elif isinstance(stmt, ast.Return):
+            self._edge(nid, self._through_finallies(frames, EXIT))
+        elif isinstance(stmt, ast.Raise):
+            # A raise may be caught by an enclosing handler in this function,
+            # or propagate out (through the finallies).
+            for frame in reversed(frames):
+                if frame["kind"] == "try":
+                    for handler_entry in frame["handlers"]:
+                        self._edge(nid, handler_entry)
+                    break
+            self._edge(nid, self._through_finallies(frames, EXIT))
+        elif isinstance(stmt, ast.Break):
+            for i in range(len(frames) - 1, -1, -1):
+                if frames[i]["kind"] == "loop":
+                    target = self._through_finallies(frames[i + 1 :], frames[i]["after"])
+                    self._edge(nid, target)
+                    break
+            else:
+                self._edge(nid, follow)  # malformed; degrade gracefully
+        elif isinstance(stmt, ast.Continue):
+            for i in range(len(frames) - 1, -1, -1):
+                if frames[i]["kind"] == "loop":
+                    target = self._through_finallies(frames[i + 1 :], frames[i]["head"])
+                    self._edge(nid, target)
+                    break
+            else:
+                self._edge(nid, follow)
+        else:
+            # Simple statement (nested defs included: their bodies are not
+            # lowered — they execute when called, not here).
+            self._edge(nid, follow)
+        return nid
+
+
+def build_cfg(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Lower one function body into a statement-level :class:`CFG`."""
+    builder = _Builder()
+    builder.cfg.entry = builder._seq(fn.body, EXIT, [])
+    return builder.cfg
+
+
+# --------------------------------------------------------------- RL014 walk
+def _names_in(node: ast.AST) -> set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+def _dotted(node: ast.AST) -> str:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _is_arena_acquire(call: ast.AST) -> bool:
+    if not (isinstance(call, ast.Call) and isinstance(call.func, ast.Attribute)):
+        return False
+    if call.func.attr != "acquire":
+        return False
+    try:
+        recv = ast.unparse(call.func.value).lower()
+    except Exception:  # pragma: no cover - unparse is total on valid trees
+        return False
+    return "arena" in recv
+
+
+def _edge_clears(edge: Edge, var: str) -> bool:
+    """True when taking this edge proves the acquired name holds no slot
+    (``acquire()`` returned ``None``): the true branch of ``x is None``, the
+    false branch of ``x is not None`` / a bare truthiness test on ``x``."""
+    test = edge.test
+    if test is None or edge.branch is None:
+        return False
+    if isinstance(test, ast.Compare) and len(test.ops) == 1:
+        left, op, right = test.left, test.ops[0], test.comparators[0]
+        operands = (left, right)
+        involves_var = any(isinstance(o, ast.Name) and o.id == var for o in operands)
+        against_none = any(isinstance(o, ast.Constant) and o.value is None for o in operands)
+        if involves_var and against_none:
+            if isinstance(op, ast.Is):
+                return edge.branch is True
+            if isinstance(op, ast.IsNot):
+                return edge.branch is False
+    if isinstance(test, ast.Name) and test.id == var:
+        return edge.branch is False  # `if x:` false branch -> x is falsy/None
+    return False
+
+
+#: Container mutators that count as "stored for later release".
+_STORE_METHODS = frozenset({"append", "add", "put", "put_nowait", "setdefault", "insert"})
+
+
+def _stmt_resolves(effect: list[ast.AST], var: str) -> bool:
+    """Does executing this node's effect release, store, or hand off ``var``?"""
+    for node in effect:
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if func.attr == "release" and any(
+                    var in _names_in(arg) for arg in node.args
+                ):
+                    return True
+                if func.attr in _STORE_METHODS and any(
+                    var in _names_in(arg) for arg in node.args
+                ):
+                    return True
+        elif isinstance(node, ast.Assign):
+            stored_target = any(
+                isinstance(t, (ast.Subscript, ast.Attribute)) for t in node.targets
+            )
+            if stored_target and var in _names_in(node.value):
+                return True
+        elif isinstance(node, ast.Return):
+            if node.value is not None and var in _names_in(node.value):
+                return True
+    return False
+
+
+def leaked_acquires(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[tuple[ast.AST, str]]:
+    """Arena ``acquire()`` sites from which some explicit control-flow path
+    reaches the function exit still holding the slot.
+
+    Returns ``(acquire_call_node, description)`` pairs.  A path stops
+    counting as a leak when it releases the slot, stores it in a container
+    or attribute/subscript (tracked for later release), returns it to the
+    caller, or takes a branch proving the acquire came back ``None``.
+    """
+    cfg = build_cfg(fn)
+    out: list[tuple[ast.AST, str]] = []
+    # Locate acquire sites: node ids whose effect contains `x = <arena>.acquire()`
+    # (or a bare acquire expression, which can never be released).
+    for nid in list(cfg.stmts):
+        stmt = cfg.stmts[nid]
+        effect = cfg.node_effect(nid)
+        acquire_call: ast.AST | None = None
+        var: str | None = None
+        resolved_at_site = False
+        for node in effect:
+            if isinstance(node, ast.Assign) and _is_arena_acquire(node.value):
+                acquire_call = node.value
+                if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+                    var = node.targets[0].id
+                elif any(isinstance(t, (ast.Subscript, ast.Attribute)) for t in node.targets):
+                    resolved_at_site = True  # stored directly at acquire time
+                break
+            if isinstance(node, ast.Expr) and _is_arena_acquire(node.value):
+                acquire_call = node.value
+                break
+        if acquire_call is None:
+            if isinstance(stmt, ast.Return):
+                continue  # `return arena.acquire()` hands ownership to the caller
+            for node in effect:
+                if isinstance(node, ast.Call) and _is_arena_acquire(node):
+                    # acquire embedded in a larger expression: unbindable.
+                    out.append((node, "acquired slot is never bound to a name"))
+                    break
+            continue
+        if resolved_at_site:
+            continue
+        if var is None:
+            out.append((acquire_call, "acquired slot is never bound to a name"))
+            continue
+        if _leaks_from(cfg, nid, var):
+            out.append(
+                (
+                    acquire_call,
+                    f"slot {var!r} reaches a function exit unreleased on some path "
+                    "(early return or fall-through without release/store)",
+                )
+            )
+    return out
+
+
+def _leaks_from(cfg: CFG, acquire_nid: int, var: str) -> bool:
+    """DFS from the acquire node: does any path reach EXIT still holding?"""
+    seen: set[int] = set()
+    stack: list[int] = [e.dst for e in cfg.succ.get(acquire_nid, []) if not _edge_clears(e, var)]
+    while stack:
+        nid = stack.pop()
+        if nid == EXIT:
+            return True
+        if nid in seen:
+            continue
+        seen.add(nid)
+        if _stmt_resolves(cfg.node_effect(nid), var):
+            continue  # this path resolved the slot; stop following it
+        stmt = cfg.stmts.get(nid)
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == var for t in stmt.targets
+        ):
+            continue  # rebound: the original slot reference is gone (tracked elsewhere)
+        for edge in cfg.succ.get(nid, []):
+            if not _edge_clears(edge, var):
+                stack.append(edge.dst)
+    return False

@@ -1,6 +1,14 @@
 """Command-line front end: ``python -m repro.lint [paths...]``.
 
-Exit codes: 0 clean, 1 violations found, 2 usage/parse errors.
+Runs the full two-phase analyzer (per-file rules + cross-module rules over
+the project graph).  Exit codes: 0 clean, 1 violations found, 2
+usage/parse errors.
+
+Flags beyond the basics: ``--format sarif`` for GitHub code scanning,
+``--cache PATH`` for the incremental on-disk cache, ``--baseline PATH`` /
+``--write-baseline`` for parking intentional findings, ``--no-project``
+to skip phase 2 (per-file rules only, e.g. for editor integration on a
+single unsaved buffer).
 """
 
 from __future__ import annotations
@@ -9,27 +17,33 @@ import argparse
 import json
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
-from .core import lint_paths
+from .core import analyze_paths, write_baseline
+from .flow import PROJECT_RULE_CLASSES, default_project_rules
 from .rules import RULE_CLASSES, default_rules
 
 __all__ = ["main"]
+
+#: Directories linted when no paths are given — every tree the acceptance
+#: gate covers, filtered to those that exist in the working copy.
+DEFAULT_PATH_CANDIDATES = ("src", "tests", "benchmarks", "examples")
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
-        description="Project-invariant static analysis for the ADCNN runtime (DESIGN.md §5e).",
+        description="Project-invariant static analysis for the ADCNN runtime (DESIGN.md §5e, §5j).",
     )
     parser.add_argument(
         "paths",
         nargs="*",
-        default=["src"],
-        help="files or directories to lint (default: src)",
+        default=None,
+        help="files or directories to lint (default: src tests benchmarks examples, where present)",
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
@@ -46,6 +60,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the report to this file instead of stdout",
     )
     parser.add_argument(
+        "--cache",
+        help="path to the incremental cache file (content-hash keyed; created if missing)",
+    )
+    parser.add_argument(
+        "--baseline",
+        help="baseline file of accepted findings to subtract from the report",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--no-project",
+        action="store_true",
+        help="skip the cross-module phase (per-file rules only)",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule registry and exit",
@@ -59,40 +91,76 @@ def _codes(spec: str | None) -> list[str] | None:
     return [c.strip().upper() for c in spec.split(",") if c.strip()]
 
 
+def _default_paths() -> list[str]:
+    found = [p for p in DEFAULT_PATH_CANDIDATES if Path(p).is_dir()]
+    return found or ["src"]
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
     if args.list_rules:
-        for cls in RULE_CLASSES:
+        for cls in RULE_CLASSES + PROJECT_RULE_CLASSES:
             print(f"{cls.code}  {cls.name}: {cls.description}")
         return 0
 
-    result = lint_paths(
-        args.paths,
+    if args.write_baseline and not args.baseline:
+        print("--write-baseline requires --baseline PATH", file=sys.stderr)
+        return 2
+
+    paths = args.paths if args.paths else _default_paths()
+    project_rules = [] if args.no_project else default_project_rules()
+    result = analyze_paths(
+        paths,
         default_rules(),
+        project_rules,
         select=_codes(args.select),
         ignore=_codes(args.ignore),
+        cache_path=args.cache,
+        baseline_path=None if args.write_baseline else args.baseline,
     )
 
-    if args.format == "json":
+    if args.write_baseline:
+        write_baseline(args.baseline, result.violations)
+        print(
+            f"baseline written: {len(result.violations)} finding(s) -> {args.baseline}"
+        )
+        return 0
+
+    all_rules = list(default_rules()) + list(default_project_rules())
+    if args.format == "sarif":
+        from .sarif import dump_sarif
+
+        report = dump_sarif(result, all_rules).rstrip("\n")
+    elif args.format == "json":
         report = json.dumps(
             {
-                "version": 1,
+                "version": 2,
                 "files_checked": result.files_checked,
                 "violation_count": len(result.violations),
                 "violations": [v.to_json() for v in result.violations],
                 "parse_errors": result.parse_errors,
+                "stats": result.stats,
             },
             indent=2,
         )
     else:
         chunks = [v.format() for v in result.violations]
         chunks.extend(f"parse error: {e}" for e in result.parse_errors)
+        stats = result.stats
+        detail = (
+            f" [{stats.get('parsed', 0)} parsed, {stats.get('reused', 0)} cached"
+            + (
+                f", {stats['baselined']} baselined]"
+                if stats.get("baselined")
+                else "]"
+            )
+        )
         tally = (
             f"{len(result.violations)} violation(s) in {result.files_checked} file(s)"
             if result.violations or result.parse_errors
             else f"clean: {result.files_checked} file(s) checked"
-        )
+        ) + detail
         chunks.append(tally)
         report = "\n".join(chunks)
 

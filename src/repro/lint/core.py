@@ -13,7 +13,8 @@ encodes them as AST rules sharing a single tree walk per file:
 - rules report :class:`Violation` objects through their
   :class:`ModuleContext`; suppressions are applied centrally.
 
-Suppression syntax (checked on the violation line and the line above)::
+Suppression syntax is position-precise: a trailing comment shields *its
+own* line only, a comment-only line shields the *next* line only::
 
     something_flagged()  # repro-lint: disable=RL001
     # repro-lint: disable=RL003,RL004
@@ -22,11 +23,21 @@ Suppression syntax (checked on the violation line and the line above)::
 A file-level opt-out for one code, placed anywhere in the first 20 lines::
 
     # repro-lint: disable-file=RL005
+
+Beyond the per-file walk, :func:`analyze_paths` runs the two-phase
+whole-program analyzer: phase 1 lints each file and extracts a
+:class:`~repro.lint.graph.ModuleSummary`, phase 2 runs the cross-module
+rules in :mod:`repro.lint.flow` over the assembled
+:class:`~repro.lint.graph.ProjectGraph`.  Phase 1 results are cached on
+disk keyed by file content hashes (:class:`LintCache`), and intentional
+findings can be parked in a committed baseline file.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
+import json
 import re
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
@@ -38,9 +49,13 @@ __all__ = [
     "Rule",
     "Walker",
     "LintResult",
+    "LintCache",
     "lint_file",
     "lint_paths",
+    "analyze_paths",
     "iter_python_files",
+    "load_baseline",
+    "write_baseline",
 ]
 
 #: Directories never descended into when walking a tree.  ``_lint_fixtures``
@@ -76,6 +91,20 @@ class Violation:
             "message": self.message,
         }
 
+    @classmethod
+    def from_json(cls, data: dict[str, object]) -> "Violation":
+        return cls(
+            str(data["path"]),
+            int(data["line"]),  # type: ignore[arg-type]
+            int(data["col"]),  # type: ignore[arg-type]
+            str(data["code"]),
+            str(data["message"]),
+        )
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Line-insensitive identity used by the baseline mechanism."""
+        return (self.path, self.code, self.message)
+
 
 class ModuleContext:
     """Per-file state shared by every rule during one walk."""
@@ -97,7 +126,12 @@ class ModuleContext:
             m = _SUPPRESS_RE.search(text)
             if m:
                 codes = {c.strip() for c in m.group(1).split(",") if c.strip()}
-                self._suppressed_lines.setdefault(lineno, set()).update(codes)
+                # Position-precise: a comment-only line shields the *next*
+                # line, a trailing comment shields its *own* line — never
+                # both, so flagged code on a comment-bearing line cannot
+                # leak suppression onto an unrelated neighbour.
+                target = lineno + 1 if text.lstrip().startswith("#") else lineno
+                self._suppressed_lines.setdefault(target, set()).update(codes)
             if lineno <= 20:
                 m = _SUPPRESS_FILE_RE.search(text)
                 if m:
@@ -108,10 +142,11 @@ class ModuleContext:
     def is_suppressed(self, code: str, line: int) -> bool:
         if code in self._suppressed_file:
             return True
-        for candidate in (line, line - 1):
-            if code in self._suppressed_lines.get(candidate, set()):
-                return True
-        return False
+        return code in self._suppressed_lines.get(line, set())
+
+    def suppression_map(self) -> tuple[set[str], dict[int, set[str]]]:
+        """The file-level codes and per-line code sets (for summaries)."""
+        return self._suppressed_file, self._suppressed_lines
 
     # -------------------------------------------------------------- reporting
     def report(self, code: str, node: ast.AST | int, message: str, col: int | None = None) -> None:
@@ -247,11 +282,18 @@ class Walker:
 # --------------------------------------------------------------------- driver
 @dataclass(slots=True)
 class LintResult:
-    """Outcome of linting a set of paths."""
+    """Outcome of linting a set of paths.
+
+    ``stats`` carries driver-level counters from :func:`analyze_paths`
+    (``parsed``/``reused`` file counts for the incremental cache,
+    ``baselined`` for findings parked in the baseline file); it stays
+    empty for the plain per-file :func:`lint_paths` path.
+    """
 
     violations: list[Violation] = field(default_factory=list)
     files_checked: int = 0
     parse_errors: list[str] = field(default_factory=list)
+    stats: dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -308,13 +350,7 @@ def lint_paths(
     ignore: Iterable[str] | None = None,
 ) -> LintResult:
     """Lint files/directories, optionally restricting the rule set."""
-    active = list(rules)
-    if select is not None:
-        wanted = set(select)
-        active = [r for r in active if r.code in wanted]
-    if ignore is not None:
-        dropped = set(ignore)
-        active = [r for r in active if r.code not in dropped]
+    active = _filter_rules(list(rules), select, ignore)
     total = LintResult()
     for f in iter_python_files(paths):
         one = lint_file(f, active)
@@ -323,3 +359,221 @@ def lint_paths(
         total.parse_errors.extend(one.parse_errors)
     total.violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
     return total
+
+
+def _filter_rules(active: list, select: Iterable[str] | None, ignore: Iterable[str] | None) -> list:
+    if select is not None:
+        wanted = set(select)
+        active = [r for r in active if r.code in wanted]
+    if ignore is not None:
+        dropped = set(ignore)
+        active = [r for r in active if r.code not in dropped]
+    return active
+
+
+# ---------------------------------------------------------------------- cache
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _analyzer_digest() -> str:
+    """Hash of the linter's own sources: any change to the analyzer
+    invalidates every cache entry (rules may report differently)."""
+    h = hashlib.sha256()
+    for src in sorted(Path(__file__).parent.glob("*.py")):
+        h.update(src.name.encode())
+        h.update(src.read_bytes())
+    return h.hexdigest()
+
+
+class LintCache:
+    """On-disk incremental cache for phase 1 (per-file) results.
+
+    One JSON file maps each analyzed path to its content hash plus the
+    per-file violations and :class:`~repro.lint.graph.ModuleSummary` it
+    produced.  A file whose content hash is unchanged skips parse + walk
+    entirely — phase 2 re-runs over the (cheap, already-extracted)
+    summaries every time, so cross-module rules always see the current
+    project even when every file is a cache hit.  The global key folds in
+    the analyzer's own source hash and the active rule codes, so
+    upgrading the linter or changing ``--select`` never serves stale
+    results.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: str | Path, rules_signature: str) -> None:
+        self.path = Path(path)
+        self.key = f"v{self.VERSION}:{_analyzer_digest()}:{rules_signature}"
+        self._entries: dict[str, dict] = {}
+        self._dirty = False
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+            if data.get("key") == self.key:
+                self._entries = data.get("files", {})
+        except (OSError, ValueError):
+            pass
+
+    def get(self, path: str, digest: str) -> dict | None:
+        entry = self._entries.get(path)
+        if entry is not None and entry.get("digest") == digest:
+            return entry
+        return None
+
+    def put(
+        self,
+        path: str,
+        digest: str,
+        violations: list[Violation],
+        summary_json: dict | None,
+        parse_error: str | None = None,
+    ) -> None:
+        self._entries[path] = {
+            "digest": digest,
+            "violations": [v.to_json() for v in violations],
+            "summary": summary_json,
+            "parse_error": parse_error,
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"key": self.key, "files": self._entries}
+        self.path.write_text(json.dumps(payload), encoding="utf-8")
+        self._dirty = False
+
+
+# ------------------------------------------------------------------- baseline
+def load_baseline(path: str | Path) -> set[tuple[str, str, str]]:
+    """Read a committed baseline file into a set of fingerprints."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return set()
+    return {
+        (str(e["path"]), str(e["code"]), str(e["message"]))
+        for e in data.get("findings", [])
+        if isinstance(e, dict) and {"path", "code", "message"} <= e.keys()
+    }
+
+
+def write_baseline(path: str | Path, violations: Sequence[Violation]) -> None:
+    """Persist current findings as the accepted baseline (line-insensitive)."""
+    findings = sorted(
+        {v.fingerprint() for v in violations}
+    )
+    payload = {
+        "comment": "accepted repro-lint findings; regenerate with --write-baseline",
+        "findings": [
+            {"path": p, "code": c, "message": m} for p, c, m in findings
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+# ---------------------------------------------------------- two-phase driver
+def analyze_paths(
+    paths: Iterable[str | Path],
+    rules: Sequence[Rule] | None = None,
+    project_rules: Sequence | None = None,
+    *,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    cache_path: str | Path | None = None,
+    baseline_path: str | Path | None = None,
+) -> LintResult:
+    """Run the full two-phase analyzer over files/directories.
+
+    Phase 1 lints every file with the per-file rules and extracts a
+    ``ModuleSummary`` (served from ``cache_path`` when content hashes
+    match).  Phase 2 assembles the :class:`~repro.lint.graph.ProjectGraph`
+    and runs the cross-module rules from :mod:`repro.lint.flow`.
+    Violations whose fingerprints appear in ``baseline_path`` are dropped
+    (counted in ``stats["baselined"]``).
+    """
+    from .graph import ModuleSummary, ProjectGraph, extract_summary
+
+    if rules is None:
+        from .rules import default_rules
+
+        rules = default_rules()
+    if project_rules is None:
+        from .flow import default_project_rules
+
+        project_rules = default_project_rules()
+    active = _filter_rules(list(rules), select, ignore)
+    active_project = _filter_rules(list(project_rules), select, ignore)
+    signature = ",".join(
+        sorted([r.code for r in active] + [r.code for r in active_project])
+    )
+    cache = LintCache(cache_path, signature) if cache_path else None
+
+    result = LintResult()
+    summaries: list[ModuleSummary] = []
+    parsed = reused = 0
+    for f in iter_python_files(paths):
+        path_str = str(f)
+        result.files_checked += 1
+        try:
+            source = f.read_text(encoding="utf-8")
+        except OSError as exc:
+            result.parse_errors.append(f"{f}: {exc}")
+            continue
+        digest = _sha256(source)
+        entry = cache.get(path_str, digest) if cache else None
+        if entry is not None:
+            reused += 1
+            if entry.get("parse_error"):
+                result.parse_errors.append(entry["parse_error"])
+                continue
+            result.violations.extend(
+                Violation.from_json(v) for v in entry.get("violations", [])
+            )
+            if entry.get("summary") is not None:
+                summaries.append(ModuleSummary.from_json(entry["summary"]))
+            continue
+        parsed += 1
+        try:
+            tree = ast.parse(source, filename=path_str)
+        except (SyntaxError, ValueError) as exc:
+            err = f"{f}: {exc}"
+            result.parse_errors.append(err)
+            if cache:
+                cache.put(path_str, digest, [], None, parse_error=err)
+            continue
+        ctx = ModuleContext(path_str, source, tree)
+        Walker(ctx, active).run()
+        result.violations.extend(ctx.violations)
+        suppressed_file, suppressed_lines = ctx.suppression_map()
+        summary = extract_summary(
+            ctx.posix_path, tree, suppressed_file, suppressed_lines
+        )
+        summaries.append(summary)
+        if cache:
+            cache.put(path_str, digest, ctx.violations, summary.to_json())
+
+    graph = ProjectGraph(summaries)
+    for rule in active_project:
+        for v in rule.check(graph):
+            if not graph.is_suppressed(v.path, v.code, v.line):
+                result.violations.append(v)
+
+    baselined = 0
+    if baseline_path is not None:
+        baseline = load_baseline(baseline_path)
+        if baseline:
+            kept = []
+            for v in result.violations:
+                if v.fingerprint() in baseline:
+                    baselined += 1
+                else:
+                    kept.append(v)
+            result.violations = kept
+
+    if cache:
+        cache.save()
+    result.violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    result.stats = {"parsed": parsed, "reused": reused, "baselined": baselined}
+    return result

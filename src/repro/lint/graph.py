@@ -1,0 +1,416 @@
+"""Phase 1 of the whole-program analyzer: per-module summaries + the graph.
+
+``repro.lint`` runs in two phases (DESIGN.md §5j).  Phase 1 visits each
+file once and distills it into a :class:`ModuleSummary` — a small,
+JSON-serializable record of everything the cross-module rules need:
+imports, class/dataclass field tables, function call sites, isinstance and
+``match`` class tests, attribute reads, metric emissions, ``X = A | B``
+union aliases, and the file's suppression map.  Summaries are what the
+incremental cache stores, so an unchanged file contributes to phase 2
+without ever being re-parsed.
+
+Phase 2 assembles the summaries into a :class:`ProjectGraph`: a module
+index with import/re-export resolution (cycle-guarded), a conservative
+call graph (callee last-segment name -> every project function of that
+name), and lookup helpers the :mod:`repro.lint.flow` rules traverse.
+Everything here is deliberately *conservative*: without type inference a
+name match may over-approximate the real callee/field, so rules built on
+the graph only report when even the over-approximation cannot find a
+consumer/handler.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import asdict, dataclass, field
+from pathlib import PurePosixPath
+from typing import Any
+
+__all__ = ["ModuleSummary", "ProjectGraph", "extract_summary", "module_name_for"]
+
+_ADCNN_NAME_RE = re.compile(r"adcnn_[a-z0-9_]+")
+
+#: Receiver hints marking a telemetry sink (mirrors RL009).
+_METRIC_RECEIVER_HINTS = ("tel", "telemetry", "metric", "registry", "reg", "recorder", "sink")
+_METRIC_METHODS = frozenset({"count", "observe", "counter", "gauge", "histogram"})
+
+
+def module_name_for(posix_path: str) -> tuple[str, bool]:
+    """Derive a dotted module name (and is-package flag) from a file path.
+
+    ``src/repro/runtime/system.py`` -> ``repro.runtime.system``; fixture
+    trees that mirror the package layout (``.../proto_bad/repro/runtime/
+    controller.py``) resolve from their last ``repro`` component so
+    intra-fixture imports resolve like the real package; anything else
+    falls back to its last two path components.  Names are only used for
+    import resolution — path-fragment matching is what scopes rules.
+    """
+    parts = list(PurePosixPath(posix_path).parts)
+    is_package = parts[-1] == "__init__.py"
+    parts[-1] = parts[-1][:-3] if parts[-1].endswith(".py") else parts[-1]
+    if "src" in parts:
+        rel = parts[len(parts) - parts[::-1].index("src") :]
+    elif "repro" in parts:
+        rel = parts[len(parts) - 1 - parts[::-1].index("repro") :]
+    else:
+        rel = parts[-2:]
+    if is_package:
+        rel = rel[:-1]
+    return ".".join(rel) or parts[-1], is_package
+
+
+@dataclass(slots=True)
+class ModuleSummary:
+    """Everything phase 2 needs to know about one module (JSON-able)."""
+
+    path: str
+    module: str
+    is_package: bool = False
+    #: ``from``-imports: {"module", "level", "names": [[name, asname], ...]}.
+    imports: list[dict[str, Any]] = field(default_factory=list)
+    #: Top-level bound names (classes, functions, assignments).
+    toplevel_names: list[str] = field(default_factory=list)
+    #: class name -> {"line", "is_dataclass", "frozen", "slots", "bases",
+    #: "fields": [[name, has_default, line], ...]}.
+    classes: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: one record per function: {"qualname", "name", "is_async", "line",
+    #: "calls": [{"name", "dotted", "recv", "line", "nargs", "kwargs"}]}.
+    functions: list[dict[str, Any]] = field(default_factory=list)
+    #: attribute name -> lines where it is *read* (Load context).
+    attr_reads: dict[str, list[int]] = field(default_factory=dict)
+    #: class name -> lines where isinstance()/match-case tests it.
+    isinstance_tests: dict[str, list[int]] = field(default_factory=dict)
+    #: alias name -> {"members": [...], "line"} from ``X = A | B | ...``.
+    union_aliases: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: literal metric names at emission sites: [[name, line], ...].
+    metric_emissions: list[list[Any]] = field(default_factory=list)
+    #: every ``adcnn_*`` string literal anywhere: name -> lines.
+    adcnn_literals: dict[str, list[int]] = field(default_factory=dict)
+    suppressed_file: list[str] = field(default_factory=list)
+    #: line -> codes suppressed exactly on that line (precise semantics).
+    suppressed_lines: dict[int, list[str]] = field(default_factory=dict)
+
+    # --------------------------------------------------------- serialization
+    def to_json(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "ModuleSummary":
+        data = dict(data)
+        data["suppressed_lines"] = {
+            int(k): list(v) for k, v in data.get("suppressed_lines", {}).items()
+        }
+        known = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        if code in self.suppressed_file:
+            return True
+        return code in self.suppressed_lines.get(line, ())
+
+
+def _dotted(node: ast.AST) -> str:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+class _Extractor(ast.NodeVisitor):
+    def __init__(self, summary: ModuleSummary) -> None:
+        self.s = summary
+        self._func_stack: list[dict[str, Any]] = []
+        self._class_stack: list[str] = []
+
+    # ------------------------------------------------------------- bindings
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self.s.imports.append(
+            {
+                "module": node.module or "",
+                "level": node.level,
+                "names": [[a.name, a.asname or a.name] for a in node.names],
+            }
+        )
+        if not self._func_stack and not self._class_stack:
+            self.s.toplevel_names.extend(a.asname or a.name for a in node.names)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        if not self._func_stack and not self._class_stack:
+            self.s.toplevel_names.extend(
+                (a.asname or a.name.split(".", 1)[0]) for a in node.names
+            )
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if not self._func_stack and not self._class_stack:
+            self.s.toplevel_names.append(node.name)
+        info: dict[str, Any] = {
+            "line": node.lineno,
+            "is_dataclass": False,
+            "frozen": False,
+            "slots": False,
+            "bases": [_dotted(b) for b in node.bases],
+            "fields": [],
+        }
+        for dec in node.decorator_list:
+            name = _dotted(dec.func if isinstance(dec, ast.Call) else dec)
+            if name.rsplit(".", 1)[-1] != "dataclass":
+                continue
+            info["is_dataclass"] = True
+            if isinstance(dec, ast.Call):
+                for kw in dec.keywords:
+                    if isinstance(kw.value, ast.Constant) and kw.value.value is True:
+                        if kw.arg == "frozen":
+                            info["frozen"] = True
+                        elif kw.arg == "slots":
+                            info["slots"] = True
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                info["fields"].append(
+                    [stmt.target.id, stmt.value is not None, stmt.lineno]
+                )
+        self.s.classes[node.name] = info
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        if not self._func_stack and not self._class_stack:
+            self.s.toplevel_names.append(node.name)
+        qual = ".".join([*self._class_stack, node.name]) if self._class_stack else node.name
+        record = {
+            "qualname": qual,
+            "name": node.name,
+            "is_async": isinstance(node, ast.AsyncFunctionDef),
+            "line": node.lineno,
+            "calls": [],
+        }
+        self.s.functions.append(record)
+        self._func_stack.append(record)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if not self._func_stack and not self._class_stack:
+            for t in node.targets:
+                if isinstance(t, ast.Name):
+                    self.s.toplevel_names.append(t.id)
+                    members = _union_members(node.value)
+                    if members:
+                        self.s.union_aliases[t.id] = {
+                            "members": members,
+                            "line": node.lineno,
+                        }
+        self.generic_visit(node)
+
+    # ----------------------------------------------------------- call sites
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        name = dotted.rsplit(".", 1)[-1] if dotted else ""
+        recv = ""
+        if isinstance(node.func, ast.Attribute):
+            try:
+                recv = ast.unparse(node.func.value).lower()[:80]
+            except Exception:  # pragma: no cover
+                recv = ""
+        if name:
+            call = {
+                "name": name,
+                "dotted": dotted,
+                "recv": recv,
+                "line": node.lineno,
+                "nargs": len(node.args),
+                "kwargs": [kw.arg for kw in node.keywords if kw.arg],
+            }
+            if self._func_stack:
+                self._func_stack[-1]["calls"].append(call)
+            else:
+                # Module-level call sites still matter for constructor scans.
+                self.s.functions.append(
+                    {
+                        "qualname": f"<module>:{node.lineno}",
+                        "name": "<module>",
+                        "is_async": False,
+                        "line": node.lineno,
+                        "calls": [call],
+                    }
+                )
+        # isinstance(x, Cls) / isinstance(x, (A, B)) protocol tests.
+        if name == "isinstance" and len(node.args) == 2:
+            target = node.args[1]
+            classes = target.elts if isinstance(target, ast.Tuple) else [target]
+            for cls_node in classes:
+                cls_name = _dotted(cls_node).rsplit(".", 1)[-1]
+                if cls_name:
+                    self.s.isinstance_tests.setdefault(cls_name, []).append(node.lineno)
+        # Metric emission sites (mirrors RL009's detection).
+        self._record_emission(node, dotted, name, recv)
+        self.generic_visit(node)
+
+    def _record_emission(self, node: ast.Call, dotted: str, name: str, recv: str) -> None:
+        metric_node: ast.AST | None = None
+        if name == "EmitTelemetry":
+            op = node.args[0] if node.args else None
+            if isinstance(op, ast.Constant) and op.value in ("count", "gauge"):
+                metric_node = node.args[1] if len(node.args) > 1 else None
+                if metric_node is None:
+                    for kw in node.keywords:
+                        if kw.arg == "metric":
+                            metric_node = kw.value
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _METRIC_METHODS
+            and any(h in recv for h in _METRIC_RECEIVER_HINTS)
+            and node.args
+        ):
+            metric_node = node.args[0]
+        if (
+            isinstance(metric_node, ast.Constant)
+            and isinstance(metric_node.value, str)
+            and _ADCNN_NAME_RE.fullmatch(metric_node.value)
+        ):
+            self.s.metric_emissions.append([metric_node.value, metric_node.lineno])
+
+    # -------------------------------------------------------------- reads
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.s.attr_reads.setdefault(node.attr, []).append(node.lineno)
+        self.generic_visit(node)
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if isinstance(node.value, str) and _ADCNN_NAME_RE.fullmatch(node.value):
+            self.s.adcnn_literals.setdefault(node.value, []).append(node.lineno)
+
+    def visit_MatchClass(self, node: ast.MatchClass) -> None:
+        cls_name = _dotted(node.cls).rsplit(".", 1)[-1]
+        if cls_name:
+            self.s.isinstance_tests.setdefault(cls_name, []).append(node.lineno)
+        self.generic_visit(node)
+
+
+def _union_members(value: ast.AST) -> list[str]:
+    """``A | B | C`` -> ["A", "B", "C"] (names only; else [])."""
+    names: list[str] = []
+
+    def rec(node: ast.AST) -> bool:
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            return rec(node.left) and rec(node.right)
+        label = _dotted(node).rsplit(".", 1)[-1]
+        if label:
+            names.append(label)
+            return True
+        return False
+
+    if isinstance(value, ast.BinOp) and isinstance(value.op, ast.BitOr) and rec(value):
+        return names
+    return []
+
+
+def extract_summary(
+    posix_path: str,
+    tree: ast.Module,
+    suppressed_file: set[str] | None = None,
+    suppressed_lines: dict[int, set[str]] | None = None,
+) -> ModuleSummary:
+    """Distill one parsed module into its :class:`ModuleSummary`."""
+    module, is_package = module_name_for(posix_path)
+    summary = ModuleSummary(path=posix_path, module=module, is_package=is_package)
+    summary.suppressed_file = sorted(suppressed_file or ())
+    summary.suppressed_lines = {
+        line: sorted(codes) for line, codes in (suppressed_lines or {}).items()
+    }
+    _Extractor(summary).visit(tree)
+    return summary
+
+
+class ProjectGraph:
+    """Phase-2 view over a set of module summaries."""
+
+    def __init__(self, summaries: list[ModuleSummary]) -> None:
+        self.summaries = list(summaries)
+        self.by_path: dict[str, ModuleSummary] = {s.path: s for s in self.summaries}
+        self.modules: dict[str, ModuleSummary] = {}
+        for s in self.summaries:
+            self.modules.setdefault(s.module, s)
+        self._functions_by_name: dict[str, list[tuple[ModuleSummary, dict[str, Any]]]] = {}
+        for s in self.summaries:
+            for fn in s.functions:
+                self._functions_by_name.setdefault(fn["name"], []).append((s, fn))
+
+    # --------------------------------------------------------------- lookup
+    def find(self, fragment: str) -> list[ModuleSummary]:
+        """Summaries whose POSIX path contains ``fragment``."""
+        return [s for s in self.summaries if fragment in s.path]
+
+    def find_endswith(self, suffix: str) -> ModuleSummary | None:
+        """The unique summary whose path ends with ``suffix`` (None if absent).
+
+        Prefers the shortest path on a tie so ``src/`` wins over any
+        coincidentally-matching deeper tree.
+        """
+        hits = sorted((s for s in self.summaries if s.path.endswith(suffix)), key=lambda s: len(s.path))
+        return hits[0] if hits else None
+
+    def functions_named(self, name: str) -> list[tuple[ModuleSummary, dict[str, Any]]]:
+        return self._functions_by_name.get(name, [])
+
+    def is_suppressed(self, path: str, code: str, line: int) -> bool:
+        s = self.by_path.get(path)
+        return s.is_suppressed(code, line) if s is not None else False
+
+    # ----------------------------------------------------- import resolution
+    def resolve_export(
+        self, module: str, name: str, _seen: set[tuple[str, str]] | None = None
+    ) -> tuple[str, str] | None:
+        """Chase ``from``-import chains to the module that *defines* ``name``.
+
+        ``resolve_export("repro.runtime", "ProcessCluster")`` follows the
+        package ``__init__`` re-export to ``("repro.runtime.process_backend",
+        "ProcessCluster")``.  Import cycles terminate via the ``_seen`` set
+        (returning ``None`` when the chain never reaches a definition).
+        """
+        seen = _seen if _seen is not None else set()
+        if (module, name) in seen:
+            return None
+        seen.add((module, name))
+        summary = self.modules.get(module)
+        if summary is None:
+            return None
+        defined_here = (
+            name in summary.classes
+            or name in summary.union_aliases
+            or any(f["name"] == name for f in summary.functions)
+        )
+        if defined_here:
+            return (module, name)
+        imported_from: tuple[str, str] | None = None
+        for imp in summary.imports:
+            for orig, bound in imp["names"]:
+                if bound == name:
+                    imported_from = (self._absolute(summary, imp), orig)
+        if imported_from is not None:
+            if imported_from[0] not in self.modules:
+                return imported_from  # external boundary: best answer we have
+            return self.resolve_export(imported_from[0], imported_from[1], seen)
+        return (module, name) if name in summary.toplevel_names else None
+
+    @staticmethod
+    def _absolute(summary: ModuleSummary, imp: dict[str, Any]) -> str:
+        level = imp.get("level", 0)
+        if level == 0:
+            return imp["module"]
+        base_parts = summary.module.split(".")
+        if not summary.is_package:
+            base_parts = base_parts[:-1]
+        ups = level - 1
+        if ups:
+            base_parts = base_parts[: len(base_parts) - ups]
+        base = ".".join(base_parts)
+        return f"{base}.{imp['module']}" if imp["module"] else base

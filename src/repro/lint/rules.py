@@ -1,8 +1,11 @@
-"""The project-invariant rule set (RL001–RL010), one class per code.
+"""The per-file rule set (RL001–RL010 plus CFG-based RL014), one class per code.
 
 Each rule encodes an invariant the distributed runtime depends on; see
 DESIGN.md §5e for the failure mode behind every code.  Rules are scoped by
 path fragment so e.g. numeric-hygiene checks only run on the hot kernels.
+The cross-module rules (RL011–RL013, RL015) live in :mod:`repro.lint.flow`
+and run over the :class:`~repro.lint.graph.ProjectGraph` instead of single
+files.
 """
 
 from __future__ import annotations
@@ -773,6 +776,44 @@ class TileLoopForwardRule(Rule):
         return out
 
 
+# ---------------------------------------------------------------------- RL014
+class ShmLifecycleRule(Rule):
+    """CFG-based shm slot lifecycle: every acquire resolved on every path.
+
+    The path-sensitive upgrade of RL003: instead of asking "does a release
+    or ledger store appear *somewhere* in this function", build the
+    function's control-flow graph (:mod:`repro.lint.cfg`) and require that
+    *every* execution path from an ``arena.acquire()`` site to function
+    exit either releases the slot, stores it into a ledger the sweep can
+    reclaim from, or returns it to the caller.  An early ``return`` or an
+    exception-free fall-through that drops the slot leaks arena capacity
+    until restart — the failure RL003's syntactic pairing could only catch
+    when the function had *no* release at all.  ``try/finally`` and
+    ``if slot is None`` guards are understood; re-raising paths through a
+    bare ``try`` are conservatively treated as resolved only when a
+    ``finally`` (or the handler itself) resolves the slot.
+    """
+
+    code = "RL014"
+    name = "shm-lifecycle-cfg"
+    description = "path-sensitive arena acquire/release pairing over the CFG"
+    include = ("repro/runtime",)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext, walker: Walker) -> None:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return
+        from .cfg import leaked_acquires
+
+        for site, description in leaked_acquires(node):
+            ctx.report(
+                self.code,
+                site,
+                f"shm slot from this acquire() can leak: {description} "
+                "(release it, store it in a reclaimable ledger, or return "
+                "it on every path — use try/finally for exception paths)",
+            )
+
+
 RULE_CLASSES: tuple[type[Rule], ...] = (
     ForkSafetyRule,
     QueueMessageRule,
@@ -784,6 +825,7 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     ControllerAuthorityRule,
     MetricNameRule,
     TileLoopForwardRule,
+    ShmLifecycleRule,
 )
 
 

@@ -1,0 +1,92 @@
+"""SARIF 2.1.0 export for lint results (GitHub code-scanning upload).
+
+Minimal but schema-valid: one run, the registered rules as
+``tool.driver.rules`` (so code-scanning shows per-rule help text), one
+``result`` per violation with a physical location.  Parse errors surface
+as tool execution notifications rather than results, matching how other
+analyzers report unscannable files.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from typing import Any
+
+from .core import LintResult
+
+__all__ = ["to_sarif", "dump_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+
+def to_sarif(result: LintResult, rules: Sequence[Any] = ()) -> dict[str, Any]:
+    """Build the SARIF log dict for a :class:`~repro.lint.core.LintResult`.
+
+    ``rules`` may mix per-file :class:`~repro.lint.core.Rule` and
+    :class:`~repro.lint.flow.ProjectRule` instances; anything with
+    ``code``/``name``/``description`` attributes works.
+    """
+    rule_descriptors = [
+        {
+            "id": r.code,
+            "name": _pascal(r.name or r.code),
+            "shortDescription": {"text": r.description or r.name or r.code},
+        }
+        for r in rules
+        if getattr(r, "code", "")
+    ]
+    results = [
+        {
+            "ruleId": v.code,
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": v.path},
+                        "region": {
+                            "startLine": max(v.line, 1),
+                            "startColumn": max(v.col, 0) + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for v in result.violations
+    ]
+    notifications = [
+        {"level": "error", "message": {"text": err}} for err in result.parse_errors
+    ]
+    run: dict[str, Any] = {
+        "tool": {
+            "driver": {
+                "name": "repro-lint",
+                "informationUri": "https://example.invalid/repro-lint",
+                "rules": rule_descriptors,
+            }
+        },
+        "results": results,
+    }
+    if notifications:
+        run["invocations"] = [
+            {
+                "executionSuccessful": False,
+                "toolExecutionNotifications": notifications,
+            }
+        ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [run],
+    }
+
+
+def dump_sarif(result: LintResult, rules: Sequence[Any] = ()) -> str:
+    """Serialize :func:`to_sarif` output as pretty-printed JSON."""
+    return json.dumps(to_sarif(result, rules), indent=2) + "\n"
+
+
+def _pascal(name: str) -> str:
+    return "".join(part.capitalize() for part in name.replace("_", "-").split("-"))

@@ -47,6 +47,8 @@ class RunSummary:
     wire_bits: float = 0.0
     raw_bits: float = 0.0
     counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, dict[str, float]] = field(default_factory=dict)
 
     @property
     def compression_ratio(self) -> float:
@@ -130,7 +132,36 @@ _COUNTERS = (
     "adcnn_result_ring_fallback_total",
     "adcnn_arrivals_total",
     "adcnn_shed_total",
+    # Worker-side drops: poisoned/undecodable tasks the hot loop discarded
+    # rather than crash on (§IV fault tolerance); nonzero means input or
+    # shm corruption, not load shedding.
+    "adcnn_worker_dropped_tasks_total",
 )
+
+#: Point-in-time gauges worth echoing in the report: the controller's
+#: per-node scheduler share and the two admission/serving queue depths
+#: (their final snapshot values show where back-pressure settled).
+_GAUGES = (
+    "adcnn_scheduler_share",
+    "adcnn_admission_queue_depth",
+    "adcnn_serving_queue_depth",
+)
+
+#: Latency histograms snapshotted by the recorder; rendered as
+#: count/mean/p50/p95/p99 rows next to the span-derived stage table.
+_HISTOGRAMS = (
+    "adcnn_image_latency_seconds",
+    "adcnn_sojourn_seconds",
+    "adcnn_serving_queue_wait_seconds",
+    "adcnn_serving_latency_seconds",
+)
+
+
+def _gauge_key(name: str, labels: dict[str, Any]) -> str:
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{name}{{{rendered}}}"
 
 
 def summarize(events: list[dict[str, Any]], metric_rows: list[dict[str, Any]] | None = None) -> RunSummary:
@@ -142,9 +173,28 @@ def summarize(events: list[dict[str, Any]], metric_rows: list[dict[str, Any]] | 
     if latencies:
         summary.mean_latency_s = float(np.mean(latencies))
     for row in metric_rows or []:
-        if row.get("metric_kind") != "counter":
+        kind = row.get("metric_kind")
+        name = row.get("name", "")
+        if kind == "gauge":
+            if name in _GAUGES:
+                summary.gauges[_gauge_key(name, row.get("labels", {}))] = float(
+                    row.get("value", 0.0)
+                )
             continue
-        name = row["name"]
+        if kind == "histogram":
+            if name in _HISTOGRAMS:
+                agg = summary.histograms.setdefault(
+                    name, {"count": 0.0, "sum": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+                )
+                agg["count"] += float(row.get("count", 0.0))
+                agg["sum"] += float(row.get("sum", 0.0))
+                # Quantiles across label sets are not mergeable; keep the
+                # worst observed tail, which is what an SLO check wants.
+                for q in ("p50", "p95", "p99"):
+                    agg[q] = max(agg[q], float(row.get(q, 0.0)))
+            continue
+        if kind != "counter":
+            continue
         value = float(row.get("value", 0.0))
         # Ratio tracks the §4 result compression only — input tiles always
         # ship raw, so folding the "up" direction in would wash it out.
@@ -191,6 +241,23 @@ def render(summary: RunSummary) -> str:
         for name in _COUNTERS:
             if name in summary.counters:
                 lines.append(f"  {name:<34} {summary.counters[name]:.0f}")
+    if summary.histograms:
+        lines.append("")
+        lines.append("latency distributions (final snapshot):")
+        lines.append(f"  {'metric':<36} {'count':>7} {'mean ms':>10} {'p50 ms':>10} {'p95 ms':>10} {'p99 ms':>10}")
+        for name in _HISTOGRAMS:
+            if name not in summary.histograms:
+                continue
+            h = summary.histograms[name]
+            mean = h["sum"] / h["count"] if h["count"] else math.nan
+            lines.append(
+                f"  {name:<36} {h['count']:>7.0f} {_ms(mean)} {_ms(h['p50'])} {_ms(h['p95'])} {_ms(h['p99'])}"
+            )
+    if summary.gauges:
+        lines.append("")
+        lines.append("gauges (final snapshot):")
+        for key in sorted(summary.gauges):
+            lines.append(f"  {key:<44} {summary.gauges[key]:.3f}")
     return "\n".join(lines)
 
 

@@ -1,0 +1,21 @@
+"""RL013 bad fixture: blocking primitives two calls below a coroutine."""
+
+import time
+
+
+async def submit(frontend):
+    return await dispatch(frontend)
+
+
+async def dispatch(frontend):
+    wait_for_slot()
+    return frontend
+
+
+def wait_for_slot():
+    time.sleep(0.01)
+    drain(None)
+
+
+def drain(task_queue):
+    return task_queue.get()

@@ -1,0 +1,22 @@
+"""RL013 good fixture: coroutines only touch non-blocking submission;
+blocking work is handed over as a function *reference* (to_thread)."""
+
+import asyncio
+
+
+async def submit(frontend):
+    future = enqueue(frontend)
+    return await asyncio.wrap_future(future)
+
+
+def enqueue(frontend):
+    frontend.queue.put_nowait("task")
+    return frontend.future
+
+
+async def poll(frontend):
+    return await asyncio.to_thread(blocking_fetch, frontend)
+
+
+def blocking_fetch(frontend):
+    return frontend.result_queue.get()

@@ -1,0 +1,5 @@
+"""Re-export fixture: the package publishes Thing from its impl module."""
+
+from .impl import Thing
+
+__all__ = ["Thing"]

@@ -1,0 +1,7 @@
+"""Half of an import cycle: neither side ever defines missing_name."""
+
+from .cycle_b import missing_name
+
+
+def from_a():
+    return missing_name

@@ -1,0 +1,3 @@
+"""Other half of the import cycle."""
+
+from .cycle_a import missing_name  # noqa: F401

@@ -1,0 +1,5 @@
+"""The defining module behind the package re-export."""
+
+
+class Thing:
+    pass

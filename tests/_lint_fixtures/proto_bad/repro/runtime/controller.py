@@ -1,0 +1,51 @@
+"""RL011 bad fixture: dead command, unhandled event, dropped dispatch.
+
+TriggerMerge sits in the Command union but the controller never emits it
+(dead member); WorkerDied is produced by process_backend but has no
+isinstance branch here (unhandled); system.py silently drops ArmDeadline.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class ImageReady:
+    image_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class ResultReceived:
+    image_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerDied:
+    worker: int
+
+
+@dataclass(frozen=True, slots=True)
+class SendBatch:
+    image_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class ArmDeadline:
+    image_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class TriggerMerge:
+    image_id: int
+
+
+Event = ImageReady | ResultReceived | WorkerDied
+Command = SendBatch | ArmDeadline | TriggerMerge
+
+
+class CentralController:
+    def handle(self, event: object) -> list[object]:
+        if isinstance(event, ImageReady):
+            return [SendBatch(event.image_id), ArmDeadline(event.image_id)]
+        if isinstance(event, ResultReceived):
+            return []
+        raise TypeError(f"unknown event {event!r}")

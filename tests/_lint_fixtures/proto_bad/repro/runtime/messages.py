@@ -1,0 +1,18 @@
+"""RL012 bad fixture: TileResult.trace is read but never explicitly set."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class TileTask:
+    image_id: int
+    tile_id: int
+    slot: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class TileResult:
+    image_id: int
+    tile_id: int
+    payload: bytes
+    trace: dict

@@ -1,0 +1,16 @@
+"""In-process driver fixture that silently drops ArmDeadline: the
+controller can arm a deadline, but this backend never acts on it."""
+
+from .controller import CentralController, ImageReady, ResultReceived, SendBatch, TriggerMerge
+
+
+def execute(controller: CentralController) -> None:
+    for cmd in controller.handle(ImageReady(0)):
+        if isinstance(cmd, SendBatch):
+            note(ResultReceived(cmd.image_id))
+        elif isinstance(cmd, TriggerMerge):
+            continue
+
+
+def note(event: object) -> object:
+    return event

@@ -1,0 +1,36 @@
+"""RL011 good fixture: a closed protocol, fully dispatched everywhere."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class ImageReady:
+    image_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class ResultReceived:
+    image_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class SendBatch:
+    image_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class ArmDeadline:
+    image_id: int
+
+
+Event = ImageReady | ResultReceived
+Command = SendBatch | ArmDeadline
+
+
+class CentralController:
+    def handle(self, event: object) -> list[object]:
+        if isinstance(event, ImageReady):
+            return [SendBatch(event.image_id), ArmDeadline(event.image_id)]
+        if isinstance(event, ResultReceived):
+            return []
+        raise TypeError(f"unknown event {event!r}")

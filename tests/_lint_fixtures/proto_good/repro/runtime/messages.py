@@ -1,0 +1,17 @@
+"""RL012 good fixture: every produced field is consumed and vice versa."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class TileTask:
+    image_id: int
+    tile_id: int
+    slot: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class TileResult:
+    image_id: int
+    tile_id: int
+    payload: bytes

@@ -1,0 +1,25 @@
+"""Forking driver fixture: dispatches every command, produces both events."""
+
+from .controller import (
+    ArmDeadline,
+    CentralController,
+    ImageReady,
+    ResultReceived,
+    SendBatch,
+)
+from .messages import TileResult, TileTask
+
+
+def run(controller: CentralController) -> None:
+    events: list[object] = [ImageReady(0)]
+    while events:
+        for cmd in controller.handle(events.pop()):
+            if isinstance(cmd, SendBatch):
+                consume_task(TileTask(0, 1, slot="s0"))
+            elif isinstance(cmd, ArmDeadline):
+                events.append(ResultReceived(cmd.image_id))
+
+
+def consume_task(task: TileTask) -> tuple[int, int, bytes, str | None]:
+    result = TileResult(task.image_id, task.tile_id, b"")
+    return (result.image_id, result.tile_id, result.payload, task.slot)

@@ -1,0 +1,14 @@
+"""In-process driver fixture: the same full command dispatch, no forking."""
+
+from .controller import ArmDeadline, CentralController, ImageReady, SendBatch
+from .messages import TileTask
+
+
+def execute(controller: CentralController) -> list[TileTask]:
+    tasks: list[TileTask] = []
+    for cmd in controller.handle(ImageReady(0)):
+        if isinstance(cmd, SendBatch):
+            tasks.append(TileTask(cmd.image_id, 0))
+        elif isinstance(cmd, ArmDeadline):
+            continue
+    return tasks

@@ -1,0 +1,16 @@
+"""RL014 bad fixture: one early-return path drops the acquired slot.
+
+The happy path stores the slot into a ledger (so the purely syntactic
+RL003 pairing rule stays silent) — only the CFG walk sees that the
+``not tiles`` return leaks it.
+"""
+
+
+def leaky_dispatch(arena, tiles, ledger):
+    slot = arena.acquire()
+    if slot is None:
+        return None
+    if not tiles:
+        return None
+    ledger["slot"] = slot
+    return tiles

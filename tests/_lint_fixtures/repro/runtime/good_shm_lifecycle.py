@@ -1,0 +1,23 @@
+"""RL014 good fixture: every path resolves the acquired slot —
+None-guard, explicit release on the early return, ledger store on the
+happy path, and try/finally for the exception paths."""
+
+
+def dispatch(arena, tiles, ledger):
+    slot = arena.acquire()
+    if slot is None:
+        return None
+    if not tiles:
+        arena.release(slot)
+        return None
+    ledger["slot"] = slot
+    return tiles
+
+
+def guarded(arena, payload):
+    slot = arena.acquire()
+    try:
+        slot.write(payload)
+        return slot.name
+    finally:
+        arena.release(slot)

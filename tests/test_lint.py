@@ -47,7 +47,9 @@ def test_rl003_shm_pairing_fixture():
     assert ("RL003", 7) in found  # direct SharedMemory construction
     assert ("RL003", 11) in found  # acquire never released/stored
     assert ("RL003", 17) in found  # unlink without close
-    assert len(found) == 3
+    # The CFG-based lifecycle rule sees the same unresolved acquire.
+    assert ("RL014", 11) in found
+    assert len(found) == 4
 
 
 def test_rl004_telemetry_fixture():
@@ -119,6 +121,29 @@ def test_inline_and_preceding_line_suppression():
     assert violations_in(FIXTURES / "nn" / "suppressed.py") == []
 
 
+def test_suppression_is_position_precise(tmp_path):
+    # Regression: a trailing disable used to also shield the *next* line,
+    # and a comment-only disable used to shield its own line's neighbours.
+    bad = tmp_path / "repro" / "nn" / "mod.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(
+        "CACHE = {}  # repro-lint: disable=RL001\n"
+        "LEAKED = {}\n",
+        encoding="utf-8",
+    )
+    # Line 1 suppressed by its trailing comment; line 2 must still fire.
+    assert violations_in(bad) == [("RL001", 2)]
+
+    bad.write_text(
+        "# repro-lint: disable=RL001\n"
+        "SHIELDED = {}\n"
+        "LEAKED = {}\n",
+        encoding="utf-8",
+    )
+    # A comment-only disable shields exactly the next line, nothing else.
+    assert violations_in(bad) == [("RL001", 3)]
+
+
 def test_file_level_suppression(tmp_path):
     bad = tmp_path / "repro" / "nn" / "mod.py"
     bad.parent.mkdir(parents=True)
@@ -155,11 +180,14 @@ def test_stage_schema_in_sync():
 
 
 def test_rule_registry_well_formed():
-    codes = [cls.code for cls in RULE_CLASSES]
-    assert len(codes) == len(set(codes))
+    from repro.lint import PROJECT_RULE_CLASSES
+
+    codes = [cls.code for cls in RULE_CLASSES] + [cls.code for cls in PROJECT_RULE_CLASSES]
+    assert len(codes) == len(set(codes))  # per-file and project codes disjoint
     assert all(code.startswith("RL") for code in codes)
-    assert 6 <= len(codes) <= 10
+    assert 6 <= len(codes) <= 20
     assert all(cls.name and cls.description for cls in RULE_CLASSES)
+    assert all(cls.name and cls.description for cls in PROJECT_RULE_CLASSES)
 
 
 # --------------------------------------------------------------------- CLI
@@ -182,7 +210,7 @@ def test_cli_json_report(tmp_path):
     )
     assert code == 1
     report = json.loads(out.read_text())
-    assert report["version"] == 1
+    assert report["version"] == 2
     assert report["files_checked"] == 1
     assert report["violation_count"] == 2
     assert {v["code"] for v in report["violations"]} == {"RL005"}
