@@ -1,0 +1,166 @@
+"""Multi-cluster sharding benchmarks (ISSUE 10).
+
+Two measurements, both asserted so CI's perf-smoke job fails on regression,
+both exporting raw numbers through pytest-benchmark's ``extra_info``:
+
+- **DES scaling curve**: the same saturating Poisson stream over 1, 2 and
+  4 :class:`~repro.sharding.ShardedSystem` islands.  Islands share nothing,
+  so completed-per-sim-second must scale near-linearly — the 4-cluster
+  sweep is gated at >= 3x the single-cluster saturation throughput.
+- **Failover drain (process backend)**: a 2-shard
+  :class:`~repro.sharding.ClusterRouter` behind the serving front-end with
+  one whole shard killed mid-stream — every admitted image must resolve
+  (re-routed result or typed failure, never a hang) and every completed
+  image must leave exactly one complete trace tree.
+"""
+
+import time
+
+import numpy as np
+
+from repro.models import get_spec, vgg_mini
+from repro.nn import Tensor
+from repro.partition import FDSPModel, TileGrid
+from repro.profiling import RASPBERRY_PI_3B
+from repro.runtime import (
+    ADCNNSystem,
+    ADCNNWorkload,
+    poisson_arrival_times,
+)
+from repro.serving import ClusterFailed, ServingConfig, ServingFrontEnd
+from repro.sharding import STATE_DOWN, STATE_UP, ShardedDeploymentSpec, ShardedSystem, build_router
+from repro.simulator import SimNode
+from repro.telemetry import TelemetryRecorder
+from repro.telemetry.trace import assemble_traces
+
+RNG_SEED = 7
+# Well past a single island's saturation knee (bench_serving places it
+# below 16 Hz), and still past the knee when quartered across 4 islands.
+SATURATING_RATE_HZ = 48.0
+IMAGES = 240
+
+
+# --------------------------------------------------------- DES scaling
+def _island(_i: int) -> ADCNNSystem:
+    wl = ADCNNWorkload.from_spec(
+        get_spec("vgg16"), num_tiles=64, separable_prefix=13, compression_ratio=0.032
+    )
+    nodes = [SimNode(f"n{k}", RASPBERRY_PI_3B) for k in range(8)]
+    return ADCNNSystem(wl, nodes, SimNode("central", RASPBERRY_PI_3B))
+
+
+def des_scaling_curve(cluster_counts=(1, 2, 4)):
+    """Run the identical offered stream against 1, 2 and 4 islands."""
+    points = []
+    for n in cluster_counts:
+        rng = np.random.default_rng(RNG_SEED)  # same stream for every n
+        times = poisson_arrival_times(SATURATING_RATE_HZ, IMAGES, rng)
+        result = ShardedSystem(_island, n).run_open_loop(times, queue_capacity=8)
+        points.append((n, result))
+    return points
+
+
+def test_des_sharded_throughput_scales_near_linearly(benchmark):
+    """CI gate: 4 shared-nothing islands deliver >= 3x one island's
+    saturation throughput on the same offered stream."""
+    points = benchmark.pedantic(des_scaling_curve, rounds=1, iterations=1)
+    by_n = {n: r for n, r in points}
+    benchmark.extra_info["curve"] = [
+        {
+            "clusters": n,
+            "offered": r.offered,
+            "completed": r.completed,
+            "shed_fraction": r.shed_fraction,
+            "throughput_hz": r.throughput,
+            "p99_sojourn_s": r.sojourn_quantile(0.99),
+        }
+        for n, r in points
+    ]
+    print("\nclusters  throughput_hz  shed   p99_s")
+    for n, r in points:
+        print(
+            f"{n:8d}  {r.throughput:13.2f}  {r.shed_fraction:4.2f}"
+            f"  {r.sojourn_quantile(0.99):6.3f}"
+        )
+    for _, r in points:
+        # Admission bookkeeping survives aggregation at every width.
+        assert r.offered == r.completed + r.failed + r.shed == IMAGES
+    single, double, quad = by_n[1], by_n[2], by_n[4]
+    # The single cluster must actually be saturated, otherwise the ratio
+    # below measures slack instead of capacity.
+    assert single.shed_fraction > 0.25, f"offered rate below the knee: {single.shed_fraction}"
+    # Near-linear scaling: islands share nothing, so capacity adds.
+    assert double.throughput > 1.5 * single.throughput
+    assert quad.throughput >= 3.0 * single.throughput, (
+        f"4-cluster throughput {quad.throughput:.2f} < 3x single "
+        f"{single.throughput:.2f}"
+    )
+    # More capacity at the same offered load sheds less.
+    assert quad.shed_fraction < single.shed_fraction
+
+
+# ------------------------------------------------ failover drain (real)
+def failover_drain(num_images=10, kill_after=3):
+    """Kill one of two shards mid-stream; account for every image."""
+    model = vgg_mini(num_classes=3, input_size=24, base_width=6, separable_prefix=2).eval()
+    grid = TileGrid(2, 2)
+    reference = FDSPModel(model, grid)
+    reference.eval()
+    rng = np.random.default_rng(RNG_SEED)
+    telemetry = TelemetryRecorder()
+    spec = ShardedDeploymentSpec.homogeneous(
+        2, num_workers=1, policy="round_robin", mark_down_after=1, max_restarts=0
+    )
+    router = build_router(model, grid, spec, telemetry=telemetry)
+    batch = [rng.normal(size=(1, 3, 24, 24)).astype(np.float32) for _ in range(num_images)]
+    outcomes = []
+    start = time.monotonic()
+    with ServingFrontEnd(router, ServingConfig(window=4, queue_capacity=2 * num_images)) as fe:
+        for img in batch[:kill_after]:  # warm: fan-out works pre-fault
+            result = fe.submit(img).result(timeout=120)
+            np.testing.assert_allclose(
+                result.outcome.output, reference(Tensor(img)).data, atol=1e-5
+            )
+            outcomes.append("ok")
+        futures = [fe.submit(img) for img in batch[kill_after:]]
+        router._handles[0].kill()
+        for img, future in zip(batch[kill_after:], futures):
+            try:
+                result = future.result(timeout=120)
+            except ClusterFailed:
+                outcomes.append("failed")
+                continue
+            np.testing.assert_allclose(
+                result.outcome.output, reference(Tensor(img)).data, atol=1e-5
+            )
+            outcomes.append("ok")
+        health = fe.health()
+        status = fe.status()
+    trees = assemble_traces(telemetry.events)
+    return {
+        "admitted": len(batch),
+        "completed": sum(1 for o in outcomes if o == "ok"),
+        "failed": sum(1 for o in outcomes if o == "failed"),
+        "rerouted": health.rerouted,
+        "complete_trace_trees": sum(1 for t in trees.values() if t.complete),
+        "shard_states": {s.name: s.state for s in health.shards},
+        "status_completed": status.completed,
+        "drain_s": time.monotonic() - start,
+    }
+
+
+def test_process_backend_failover_drains_complete(benchmark):
+    """CI gate: a shard death never leaks an image or a trace span."""
+    stats = benchmark.pedantic(failover_drain, rounds=1, iterations=1)
+    benchmark.extra_info["failover"] = stats
+    print(f"\n{stats}")
+    # Every admitted image resolved — re-routed result or typed failure.
+    assert stats["completed"] + stats["failed"] == stats["admitted"]
+    # A surviving sibling means the kill is absorbed, not surfaced.
+    assert stats["failed"] == 0, f"re-route failed: {stats}"
+    assert stats["status_completed"] == stats["admitted"]
+    # Exactly one complete trace tree per completed image, even for the
+    # images whose first attempt died with shard0.
+    assert stats["complete_trace_trees"] == stats["completed"]
+    assert stats["shard_states"]["shard0"] == STATE_DOWN
+    assert stats["shard_states"]["shard1"] == STATE_UP

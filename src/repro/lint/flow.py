@@ -347,7 +347,13 @@ class MetricOrphanRule(ProjectRule):
     name = "metric-orphans"
     description = "emitted adcnn_* metrics are consumed by report/top, and vice versa"
 
-    EMITTER_FRAGMENTS = ("repro/runtime", "repro/serving", "repro/simulator", "repro/telemetry")
+    EMITTER_FRAGMENTS = (
+        "repro/runtime",
+        "repro/serving",
+        "repro/simulator",
+        "repro/telemetry",
+        "repro/sharding",
+    )
     EMITTER_EXCLUDES = ("telemetry/recorder.py", "telemetry/metrics.py", "telemetry/flight.py")
     CONSUMER_SUFFIXES = ("telemetry/report.py", "telemetry/top.py")
 

@@ -600,7 +600,13 @@ class MetricNameRule(Rule):
     code = "RL009"
     name = "metric-name"
     description = "metric names are adcnn_* string literals at every emission site"
-    include = ("repro/runtime", "repro/telemetry", "repro/serving", "repro/simulator")
+    include = (
+        "repro/runtime",
+        "repro/telemetry",
+        "repro/serving",
+        "repro/simulator",
+        "repro/sharding",
+    )
     #: The registry/recorder internals and the flight ring pass names
     #: through by construction; emission *sites* are what the rule guards.
     exclude = (
@@ -814,6 +820,47 @@ class ShmLifecycleRule(Rule):
             )
 
 
+# ---------------------------------------------------------------------- RL016
+class ClusterConstructionRule(Rule):
+    """Driver tiers never construct clusters directly (DESIGN.md §5k):
+    ``ProcessCluster(...)`` and ``ADCNNSystem(...)`` calls are forbidden
+    inside ``repro.serving`` and ``repro.sharding`` — go through
+    :func:`repro.sharding.make_cluster_handle` (or accept prebuilt
+    instances/factories from the caller).
+
+    The factory is what makes clusters *rebuildable*: it captures the full
+    recipe in a closure so cluster-level supervision can tear a failed
+    incarnation down and build a fresh one, and it labels each incarnation's
+    telemetry with the shard name so metrics from sibling clusters never
+    collide.  A direct construction site in a driver bypasses both — the
+    resulting cluster is a one-off the supervisor cannot restart.
+    """
+
+    code = "RL016"
+    name = "cluster-construction"
+    description = (
+        "drivers build clusters via make_cluster_handle, not "
+        "ProcessCluster()/ADCNNSystem() directly"
+    )
+    include = ("repro/serving", "repro/sharding")
+
+    _FORBIDDEN = frozenset({"ProcessCluster", "ADCNNSystem"})
+
+    def visit(self, node: ast.AST, ctx: ModuleContext, walker: Walker) -> None:
+        if not isinstance(node, ast.Call):
+            return
+        name = _dotted(node.func).rsplit(".", 1)[-1]
+        if name in self._FORBIDDEN:
+            ctx.report(
+                self.code,
+                node,
+                f"direct {name}() construction in a driver tier (go through "
+                "repro.sharding.make_cluster_handle or a caller-supplied "
+                "factory so cluster supervision can rebuild it and telemetry "
+                "stays shard-attributed)",
+            )
+
+
 RULE_CLASSES: tuple[type[Rule], ...] = (
     ForkSafetyRule,
     QueueMessageRule,
@@ -826,6 +873,7 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     MetricNameRule,
     TileLoopForwardRule,
     ShmLifecycleRule,
+    ClusterConstructionRule,
 )
 
 

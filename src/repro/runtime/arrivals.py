@@ -20,6 +20,7 @@ __all__ = [
     "poisson_arrival_times",
     "uniform_arrival_times",
     "burst_arrival_times",
+    "split",
 ]
 
 
@@ -84,3 +85,36 @@ def burst_arrival_times(
     if not times:
         raise ValueError("arrival schedule came out empty — rates too low for the phases")
     return np.asarray(times, dtype=np.float64)
+
+
+def split(
+    arrival_times: np.ndarray,
+    n: int,
+    seed: int | np.random.Generator | None = None,
+) -> list[np.ndarray]:
+    """Partition one arrival stream into ``n`` per-shard substreams.
+
+    Every arrival lands in exactly one substream and keeps its absolute
+    timestamp, so the union of the substreams is the original stream.  With
+    ``seed=None`` the assignment is deterministic round-robin (arrival ``i``
+    goes to shard ``i % n``) — reproducible without any RNG.  With a seed
+    (or an explicit :class:`numpy.random.Generator`) each arrival is routed
+    i.i.d. uniformly, which is Bernoulli thinning: splitting a Poisson
+    stream this way yields ``n`` *independent* Poisson substreams at
+    ``rate / n`` — the statistically faithful model of a stateless random
+    router, used by the multi-island DES sweeps.
+
+    Substreams may come out empty under random assignment; callers (e.g.
+    :meth:`ShardedSystem.run_open_loop`) must tolerate an idle shard.
+    """
+    if n < 1:
+        raise ValueError("need at least one substream")
+    times = np.asarray(arrival_times, dtype=np.float64)
+    if times.ndim != 1:
+        raise ValueError(f"arrival_times must be 1-D, got shape {times.shape}")
+    if seed is None:
+        assignment = np.arange(times.size) % n
+    else:
+        rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        assignment = rng.integers(0, n, size=times.size)
+    return [times[assignment == i] for i in range(n)]

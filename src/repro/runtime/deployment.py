@@ -9,6 +9,7 @@ from worker processes.
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Callable
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
@@ -23,6 +24,8 @@ from repro.partition.geometry import SegmentGrid, TileGrid, grid_for_model
 from .process_backend import InferenceOutcome, ProcessCluster, ProcessClusterConfig
 
 if TYPE_CHECKING:
+    from repro.sharding import ClusterRouter, ShardedDeploymentSpec
+    from repro.telemetry import Recorder
     from repro.training.progressive import ProgressiveResult
 
 __all__ = ["ADCNNDeployment"]
@@ -35,7 +38,7 @@ class ADCNNDeployment:
 
         result = progressive_retrain(model, "4x4", ...)
         deployment = ADCNNDeployment.from_progressive(result)
-        with deployment.serve(num_workers=4) as cluster:
+        with deployment.serve(deployment.cluster_config(num_workers=4)) as cluster:
             out = cluster.infer(image)
 
     or persist/restore it::
@@ -76,10 +79,77 @@ class ADCNNDeployment:
     def pipeline(self) -> CompressionPipeline:
         return CompressionPipeline(self.clip_lower, self.clip_upper, bits=self.bits)
 
-    def serve(self, num_workers: int = 2, t_limit: float = 30.0, **kwargs: Any) -> ProcessCluster:
-        """A process cluster serving this deployment (context manager)."""
-        config = ProcessClusterConfig(num_workers=num_workers, t_limit=t_limit, **kwargs)
-        return ProcessCluster(self.model, self.grid, pipeline=self.pipeline, config=config)
+    def cluster_config(
+        self, num_workers: int = 2, t_limit: float = 30.0, **kwargs: Any
+    ) -> ProcessClusterConfig:
+        """The deployment's per-cluster config — the one construction path
+        shared by :meth:`serve` and (via :class:`ShardSpec` overrides)
+        :meth:`serve_sharded`."""
+        return ProcessClusterConfig(num_workers=num_workers, t_limit=t_limit, **kwargs)
+
+    def serve(
+        self,
+        config: ProcessClusterConfig | int | None = None,
+        t_limit: float | None = None,
+        **kwargs: Any,
+    ) -> ProcessCluster:
+        """A process cluster serving this deployment (context manager).
+
+        Pass an already-built :class:`ProcessClusterConfig`::
+
+            with deployment.serve(deployment.cluster_config(num_workers=4)) as cluster:
+                out = cluster.infer(image)
+
+        The legacy loose-kwargs form — ``serve(num_workers=4, t_limit=...)``
+        or a bare positional worker count — still works but is deprecated;
+        it funnels into :meth:`cluster_config` and warns.
+        """
+        if isinstance(config, ProcessClusterConfig):
+            if t_limit is not None or kwargs:
+                raise TypeError(
+                    "pass either a ProcessClusterConfig or loose kwargs, not both"
+                )
+            cfg = config
+        elif config is None and t_limit is None and not kwargs:
+            cfg = self.cluster_config()
+        else:
+            warnings.warn(
+                "ADCNNDeployment.serve(num_workers=..., t_limit=..., **kwargs) is "
+                "deprecated; build the config once with cluster_config() and pass it",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            num_workers = int(kwargs.pop("num_workers", 2 if config is None else config))
+            cfg = self.cluster_config(
+                num_workers=num_workers,
+                t_limit=30.0 if t_limit is None else t_limit,
+                **kwargs,
+            )
+        return ProcessCluster(self.model, self.grid, pipeline=self.pipeline, config=cfg)
+
+    def serve_sharded(
+        self, spec: "ShardedDeploymentSpec", telemetry: "Recorder | None" = None
+    ) -> "ClusterRouter":
+        """A :class:`~repro.sharding.ClusterRouter` over N shards of this
+        deployment, built from one declarative spec (DESIGN.md §5k)::
+
+            spec = ShardedDeploymentSpec.homogeneous(4, num_workers=2)
+            with ServingFrontEnd(deployment.serve_sharded(spec)) as fe:
+                result = await fe.session("cam-0").submit(image)
+
+        Every shard runs the same model, grid, and compression pipeline;
+        per-shard worker counts, windows, and config overrides come from the
+        spec.  Shards without a config override inherit
+        ``ProcessClusterConfig(num_workers=shard.num_workers,
+        t_limit=spec.t_limit)``.
+        """
+        # Lazy import: repro.sharding sits above repro.runtime in the layer
+        # stack, so importing it at module scope would be circular.
+        from repro.sharding import build_router
+
+        return build_router(
+            self.model, self.grid, spec, pipeline=self.pipeline, telemetry=telemetry
+        )
 
     def infer_local(self, image: np.ndarray) -> np.ndarray:
         """Single-process reference inference through the same graph."""

@@ -981,6 +981,20 @@ class ProcessCluster:
         )
         return outcome
 
+    def result_readers(self) -> list[Any]:
+        """Waitable reader connections of the live result queues.
+
+        Exposed so multi-cluster drivers (:class:`repro.sharding.ClusterRouter`)
+        can park on *every* shard's result pipes in one
+        :func:`multiprocessing.connection.wait` call instead of polling
+        clusters round-robin.
+        """
+        return [
+            reader
+            for reader in (getattr(q, "_reader", None) for q in self._result_queues)
+            if reader is not None
+        ]
+
     def _wait_results(self, timeout: float) -> bool:
         """Block until any worker's result pipe is readable, or ``timeout``.
 
@@ -989,11 +1003,7 @@ class ProcessCluster:
         immediately — the idle path used to busy-poll with a 5 ms sleep,
         adding up to 5 ms to every result's latency and burning CPU.
         """
-        readers = [
-            reader
-            for reader in (getattr(q, "_reader", None) for q in self._result_queues)
-            if reader is not None
-        ]
+        readers = self.result_readers()
         if not readers:  # pragma: no cover - queues always expose _reader on CPython
             time.sleep(min(timeout, self.config.poll_interval))
             return False

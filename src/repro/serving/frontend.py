@@ -1,4 +1,4 @@
-"""Continuous multi-client serving front-end over :class:`ProcessCluster`.
+"""Continuous multi-client serving front-end over a :class:`ClusterHandle`.
 
 The paper's runtime (and ``ProcessCluster.infer_stream``) is closed-loop: a
 bounded batch is known up front and the driver loops until it drains.  A
@@ -9,9 +9,13 @@ decision logic (DESIGN.md §5g):
 
 - :class:`ServingFrontEnd` owns the cluster lifecycle and a single driver
   thread that pulls admitted images from a bounded FIFO queue and feeds
-  them through a :class:`~repro.runtime.process_backend.StreamEngine` —
-  the controller's Figure-9 pipelining window *is* the admission-control
-  signal, so in-flight concurrency never exceeds the window.
+  them through a :class:`~repro.sharding.ClusterHandle` — the
+  controller's Figure-9 pipelining window *is* the admission-control
+  signal, so in-flight concurrency never exceeds the window.  The handle
+  seam (DESIGN.md §5k) means the same driver loop serves one adopted
+  :class:`ProcessCluster` or a whole
+  :class:`~repro.sharding.ClusterRouter` of them — the front-end holds no
+  hardcoded "the cluster" reference.
 - :meth:`ServingFrontEnd.submit` is thread-safe and non-blocking: a full
   admission queue sheds the request with a typed :class:`Overloaded`
   rejection instead of queueing unboundedly (bounded-queue backpressure).
@@ -40,8 +44,20 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.runtime.process_backend import InferenceOutcome, ProcessCluster, StreamEngine
-from repro.telemetry import ServingStatus, StreamingQuantiles, TraceContext
+from repro.runtime.process_backend import InferenceOutcome, ProcessCluster
+from repro.sharding.handle import (
+    ClusterDown,
+    ClusterHandle,
+    ProcessClusterHandle,
+    ShardFailure,
+)
+from repro.telemetry import (
+    ClusterHealth,
+    RouterHealth,
+    ServingStatus,
+    StreamingQuantiles,
+    TraceContext,
+)
 
 __all__ = [
     "Overloaded",
@@ -120,6 +136,9 @@ class ClientStats:
     completed: int = 0
     shed: int = 0
     slo_misses: int = 0
+    #: Admitted images that terminated with :class:`ClusterFailed` (their
+    #: cluster died and no sibling could take the work over).
+    failed: int = 0
     latencies_s: list[float] = field(default_factory=list)
 
     def latency_quantile(self, q: float) -> float:
@@ -143,10 +162,13 @@ class _Pending:
 
 
 class ServingFrontEnd:
-    """Long-lived open-loop serving loop around one :class:`ProcessCluster`.
+    """Long-lived open-loop serving loop around one :class:`ClusterHandle`.
 
-    Use as a context manager; the cluster must *not* be started — the
-    front-end owns its lifecycle end to end::
+    Accepts either a raw (unstarted) :class:`ProcessCluster` — adopted
+    behind a :class:`~repro.sharding.ProcessClusterHandle`, the legacy
+    single-cluster path — or any :class:`ClusterHandle`, including a
+    :class:`~repro.sharding.ClusterRouter` spanning N clusters.  Use as a
+    context manager; the front-end owns the handle's lifecycle end to end::
 
         cluster = ProcessCluster(model, "2x2", pipeline, config)
         with ServingFrontEnd(cluster, ServingConfig(window=2)) as fe:
@@ -154,13 +176,23 @@ class ServingFrontEnd:
             result = await session.submit(image)
     """
 
-    def __init__(self, cluster: ProcessCluster, config: ServingConfig | None = None) -> None:
-        if cluster._procs:
-            raise RuntimeError(
-                "cluster is already started — the front-end owns the lifecycle"
-            )
-        self.cluster = cluster
+    def __init__(
+        self,
+        cluster: ProcessCluster | ClusterHandle,
+        config: ServingConfig | None = None,
+    ) -> None:
         self.config = config or ServingConfig()
+        if isinstance(cluster, ProcessCluster):
+            # Adoption, not construction (RL016): the front-end never builds
+            # clusters itself, it wraps what the caller provides.
+            self._handle: ClusterHandle = ProcessClusterHandle.adopt(
+                cluster, window=self.config.window
+            )
+            #: The wrapped single cluster (None when driving a router/handle).
+            self.cluster: ProcessCluster | None = cluster
+        else:
+            self._handle = cluster
+            self.cluster = None
         self._queue: queue.Queue[_Pending] = queue.Queue(maxsize=self.config.queue_capacity)
         self._stats: dict[str, ClientStats] = {}
         self._stats_lock = threading.Lock()
@@ -171,20 +203,19 @@ class ServingFrontEnd:
         self._admitting = False
         self._stop_requested = threading.Event()
         self._thread: threading.Thread | None = None
-        self._engine: StreamEngine | None = None
         self._driver_error: BaseException | None = None
         self._drain_started: float | None = None
 
     # ---------------------------------------------------------- lifecycle
+    @property
+    def handle(self) -> ClusterHandle:
+        """The driven :class:`ClusterHandle` (single cluster or router)."""
+        return self._handle
+
     def start(self) -> "ServingFrontEnd":
         if self._thread is not None:
             raise RuntimeError("front-end already started")
-        self.cluster.start()
-        try:
-            self._engine = self.cluster.stream_engine(self.config.window)
-        except BaseException:
-            self.cluster.stop()
-            raise
+        self._handle.start()
         self._admitting = True
         self._thread = threading.Thread(
             target=self._drive, name="adcnn-serving-driver", daemon=True
@@ -227,7 +258,7 @@ class ServingFrontEnd:
         """
         if self._driver_error is not None:
             raise RuntimeError("serving driver died") from self._driver_error
-        img = self.cluster.validate_image(image)
+        img = self._handle.validate_image(image)
         stats = self._client(client)
         if not self._admitting:
             with self._stats_lock:
@@ -235,10 +266,12 @@ class ServingFrontEnd:
             self._count_shed(client, "draining")
             raise Overloaded("draining", self._queue.qsize(), self.config.queue_capacity)
         # Mint the trace *before* enqueueing: the span tree's root starts at
-        # submit(), so admission-queue wait is visible as queue_wait.
-        tel = self.cluster.telemetry
+        # submit(), so admission-queue wait is visible as queue_wait.  The
+        # handle owns trace-id allocation (a router mints globally so sibling
+        # clusters' id spaces never collide).
+        tel = self._handle.telemetry
         submit_ts = time.perf_counter()
-        trace = self.cluster.mint_trace(submit_ts) if tel.enabled else None
+        trace = self._handle.mint_trace(submit_ts) if tel.enabled else None
         pending = _Pending(
             image=img,
             client=client,
@@ -276,6 +309,7 @@ class ServingFrontEnd:
                 completed=st.completed,
                 shed=st.shed,
                 slo_misses=st.slo_misses,
+                failed=st.failed,
                 latencies_s=list(st.latencies_s),
             )
 
@@ -291,12 +325,12 @@ class ServingFrontEnd:
         lock and latency quantiles come from the O(1) P² digests, so this
         can be polled at UI refresh rates while serving.
         """
-        engine = self._engine
         with self._stats_lock:
             submitted = sum(st.submitted for st in self._stats.values())
             completed = sum(st.completed for st in self._stats.values())
             shed = sum(st.shed for st in self._stats.values())
             slo_misses = sum(st.slo_misses for st in self._stats.values())
+            failed = sum(st.failed for st in self._stats.values())
             latency = self._latency_q.snapshot()
             queue_wait = self._queue_wait_q.snapshot()
             clients = tuple(sorted(self._stats))
@@ -304,15 +338,22 @@ class ServingFrontEnd:
             admitting=self._admitting,
             queue_depth=self._queue.qsize(),
             queue_capacity=self.config.queue_capacity,
-            in_flight=engine.in_flight if engine is not None else 0,
+            in_flight=self._handle.in_flight,
             submitted=submitted,
             completed=completed,
             shed=shed,
             slo_misses=slo_misses,
             latency=latency,
             queue_wait=queue_wait,
+            failed=failed,
             clients=clients,
         )
+
+    def health(self) -> ClusterHealth | RouterHealth:
+        """Health of whatever is being driven: one cluster's
+        :class:`ClusterHealth`, or a router's aggregate
+        :class:`RouterHealth` with per-shard drill-down."""
+        return self._handle.health()
 
     # ------------------------------------------------------------- internal
     def _client(self, client: str) -> ClientStats:
@@ -320,26 +361,38 @@ class ServingFrontEnd:
             return self._stats.setdefault(client, ClientStats())
 
     def _count_shed(self, client: str, reason: str) -> None:
-        tel = self.cluster.telemetry
+        tel = self._handle.telemetry
         if tel.enabled:
             tel.count("adcnn_serving_shed_total", client=client, reason=reason)
 
+    def _terminal(self) -> bool:
+        """The handle can never serve again (e.g. every shard marked down)."""
+        return bool(getattr(self._handle, "terminal", False))
+
     def _drive(self) -> None:
         """Driver-thread main loop: admit -> pump -> repeat, then drain."""
-        engine = self._engine
-        assert engine is not None
+        handle = self._handle
         inflight: dict[int, _Pending] = {}
         try:
             while True:
                 draining = self._stop_requested.is_set()
-                self._admit(engine, inflight)
-                if engine.in_flight:
+                if self._terminal():
+                    # Dead end: no shard will ever take work again.  Collect
+                    # any typed failures supervision already minted, fail the
+                    # rest, and exit — never hang on a dead deployment.
+                    self._pump_once(handle, inflight, block=False)
+                    self._fail_all(inflight)
+                    break
+                self._admit(handle, inflight)
+                if handle.in_flight:
                     # After _admit either the queue is empty or the window
                     # is full, so blocking never starves a waiting image;
                     # pump's wait is bounded by poll_interval / the oldest
                     # deadline, which also bounds shutdown responsiveness.
-                    for image_id, outcome in engine.pump():
-                        self._complete(inflight.pop(image_id), outcome)
+                    if not self._pump_once(handle, inflight, block=True):
+                        # Handle died mid-pump: loop back to the terminal
+                        # check rather than spinning.
+                        continue
                 elif draining and self._queue.empty():
                     break
                 else:
@@ -349,7 +402,7 @@ class ServingFrontEnd:
                         pending = self._queue.get(timeout=0.05)
                     except queue.Empty:
                         continue
-                    self._dispatch(engine, inflight, pending)
+                    self._dispatch(handle, inflight, pending)
                 if draining and self._drain_deadline_passed():
                     break
         except Exception as exc:  # pragma: no cover - defensive
@@ -357,31 +410,53 @@ class ServingFrontEnd:
         finally:
             self._admitting = False
             self._abandon(inflight)
-            self.cluster.stop()
+            handle.stop()
         if self._driver_error is not None:  # pragma: no cover - defensive
             raise self._driver_error
 
-    def _admit(self, engine: StreamEngine, inflight: dict[int, _Pending]) -> None:
-        while engine.can_dispatch:
+    def _pump_once(
+        self, handle: ClusterHandle, inflight: dict[int, _Pending], block: bool
+    ) -> bool:
+        """One pump pass; False when the handle itself is down."""
+        try:
+            results = handle.pump(block)
+        except ClusterDown:
+            return False
+        for image_id, outcome in results:
+            self._complete(inflight.pop(image_id), outcome)
+        return True
+
+    def _admit(self, handle: ClusterHandle, inflight: dict[int, _Pending]) -> None:
+        while handle.can_dispatch:
             try:
                 pending = self._queue.get_nowait()
             except queue.Empty:
                 return
-            self._dispatch(engine, inflight, pending)
+            self._dispatch(handle, inflight, pending)
 
     def _dispatch(
-        self, engine: StreamEngine, inflight: dict[int, _Pending], pending: _Pending
+        self, handle: ClusterHandle, inflight: dict[int, _Pending], pending: _Pending
     ) -> None:
-        if not engine.can_dispatch:
+        if not handle.can_dispatch:
             # Raced with get(): requeue is pointless (we are the only
-            # consumer) — hold it as the next dispatch instead.
-            while not engine.can_dispatch:
-                for image_id, outcome in engine.pump():
-                    self._complete(inflight.pop(image_id), outcome)
+            # consumer) — hold it as the next dispatch instead.  A handle
+            # that goes terminal while we wait fails the image typed
+            # instead of spinning forever.
+            while not handle.can_dispatch:
+                if self._terminal() or not self._pump_once(handle, inflight, block=True):
+                    self._fail(
+                        pending,
+                        ShardFailure(handle.name, "no routable cluster remains", 0),
+                    )
+                    return
         pending.dispatch_ts = time.perf_counter()
-        image_id = engine.dispatch(pending.image, trace=pending.trace)
+        try:
+            image_id = handle.dispatch(pending.image, trace=pending.trace)
+        except ClusterDown as exc:
+            self._fail(pending, ShardFailure(exc.cluster, exc.reason, 0))
+            return
         inflight[image_id] = pending
-        tel = self.cluster.telemetry
+        tel = self._handle.telemetry
         if tel.enabled:
             tel.observe(
                 "adcnn_serving_queue_wait_seconds",
@@ -389,7 +464,32 @@ class ServingFrontEnd:
                 client=pending.client,
             )
 
-    def _complete(self, pending: _Pending, outcome: InferenceOutcome) -> None:
+    def _fail(self, pending: _Pending, failure: ShardFailure) -> None:
+        """Resolve one admitted image with a typed infrastructure failure."""
+        with self._stats_lock:
+            self._stats.setdefault(pending.client, ClientStats()).failed += 1
+        tel = self._handle.telemetry
+        if tel.enabled:
+            tel.count(
+                "adcnn_serving_failed_total",
+                client=pending.client,
+                cluster=failure.cluster,
+            )
+        if pending.future.set_running_or_notify_cancel():
+            pending.future.set_exception(failure.to_exception())
+
+    def _fail_all(self, inflight: dict[int, _Pending]) -> None:
+        for pending in list(inflight.values()):
+            self._fail(
+                pending,
+                ShardFailure(self._handle.name, "no routable cluster remains", 0),
+            )
+        inflight.clear()
+
+    def _complete(self, pending: _Pending, outcome: InferenceOutcome | ShardFailure) -> None:
+        if isinstance(outcome, ShardFailure):
+            self._fail(pending, outcome)
+            return
         now = time.perf_counter()
         latency = now - pending.submit_ts
         queue_wait = (
@@ -406,7 +506,7 @@ class ServingFrontEnd:
                 stats.slo_misses += 1
             self._latency_q.observe(latency)
             self._queue_wait_q.observe(queue_wait)
-        tel = self.cluster.telemetry
+        tel = self._handle.telemetry
         if tel.enabled:
             tel.observe("adcnn_serving_latency_seconds", latency, client=pending.client)
             if slo_miss:

@@ -38,7 +38,8 @@ def run_smoke(
     from repro.models import vgg_mini
     from repro.nn import Tensor
     from repro.partition import FDSPModel, TileGrid
-    from repro.runtime import ProcessCluster, ProcessClusterConfig
+    from repro.runtime import ProcessClusterConfig
+    from repro.sharding import make_cluster_handle
 
     model = vgg_mini(num_classes=3, input_size=24, base_width=6, separable_prefix=2).eval()
     grid = TileGrid(2, 2)
@@ -46,11 +47,12 @@ def run_smoke(
     reference.eval()
     rng = np.random.default_rng(seed)
     telemetry = TelemetryRecorder()
-    cluster = ProcessCluster(
+    cluster = make_cluster_handle(
         model,
         grid,
         config=ProcessClusterConfig(num_workers=num_workers, t_limit=30.0),
         telemetry=telemetry,
+        window=2,
     )
     clients = ("edge-cam-a", "edge-cam-b")
     images = {

@@ -1,0 +1,75 @@
+"""Hierarchical multi-cluster sharding (DESIGN.md §5k).
+
+The two-tier architecture above the single-cluster runtime:
+
+- :class:`ClusterHandle` — the backend-agnostic seam every driver goes
+  through; :func:`make_cluster_handle` is the sanctioned construction
+  site (lint rule RL016) and what makes clusters rebuildable.
+- :class:`ClusterRouter` — fans an image stream across N clusters with a
+  pluggable routing policy, supervises *whole clusters* (mark-down,
+  re-route, capped-backoff restart, probe revival), and is itself a
+  :class:`ClusterHandle`, so :class:`~repro.serving.ServingFrontEnd`
+  drives sharded and single-cluster deployments identically.
+- Routing policies — a registry mirroring :mod:`repro.runtime.policies`:
+  ``round_robin``, ``least_outstanding``, ``weighted_by_health``,
+  ``affinity``; :func:`register_routing_policy` adds more.
+- :class:`ShardedDeploymentSpec` / :class:`ShardSpec` — declarative
+  topology consumed by :meth:`ADCNNDeployment.serve_sharded`.
+- :class:`ShardedSystem` — the DES face: N independent
+  :class:`~repro.runtime.system.ADCNNSystem` islands over a
+  :func:`~repro.runtime.arrivals.split` arrival stream, for fig13-style
+  sweeps beyond single-cluster K.
+"""
+
+from .handle import (
+    ClusterDown,
+    ClusterFailed,
+    ClusterHandle,
+    ProcessClusterHandle,
+    ShardFailure,
+    make_cluster_handle,
+)
+from .policies import (
+    RoutingPolicy,
+    RoutingRequest,
+    available_routing_policies,
+    get_routing_policy,
+    register_routing_policy,
+    resolve_routing_policy,
+)
+from .router import (
+    STATE_DOWN,
+    STATE_PROBATION,
+    STATE_RESTARTING,
+    STATE_UP,
+    ClusterRouter,
+    RouterConfig,
+)
+from .sim import ShardedOpenLoopResult, ShardedSystem
+from .spec import ShardedDeploymentSpec, ShardSpec, build_router
+
+__all__ = [
+    "ClusterHandle",
+    "ProcessClusterHandle",
+    "make_cluster_handle",
+    "ClusterDown",
+    "ClusterFailed",
+    "ShardFailure",
+    "ClusterRouter",
+    "RouterConfig",
+    "STATE_UP",
+    "STATE_DOWN",
+    "STATE_RESTARTING",
+    "STATE_PROBATION",
+    "RoutingRequest",
+    "RoutingPolicy",
+    "register_routing_policy",
+    "get_routing_policy",
+    "resolve_routing_policy",
+    "available_routing_policies",
+    "ShardSpec",
+    "ShardedDeploymentSpec",
+    "build_router",
+    "ShardedSystem",
+    "ShardedOpenLoopResult",
+]

@@ -1,0 +1,194 @@
+"""Pluggable routing policies: which cluster takes the next image.
+
+Mirrors :mod:`repro.runtime.policies` (the tile-allocation registry) one
+tier up: a routing policy is a pure function from a frozen
+:class:`RoutingRequest` snapshot to the index of the chosen candidate
+cluster.  The router builds the snapshot — policies never touch live
+handles, so they are trivially testable and cannot mutate router state.
+
+Built-ins:
+
+- ``round_robin`` — cycle through candidates in order; stateless fairness.
+- ``least_outstanding`` — fewest in-flight images (join-shortest-queue),
+  the classic latency-optimal heuristic for homogeneous shards.
+- ``weighted_by_health`` — DistrEdge-style state-aware placement: score
+  each candidate ``weight * health / (outstanding + 1)`` where ``health``
+  is the mean node score from the shard's
+  :class:`~repro.telemetry.ClusterHealth`, so degraded shards shed load
+  before they fail.
+- ``affinity`` — per-tenant/per-model stickiness: a stable hash of
+  ``(client, model)`` pins a tenant's stream to one shard while it is
+  routable, falling back to ``least_outstanding`` when its home shard is
+  not a candidate.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.telemetry import ClusterHealth
+
+__all__ = [
+    "RoutingRequest",
+    "RoutingPolicy",
+    "register_routing_policy",
+    "get_routing_policy",
+    "resolve_routing_policy",
+    "available_routing_policies",
+    "round_robin",
+    "least_outstanding",
+    "weighted_by_health",
+    "affinity",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class RoutingRequest:
+    """Everything a routing decision may read, frozen at decision time.
+
+    ``candidates`` are indices into the parallel per-cluster sequences
+    (``names`` / ``outstanding`` / ``weights`` / ``health``) — only
+    routable clusters with window headroom appear, and the sequences always
+    cover *all* clusters so indices are stable across decisions.
+    """
+
+    #: Indices of clusters eligible for this image (never empty).
+    candidates: tuple[int, ...]
+    #: Shard names, indexed by cluster index.
+    names: tuple[str, ...]
+    #: In-flight images per cluster.
+    outstanding: tuple[int, ...]
+    #: Static per-shard capacity weights from the deployment spec.
+    weights: tuple[float, ...]
+    #: Latest health snapshot per cluster (None while unavailable).
+    health: tuple[ClusterHealth | None, ...]
+    #: Monotone dispatch counter (drives round-robin without policy state).
+    sequence: int = 0
+    #: Submitting tenant and model tag (affinity inputs; may be empty).
+    client: str = ""
+    model: str = ""
+    extra: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.candidates:
+            raise ValueError("routing request needs at least one candidate")
+        n = len(self.names)
+        if not (len(self.outstanding) == len(self.weights) == len(self.health) == n):
+            raise ValueError("per-cluster sequences must have equal length")
+        if any(not 0 <= c < n for c in self.candidates):
+            raise ValueError("candidate index out of range")
+
+
+RoutingPolicy = Callable[[RoutingRequest], int]
+
+
+class _PolicyRegistry:
+    def __init__(self) -> None:
+        self._policies: dict[str, RoutingPolicy] = {}
+
+    def add(self, name: str, policy: RoutingPolicy) -> None:
+        if name in self._policies:
+            raise ValueError(f"routing policy {name!r} already registered")
+        self._policies[name] = policy
+
+    def get(self, name: str) -> RoutingPolicy:
+        try:
+            return self._policies[name]
+        except KeyError:
+            known = ", ".join(sorted(self._policies)) or "(none)"
+            raise KeyError(
+                f"unknown routing policy {name!r}; registered: {known}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._policies))
+
+
+_REGISTRY = _PolicyRegistry()
+
+
+def register_routing_policy(name: str) -> Callable[[RoutingPolicy], RoutingPolicy]:
+    """Decorator: publish a routing policy under ``name``."""
+
+    def deco(policy: RoutingPolicy) -> RoutingPolicy:
+        _REGISTRY.add(name, policy)
+        return policy
+
+    return deco
+
+
+def get_routing_policy(name: str) -> RoutingPolicy:
+    return _REGISTRY.get(name)
+
+
+def available_routing_policies() -> tuple[str, ...]:
+    return _REGISTRY.names()
+
+
+def resolve_routing_policy(policy: str | RoutingPolicy) -> RoutingPolicy:
+    """Accept a registry name or a policy callable (config convenience)."""
+    if callable(policy):
+        return policy
+    return get_routing_policy(policy)
+
+
+def _mean_health(snapshot: ClusterHealth | None) -> float:
+    """Mean node score in [0, 1]; an unknown shard scores a neutral 1.0."""
+    if snapshot is None or not snapshot.nodes:
+        return 1.0
+    return sum(n.score for n in snapshot.nodes) / len(snapshot.nodes)
+
+
+@register_routing_policy("round_robin")
+def round_robin(request: RoutingRequest) -> int:
+    """Cycle through candidates; the dispatch sequence number is the state."""
+    return request.candidates[request.sequence % len(request.candidates)]
+
+
+@register_routing_policy("least_outstanding")
+def least_outstanding(request: RoutingRequest) -> int:
+    """Join the shortest queue; first candidate wins ties (determinism)."""
+    return min(request.candidates, key=lambda c: (request.outstanding[c], c))
+
+
+@register_routing_policy("weighted_by_health")
+def weighted_by_health(request: RoutingRequest) -> int:
+    """Highest ``weight * health / (outstanding + 1)`` wins.
+
+    Health comes from the shard's controller-derived node scores
+    (:func:`~repro.telemetry.node_health_scores`), so the router leans away
+    from shards whose *workers* are already struggling before the shard
+    itself fails — ties break toward the lowest index for determinism.
+    """
+
+    def score(c: int) -> float:
+        return request.weights[c] * _mean_health(request.health[c]) / (
+            request.outstanding[c] + 1
+        )
+
+    return max(request.candidates, key=lambda c: (score(c), -c))
+
+
+@register_routing_policy("affinity")
+def affinity(request: RoutingRequest) -> int:
+    """Stable per-tenant/per-model placement with graceful fallback.
+
+    Hashing ``client/model`` over the *full* cluster list keeps a tenant's
+    home shard fixed as other shards come and go; only when the home shard
+    is not currently a candidate (down, or window full) does the decision
+    degrade to :func:`least_outstanding` among the candidates.
+    """
+    key = f"{request.client}/{request.model}".encode()
+    home = zlib.crc32(key) % len(request.names)
+    if home in request.candidates:
+        return home
+    return least_outstanding(request)
+
+
+def spread(outstanding: Sequence[int]) -> int:
+    """Max-minus-min in-flight across shards (load-balance quality metric)."""
+    if not outstanding:
+        return 0
+    return max(outstanding) - min(outstanding)

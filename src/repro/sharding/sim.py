@@ -1,0 +1,173 @@
+"""Multi-island open-loop simulation: N independent DES clusters.
+
+The single-cluster DES (:class:`~repro.runtime.system.ADCNNSystem`) tops
+out at one Central node's window; fig13-style sweeps beyond that need the
+two-tier story in sim-time.  :class:`ShardedSystem` models the router tier
+statically: the arrival stream is pre-partitioned with
+:func:`repro.runtime.arrivals.split` (deterministic round-robin, or seeded
+Bernoulli thinning for i.i.d. random routing — the faithful model of a
+stateless router), each substream drives its own *independent*
+:class:`ADCNNSystem` island, and the per-island
+:class:`~repro.runtime.system.OpenLoopResult`\\ s aggregate into one
+:class:`ShardedOpenLoopResult`.
+
+Islands share nothing — no queues, no medium, no Central — which is
+exactly the sharded deployment's property that makes throughput scale
+near-linearly in cluster count; ``benchmarks/bench_sharding.py`` asserts
+that curve.  Dynamic routing policies (least-outstanding and friends need
+cross-cluster state at dispatch time) are a process-backend feature; the
+DES tier models the static split only.
+
+Islands are supplied by the caller — prebuilt, or as an ``int -> system``
+factory — so this module never constructs an ``ADCNNSystem`` itself
+(RL016: construction belongs to the caller's factory, one tier up).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.runtime.arrivals import split as split_arrivals
+from repro.runtime.system import ADCNNSystem, OpenLoopResult
+
+__all__ = ["ShardedSystem", "ShardedOpenLoopResult"]
+
+
+@dataclass
+class ShardedOpenLoopResult:
+    """Aggregate of N per-island open-loop runs (admission bookkeeping
+    intact: ``offered == completed + failed + shed`` always holds, the DES
+    analog of the process backend's "every admitted image resolves").
+
+    ``per_cluster`` keeps each island's full :class:`OpenLoopResult`
+    (``None`` for an island whose substream came out empty), so per-shard
+    drill-down costs nothing.
+    """
+
+    names: tuple[str, ...]
+    per_cluster: tuple[OpenLoopResult | None, ...]
+
+    @property
+    def offered(self) -> int:
+        return sum(r.offered for r in self.per_cluster if r is not None)
+
+    @property
+    def shed(self) -> int:
+        return sum(r.shed for r in self.per_cluster if r is not None)
+
+    @property
+    def completed(self) -> int:
+        return sum(r.completed for r in self.per_cluster if r is not None)
+
+    @property
+    def failed(self) -> int:
+        """Admitted images that never completed (island Central died)."""
+        return sum(
+            sum(1 for rec in r.records if not math.isfinite(rec.completion))
+            for r in self.per_cluster
+            if r is not None
+        )
+
+    @property
+    def horizon(self) -> float:
+        """Wall of the whole run: islands run concurrently, so the slowest
+        island's horizon bounds the aggregate."""
+        horizons = [r.horizon for r in self.per_cluster if r is not None]
+        return max(horizons) if horizons else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Completed images per sim-second across all islands."""
+        horizon = self.horizon
+        return self.completed / horizon if horizon > 0 else 0.0
+
+    @property
+    def shed_fraction(self) -> float:
+        offered = self.offered
+        return self.shed / offered if offered else 0.0
+
+    def sojourns(self) -> np.ndarray:
+        """Finite arrival→completion latencies pooled across islands."""
+        parts = [r.sojourns() for r in self.per_cluster if r is not None]
+        if not parts:
+            return np.zeros(0)
+        return np.concatenate(parts)
+
+    def sojourn_quantile(self, q: float) -> float:
+        sojourns = self.sojourns()
+        if sojourns.size == 0:
+            return math.nan
+        return float(np.quantile(sojourns, q))
+
+
+class ShardedSystem:
+    """N independent ADCNN islands behind one open-loop entry point.
+
+    ``islands`` is either a sequence of prebuilt systems or a factory
+    called with each island index — the factory form keeps per-island
+    state (node lists, RNGs, telemetry) from being shared accidentally.
+    ``split_seed=None`` partitions arrivals round-robin (deterministic);
+    an integer seed routes each arrival i.i.d. uniformly.
+    """
+
+    def __init__(
+        self,
+        islands: Sequence[ADCNNSystem] | Callable[[int], ADCNNSystem],
+        num_clusters: int | None = None,
+        *,
+        names: Sequence[str] | None = None,
+        split_seed: int | None = None,
+    ) -> None:
+        if callable(islands):
+            if num_clusters is None or num_clusters < 1:
+                raise ValueError("factory form needs num_clusters >= 1")
+            built = [islands(i) for i in range(num_clusters)]
+        else:
+            built = list(islands)
+            if num_clusters is not None and num_clusters != len(built):
+                raise ValueError(
+                    f"num_clusters={num_clusters} but {len(built)} islands given"
+                )
+        if not built:
+            raise ValueError("need at least one island")
+        self.islands: list[ADCNNSystem] = built
+        self.names = tuple(
+            names if names is not None
+            else (f"island{i}" for i in range(len(built)))
+        )
+        if len(self.names) != len(built):
+            raise ValueError("need one name per island")
+        self.split_seed = split_seed
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self.islands)
+
+    def run_open_loop(
+        self,
+        arrival_times: Sequence[float] | np.ndarray,
+        queue_capacity: int | None = None,
+    ) -> ShardedOpenLoopResult:
+        """Split the stream, run every island, aggregate (sim-time).
+
+        Islands simulate independently — their sim-clocks are parallel
+        universes sharing t=0 — so the aggregate horizon is the max over
+        islands, matching a real deployment where shards run concurrently.
+        An island whose substream is empty is skipped (``None`` in
+        ``per_cluster``): :meth:`ADCNNSystem.run_open_loop` requires at
+        least one arrival, and an idle shard completes nothing anyway.
+        """
+        substreams = split_arrivals(
+            np.asarray(arrival_times, dtype=float), self.num_clusters, self.split_seed
+        )
+        results: list[OpenLoopResult | None] = []
+        for island, stream in zip(self.islands, substreams):
+            if stream.size == 0:
+                results.append(None)
+                continue
+            results.append(island.run_open_loop(stream, queue_capacity))
+        return ShardedOpenLoopResult(names=self.names, per_cluster=tuple(results))

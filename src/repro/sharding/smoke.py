@@ -1,0 +1,178 @@
+"""Sharding smoke run: ``python -m repro.sharding.smoke --out DIR``.
+
+End-to-end exercise of the two-tier deployment under fault injection: a
+:class:`~repro.sharding.ClusterRouter` over N real process-backend shards
+behind the :class:`~repro.serving.ServingFrontEnd`, a stream of images, and
+one whole shard killed mid-stream.  CI runs this in a few seconds and
+uploads the directory as an artifact.
+
+Checks (all fail loudly):
+
+- every submitted image resolves — a correct result (matching the
+  single-process reference output) or a typed
+  :class:`~repro.serving.ClusterFailed`; never a hang;
+- with a surviving sibling, the killed shard's in-flight images are
+  *re-routed* and still complete (zero failures expected);
+- every completed image has exactly one **complete** trace tree (one
+  ``request`` root, zero orphans) even when its first attempt died with
+  its shard;
+- the router's supervision metrics (``adcnn_router_dispatch_total``,
+  ``adcnn_router_cluster_down_total``) landed in the Prometheus export,
+  attributed per shard;
+- the final :class:`~repro.telemetry.RouterHealth` shows the killed shard
+  not routable and the survivors up.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.serving import ClusterFailed, ServingConfig, ServingFrontEnd
+from repro.telemetry import TelemetryRecorder
+from repro.telemetry.export import parse_prometheus_text
+from repro.telemetry.trace import assemble_traces
+
+from .router import STATE_UP
+from .spec import ShardedDeploymentSpec, build_router
+
+
+def run_smoke(
+    out_dir: Path,
+    num_shards: int = 2,
+    num_workers: int = 1,
+    images: int = 8,
+    kill_after: int = 3,
+    seed: int = 0,
+) -> dict:
+    """Serve ``images`` images over ``num_shards`` shards, killing shard 0
+    after ``kill_after`` completions."""
+    from repro.models import vgg_mini
+    from repro.nn import Tensor
+    from repro.partition import FDSPModel, TileGrid
+
+    model = vgg_mini(num_classes=3, input_size=24, base_width=6, separable_prefix=2).eval()
+    grid = TileGrid(2, 2)
+    reference = FDSPModel(model, grid)
+    reference.eval()
+    rng = np.random.default_rng(seed)
+    telemetry = TelemetryRecorder()
+    spec = ShardedDeploymentSpec.homogeneous(
+        num_shards,
+        num_workers=num_workers,
+        policy="round_robin",
+        mark_down_after=1,
+        max_restarts=0,
+    )
+    router = build_router(model, grid, spec, telemetry=telemetry)
+    batch = [rng.normal(size=(1, 3, 24, 24)).astype(np.float32) for _ in range(images)]
+
+    outcomes: list[str] = []
+    with ServingFrontEnd(
+        router, ServingConfig(window=2 * num_shards, queue_capacity=2 * images)
+    ) as fe:
+        # Warm phase: prove the fan-out works before injecting the fault.
+        for img in batch[:kill_after]:
+            result = fe.submit(img, client="edge-cam-a").result(timeout=120)
+            np.testing.assert_allclose(
+                result.outcome.output, reference(Tensor(img)).data, atol=1e-5
+            )
+            outcomes.append("ok")
+        # Fault phase: submit the rest, then fail-stop shard 0 while they
+        # are in flight — supervision must re-route or fail typed.
+        futures = [fe.submit(img, client="edge-cam-b") for img in batch[kill_after:]]
+        router._handles[0].kill()
+        for img, future in zip(batch[kill_after:], futures):
+            try:
+                result = future.result(timeout=120)
+            except ClusterFailed:
+                outcomes.append("cluster_failed")
+                continue
+            np.testing.assert_allclose(
+                result.outcome.output, reference(Tensor(img)).data, atol=1e-5
+            )
+            outcomes.append("ok")
+        status = fe.status()
+        health = fe.health()
+
+    completed = sum(1 for o in outcomes if o == "ok")
+    trees = assemble_traces(telemetry.events)
+    complete_trees = sum(1 for t in trees.values() if t.complete)
+    summary = {
+        "shards": num_shards,
+        "images": images,
+        "outcomes": outcomes,
+        "completed": completed,
+        "failed": sum(1 for o in outcomes if o == "cluster_failed"),
+        "rerouted": health.rerouted,
+        "complete_trace_trees": complete_trees,
+        "shard_states": {s.name: s.state for s in health.shards},
+        "status": {
+            "submitted": status.submitted,
+            "completed": status.completed,
+            "failed": status.failed,
+            "shed": status.shed,
+        },
+    }
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    telemetry.write_prometheus(out_dir / "metrics.prom")
+    telemetry.write_jsonl(out_dir / "events.jsonl")
+    (out_dir / "sharding_summary.json").write_text(json.dumps(summary, indent=2))
+    return summary
+
+
+def check_artifacts(out_dir: Path, summary: dict, num_shards: int) -> None:
+    """Fail loudly if failover leaked an image or the exports are incomplete."""
+    resolved = summary["completed"] + summary["failed"]
+    if resolved != summary["images"]:
+        raise SystemExit(
+            f"{summary['images']} images submitted but only {resolved} resolved"
+        )
+    if num_shards > 1 and summary["failed"]:
+        raise SystemExit(
+            f"expected full re-route with a surviving sibling, got "
+            f"{summary['failed']} ClusterFailed: {summary['outcomes']}"
+        )
+    if summary["complete_trace_trees"] != summary["completed"]:
+        raise SystemExit(
+            f"{summary['completed']} completions but "
+            f"{summary['complete_trace_trees']} complete trace trees"
+        )
+    states = summary["shard_states"]
+    if states.get("shard0") == STATE_UP:
+        raise SystemExit(f"killed shard still up: {states}")
+    if num_shards > 1 and all(s != STATE_UP for s in states.values()):
+        raise SystemExit(f"no surviving shard: {states}")
+    samples = parse_prometheus_text((out_dir / "metrics.prom").read_text())
+    names = {name for name, _ in samples}
+    for wanted in ("adcnn_router_dispatch_total", "adcnn_router_cluster_down_total"):
+        if not any(n.startswith(wanted) for n in names):
+            raise SystemExit(f"metrics.prom missing {wanted}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sharding.smoke",
+        description="Kill one of N shards mid-stream; prove nothing hangs.",
+    )
+    parser.add_argument("--out", default="sharding-artifacts", help="output directory")
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--images", type=int, default=8)
+    args = parser.parse_args(argv)
+    out_dir = Path(args.out)
+    summary = run_smoke(
+        out_dir, num_shards=args.shards, num_workers=args.workers, images=args.images
+    )
+    check_artifacts(out_dir, summary, args.shards)
+    print(json.dumps(summary, indent=2))
+    print(f"\nwrote {out_dir}/metrics.prom, events.jsonl, sharding_summary.json")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,157 @@
+"""Declarative sharded-deployment specs (AutoDiCE-style topology-as-data).
+
+A :class:`ShardedDeploymentSpec` is the one artifact that describes a
+whole two-tier process-backend topology — shard count, per-shard worker
+pools and windows, capacity weights, the routing policy, and the router's
+supervision budget.  :meth:`ADCNNDeployment.serve_sharded` consumes it;
+:func:`build_router` is the shared construction path that turns spec +
+model into a started-able :class:`~repro.sharding.ClusterRouter`, going
+through :func:`~repro.sharding.handle.make_cluster_handle` for every shard
+(the RL016-sanctioned factory), so single-cluster and sharded serving
+build clusters the exact same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any
+
+from repro.runtime.process_backend import ProcessClusterConfig
+from repro.telemetry import Recorder
+
+from .handle import ClusterHandle, make_cluster_handle
+from .policies import RoutingPolicy
+from .router import ClusterRouter, RouterConfig
+
+if TYPE_CHECKING:
+    from repro.compression import CompressionPipeline
+    from repro.models.blocks import PartitionableCNN
+    from repro.partition.geometry import SegmentGrid, TileGrid
+
+__all__ = ["ShardSpec", "ShardedDeploymentSpec", "build_router"]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard of a sharded deployment.
+
+    ``config`` overrides the whole per-cluster
+    :class:`ProcessClusterConfig` when given; otherwise the deployment
+    builds one from ``num_workers`` and the spec-level ``t_limit``.
+    ``weight`` feeds the ``weighted_by_health`` routing policy (relative
+    capacity; e.g. 2.0 for a shard with double the hardware).
+    """
+
+    name: str
+    num_workers: int = 2
+    window: int = 2
+    weight: float = 1.0
+    config: ProcessClusterConfig | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("shard needs a non-empty name")
+        if self.num_workers < 1:
+            raise ValueError(f"shard {self.name!r}: num_workers must be >= 1")
+        if self.window < 1:
+            raise ValueError(f"shard {self.name!r}: window must be >= 1")
+        if self.weight <= 0:
+            raise ValueError(f"shard {self.name!r}: weight must be positive")
+
+    def cluster_config(self, t_limit: float) -> ProcessClusterConfig:
+        """The shard's effective cluster config (override or derived)."""
+        if self.config is not None:
+            return self.config
+        return ProcessClusterConfig(num_workers=self.num_workers, t_limit=t_limit)
+
+
+@dataclass(frozen=True)
+class ShardedDeploymentSpec:
+    """Everything :meth:`ADCNNDeployment.serve_sharded` needs, as data."""
+
+    shards: tuple[ShardSpec, ...]
+    #: Routing policy name (or callable) — see :mod:`repro.sharding.policies`.
+    policy: str | RoutingPolicy = "least_outstanding"
+    #: Per-shard T_L deadline used when a shard carries no config override.
+    t_limit: float = 30.0
+    # Router supervision budget (see :class:`RouterConfig` for semantics).
+    mark_down_after: int = 3
+    max_restarts: int = 1
+    restart_backoff: float = 0.5
+    restart_backoff_cap: float = 10.0
+    probe_revival: bool = True
+    max_reroutes: int = 2
+    poll_interval: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise ValueError("spec needs at least one shard")
+        names = [s.name for s in self.shards]
+        if len(set(names)) != len(names):
+            raise ValueError(f"shard names must be unique, got {names}")
+        if self.t_limit <= 0:
+            raise ValueError("t_limit must be positive")
+        # Delegate the rest: RouterConfig validates its own fields.
+        self.router_config()
+
+    @classmethod
+    def homogeneous(
+        cls,
+        num_clusters: int,
+        num_workers: int = 2,
+        *,
+        name_prefix: str = "shard",
+        window: int = 2,
+        **spec_kwargs: Any,
+    ) -> "ShardedDeploymentSpec":
+        """N identical shards — the common case in one call."""
+        if num_clusters < 1:
+            raise ValueError("need at least one cluster")
+        shards = tuple(
+            ShardSpec(f"{name_prefix}{i}", num_workers=num_workers, window=window)
+            for i in range(num_clusters)
+        )
+        return cls(shards=shards, **spec_kwargs)
+
+    def with_policy(self, policy: str | RoutingPolicy) -> "ShardedDeploymentSpec":
+        return replace(self, policy=policy)
+
+    def router_config(self) -> RouterConfig:
+        return RouterConfig(
+            policy=self.policy,
+            mark_down_after=self.mark_down_after,
+            max_restarts=self.max_restarts,
+            restart_backoff=self.restart_backoff,
+            restart_backoff_cap=self.restart_backoff_cap,
+            probe_revival=self.probe_revival,
+            max_reroutes=self.max_reroutes,
+            poll_interval=self.poll_interval,
+        )
+
+    @property
+    def weights(self) -> list[float]:
+        return [s.weight for s in self.shards]
+
+
+def build_router(
+    model: "PartitionableCNN",
+    grid: "TileGrid | SegmentGrid | str",
+    spec: ShardedDeploymentSpec,
+    *,
+    pipeline: "CompressionPipeline | None" = None,
+    telemetry: Recorder | None = None,
+) -> ClusterRouter:
+    """Spec → router: one handle per shard, all through the RL016 factory."""
+    handles: list[ClusterHandle] = [
+        make_cluster_handle(
+            model,
+            grid,
+            pipeline=pipeline,
+            config=shard.cluster_config(spec.t_limit),
+            telemetry=telemetry,
+            name=shard.name,
+            window=shard.window,
+        )
+        for shard in spec.shards
+    ]
+    return ClusterRouter(handles, spec.router_config(), telemetry, weights=spec.weights)

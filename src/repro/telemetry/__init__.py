@@ -33,7 +33,9 @@ from .live import (
     NodeHealth,
     P2Quantile,
     QuantileSnapshot,
+    RouterHealth,
     ServingStatus,
+    ShardHealth,
     StreamingQuantiles,
     node_health_scores,
 )
@@ -49,6 +51,7 @@ from .recorder import (
     STAGE_RESULT_TRANSFER,
     STAGE_TRANSFER,
     STAGES,
+    LabeledRecorder,
     NullRecorder,
     Recorder,
     TelemetryRecorder,
@@ -79,6 +82,7 @@ def __getattr__(name: str) -> object:
 __all__ = [
     "TelemetryRecorder",
     "NullRecorder",
+    "LabeledRecorder",
     "Recorder",
     "FlightRecorder",
     "MetricsRegistry",
@@ -107,6 +111,8 @@ __all__ = [
     "QuantileSnapshot",
     "NodeHealth",
     "ClusterHealth",
+    "ShardHealth",
+    "RouterHealth",
     "ServingStatus",
     "node_health_scores",
     "to_chrome_trace",

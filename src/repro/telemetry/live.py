@@ -28,6 +28,8 @@ __all__ = [
     "QuantileSnapshot",
     "NodeHealth",
     "ClusterHealth",
+    "ShardHealth",
+    "RouterHealth",
     "ServingStatus",
     "node_health_scores",
 ]
@@ -183,6 +185,52 @@ class ClusterHealth:
 
 
 @dataclass(frozen=True, slots=True)
+class ShardHealth:
+    """One cluster as the :class:`~repro.sharding.ClusterRouter` sees it.
+
+    ``state`` is the router's supervision state machine position: ``"up"``,
+    ``"down"``, ``"restarting"``, or ``"probation"``.  ``cluster`` carries
+    the shard's own :class:`ClusterHealth` while it is reachable and is
+    ``None`` for a shard that is down or awaiting restart.
+    """
+
+    name: str
+    state: str
+    in_flight: int
+    restarts: int
+    consecutive_failures: int
+    cluster: ClusterHealth | None
+
+    @property
+    def routable(self) -> bool:
+        return self.state in ("up", "probation")
+
+
+@dataclass(frozen=True, slots=True)
+class RouterHealth:
+    """Aggregate snapshot returned by :meth:`ClusterRouter.health`."""
+
+    shards: tuple[ShardHealth, ...]
+    policy: str
+    in_flight: int
+    images_dispatched: int
+    rerouted: int
+    failed: int
+
+    @property
+    def healthy(self) -> bool:
+        """Every shard up and internally healthy."""
+        return all(
+            s.state == "up" and s.cluster is not None and s.cluster.healthy
+            for s in self.shards
+        )
+
+    @property
+    def routable_shards(self) -> int:
+        return sum(1 for s in self.shards if s.routable)
+
+
+@dataclass(frozen=True, slots=True)
 class ServingStatus:
     """Snapshot returned by :meth:`ServingFrontEnd.status`."""
 
@@ -196,6 +244,9 @@ class ServingStatus:
     slo_misses: int
     latency: QuantileSnapshot
     queue_wait: QuantileSnapshot
+    #: Admitted images that terminated with a typed infrastructure failure
+    #: (:class:`~repro.sharding.ClusterFailed`) rather than a result.
+    failed: int = 0
     clients: tuple[str, ...] = field(default=())
 
 

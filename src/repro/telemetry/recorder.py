@@ -35,6 +35,7 @@ __all__ = [
     "STAGE_CENTRAL",
     "Recorder",
     "NullRecorder",
+    "LabeledRecorder",
     "TelemetryRecorder",
 ]
 
@@ -124,6 +125,74 @@ class NullRecorder:
 
     def __len__(self) -> int:
         return 0
+
+
+class LabeledRecorder:
+    """Recorder decorator that stamps fixed labels onto everything it relays.
+
+    The sharding layer gives every cluster a ``LabeledRecorder(shared,
+    cluster="shard0")`` view of one shared sink, so metric series, events,
+    and spans from different shards stay distinguishable without any change
+    to the emission sites.  When a ``cluster`` label is present, ``node``
+    values (span tracks and ``node=`` metric labels) are additionally
+    prefixed ``<cluster>/<node>`` — the Chrome-trace tracks, per-node
+    utilization, and ``repro.telemetry.top`` then attribute work to shards
+    for free.
+
+    Fixed labels win over same-named fields supplied at the call site, so a
+    wrapped component cannot accidentally escape its shard attribution.
+    Unknown attributes (``bind_decisions``, ``events``, ``metrics``, the
+    ``write_*`` exporters) are delegated to the wrapped sink.
+    """
+
+    __slots__ = ("_inner", "_labels", "_prefix", "enabled")
+
+    def __init__(self, inner: Recorder, **labels: Any) -> None:
+        self._inner = inner
+        self._labels = labels
+        cluster = labels.get("cluster")
+        self._prefix = f"{cluster}/" if cluster is not None else ""
+        self.enabled = bool(inner.enabled)
+
+    @property
+    def inner(self) -> Recorder:
+        """The wrapped sink (shared across every labeled view)."""
+        return self._inner
+
+    def _node(self, node: str | None) -> str | None:
+        if node is None or not self._prefix:
+            return node
+        return self._prefix + node
+
+    def record(self, time: float, kind: str, **fields: Any) -> None:
+        if "node" in fields:
+            fields["node"] = self._node(fields["node"])
+        self._inner.record(time, kind, **{**fields, **self._labels})
+
+    def span(self, kind: str, start: float, duration: float, node: str | None = None,
+             image_id: int | None = None, **fields: Any) -> None:
+        self._inner.span(kind, start, duration, node=self._node(node),
+                         image_id=image_id, **{**fields, **self._labels})
+
+    def count(self, name: str, value: float = 1.0, **labels: Any) -> None:
+        if "node" in labels:
+            labels["node"] = self._node(labels["node"])
+        self._inner.count(name, value, **{**labels, **self._labels})
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        if "node" in labels:
+            labels["node"] = self._node(labels["node"])
+        self._inner.gauge(name, value, **{**labels, **self._labels})
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        if "node" in labels:
+            labels["node"] = self._node(labels["node"])
+        self._inner.observe(name, value, **{**labels, **self._labels})
+
+    def __getattr__(self, name: str) -> Any:
+        # Duck-typed extras (bind_decisions, of_kind, events, exporters)
+        # belong to the shared sink; __slots__ routes everything else here.
+        return getattr(self._inner, name)
 
 
 class TelemetryRecorder:

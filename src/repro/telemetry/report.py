@@ -136,6 +136,17 @@ _COUNTERS = (
     # rather than crash on (§IV fault tolerance); nonzero means input or
     # shm corruption, not load shedding.
     "adcnn_worker_dropped_tasks_total",
+    # Multi-cluster router tier (repro.sharding, DESIGN.md §5k): dispatch
+    # fan-out per shard, supervision verbs (down/restart/probe), and the
+    # terminal outcomes — re-routed images vs typed failures.  A nonzero
+    # failed count means re-route budgets or the whole topology ran out.
+    "adcnn_router_dispatch_total",
+    "adcnn_router_reroute_total",
+    "adcnn_router_cluster_down_total",
+    "adcnn_router_cluster_restart_total",
+    "adcnn_router_probe_total",
+    "adcnn_router_failed_total",
+    "adcnn_serving_failed_total",
 )
 
 #: Point-in-time gauges worth echoing in the report: the controller's
@@ -145,6 +156,7 @@ _GAUGES = (
     "adcnn_scheduler_share",
     "adcnn_admission_queue_depth",
     "adcnn_serving_queue_depth",
+    "adcnn_router_in_flight",
 )
 
 #: Latency histograms snapshotted by the recorder; rendered as

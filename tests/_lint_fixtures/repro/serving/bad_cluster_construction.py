@@ -1,0 +1,19 @@
+"""RL016 fixture: driver tiers constructing clusters directly."""
+
+from repro.runtime import ProcessCluster, ProcessClusterConfig
+from repro.runtime.system import ADCNNSystem
+
+
+def serve_one(model, grid):
+    cluster = ProcessCluster(model, grid, config=ProcessClusterConfig())
+    return cluster
+
+
+def simulate(nodes):
+    return ADCNNSystem(nodes)
+
+
+def rebuild(model, grid):
+    import repro.runtime as rt
+
+    return rt.ProcessCluster(model, grid)

@@ -1,0 +1,20 @@
+"""RL016 fixture: the sanctioned construction paths stay clean."""
+
+from repro.sharding import make_cluster_handle
+
+
+def serve_one(model, grid, config):
+    # Factory construction: supervision can rebuild this cluster.
+    return make_cluster_handle(model, grid, config=config, name="shard0")
+
+
+def adopt_prebuilt(cluster):
+    # Accepting a caller-built instance is fine — the caller owns the recipe.
+    return cluster
+
+
+def factory_module(model, grid):
+    # The factory module itself carries an explicit, audited suppression.
+    from repro.runtime import ProcessCluster
+
+    return ProcessCluster(model, grid)  # repro-lint: disable=RL016

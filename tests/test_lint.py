@@ -97,6 +97,21 @@ def test_rl009_metric_name_fixture():
     assert len(found) == 4  # the literal observe() and the record op are clean
 
 
+def test_rl016_cluster_construction_fixture():
+    found = violations_in(FIXTURES / "serving" / "bad_cluster_construction.py")
+    assert ("RL016", 8) in found  # direct ProcessCluster() in a driver tier
+    assert ("RL016", 13) in found  # direct ADCNNSystem() in a driver tier
+    assert ("RL016", 19) in found  # dotted rt.ProcessCluster() form
+    assert all(code == "RL016" for code, _ in found)
+    assert len(found) == 3
+
+
+def test_rl016_sanctioned_paths_clean():
+    found = violations_in(FIXTURES / "sharding" / "good_cluster_construction.py")
+    # Factory use, adoption, and the audited suppression are all clean.
+    assert found == []
+
+
 def test_rl010_tile_loop_fixture():
     found = violations_in(FIXTURES / "partition" / "bad_tile_loop.py")
     assert ("RL010", 5) in found  # comprehension forward over a tiles name
